@@ -1,0 +1,478 @@
+// Benchmarks: one per reproduced table/figure (the E01–E18 index of
+// DESIGN.md) plus micro-benchmarks of the substrates and the ablations
+// DESIGN.md calls out (tolerant vs strict parsing, order-sensitive diffing,
+// quantile conventions, reed-percentile sweep).
+package schemaevo
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/corpus"
+	"github.com/schemaevo/schemaevo/internal/diff"
+	"github.com/schemaevo/schemaevo/internal/gitstore"
+	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/smo"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+	"github.com/schemaevo/schemaevo/internal/stats"
+	"github.com/schemaevo/schemaevo/internal/study"
+	"github.com/schemaevo/schemaevo/internal/tables"
+)
+
+// --- shared fixtures ---------------------------------------------------------
+
+var (
+	benchOnce  sync.Once
+	benchStudy *study.Study
+	benchDump  string
+	benchOld   *Schema
+	benchNew   *Schema
+)
+
+func setup(b *testing.B) *study.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchStudy, err = study.New(1)
+		if err != nil {
+			panic(err)
+		}
+		// A realistic 60-table dump and a mutated successor for the parser
+		// and diff micro-benches.
+		r := rand.New(rand.NewSource(99))
+		spec := corpus.Spec{Taxon: core.Active, Commits: 2, ActiveCommits: 1,
+			Reeds: 1, TotalActivity: 40, SUPMonths: 1, PUPMonths: 2, TablesStart: 60,
+			CommitActivities: []int{40}}
+		p := corpus.Build("bench", spec, r, 2015)
+		benchDump = p.Hist.Versions[0].SQL
+		benchOld = sqlparse.Parse(p.Hist.Versions[0].SQL).Schema
+		benchNew = sqlparse.Parse(p.Hist.Versions[1].SQL).Schema
+	})
+	return benchStudy
+}
+
+// --- substrate micro-benchmarks ------------------------------------------------
+
+func BenchmarkParseDDL(b *testing.B) {
+	setup(b)
+	b.SetBytes(int64(len(benchDump)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sqlparse.Parse(benchDump)
+		if res.Schema.NumTables() == 0 {
+			b.Fatal("parse produced empty schema")
+		}
+	}
+}
+
+// Ablation: tolerant error recovery vs strict first-error abort on a dump
+// with a corrupted statement in the middle.
+func BenchmarkParseTolerantWithErrors(b *testing.B) {
+	setup(b)
+	src := benchDump + "\nCREATE TABLE broken (id INT,,,;\n" + benchDump
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sqlparse.ParseMode(src, sqlparse.Tolerant)
+	}
+}
+
+func BenchmarkParseStrictWithErrors(b *testing.B) {
+	setup(b)
+	src := benchDump + "\nCREATE TABLE broken (id INT,,,;\n" + benchDump
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sqlparse.ParseMode(src, sqlparse.Strict)
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := diff.Compute(benchOld, benchNew)
+		if !d.IsActive() {
+			b.Fatal("expected activity")
+		}
+	}
+}
+
+// Ablation: order-sensitive diffing.
+func BenchmarkDiffOrderSensitive(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diff.ComputeOptions(benchOld, benchNew, diff.Options{OrderSensitive: true})
+	}
+}
+
+func BenchmarkGitCommit(b *testing.B) {
+	repo, err := gitstore.Init(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := gitstore.NewWorktree(repo, "master")
+	sig := gitstore.Signature{Name: "b", Email: "b@b"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Set("schema.sql", []byte(fmt.Sprintf("%s\n-- rev %d\n", benchDump, i)))
+		if _, err := w.Commit("bench", sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorpusProject(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		spec := corpus.Plan(core.Active, r)
+		corpus.Build("bench", spec, r, 2014)
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	s := setup(b)
+	var analyses []*history.Analysis
+	for _, m := range s.Measures[:50] {
+		analyses = append(analyses, s.Analyses[m.Project])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Measure(analyses[i%len(analyses)], core.DefaultReedLimit)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Classify(s.Measures[i%len(s.Measures)])
+	}
+}
+
+// --- one benchmark per reproduced table/figure --------------------------------
+
+func BenchmarkE01Funnel(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.RunFunnel(); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkE02ActivePair(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig1()
+	}
+}
+
+func BenchmarkE03Reference(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig2()
+	}
+}
+
+func BenchmarkE04Classify(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunTaxonomy()
+	}
+}
+
+func BenchmarkE05Fig4(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig4()
+	}
+}
+
+func BenchmarkE06Exemplars(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunExemplars()
+	}
+}
+
+func BenchmarkE11Scatter(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig10()
+	}
+}
+
+func BenchmarkE12PairwiseKW(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PairwiseKW()
+	}
+}
+
+func BenchmarkE13Quartiles(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig12()
+	}
+}
+
+func BenchmarkE14BoxPlot(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFig13()
+	}
+}
+
+func BenchmarkE15OverallKW(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.OverallKW(func(m core.Measures) float64 { return float64(m.TotalActivity) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE16Shapiro(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Shapiro(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17Durations(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Durations()
+	}
+}
+
+func BenchmarkE18ReedLimit(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DeriveReedLimit(s.Measures)
+	}
+}
+
+// BenchmarkFullStudy measures the entire pipeline end to end (corpus
+// synthesis through classification) — the cost of one complete reproduction.
+func BenchmarkFullStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.New(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation sweeps -----------------------------------------------------------
+
+// Quantile convention ablation (DESIGN.md §4): type 2 vs type 7 on the
+// per-taxon quartiles.
+func BenchmarkQuartilesType2(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	get := func(m core.Measures) float64 { return float64(m.TotalActivity) }
+	for i := 0; i < b.N; i++ {
+		s.Quartiles(get, stats.Type2)
+	}
+}
+
+func BenchmarkQuartilesType7(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	get := func(m core.Measures) float64 { return float64(m.TotalActivity) }
+	for i := 0; i < b.N; i++ {
+		s.Quartiles(get, stats.Type7)
+	}
+}
+
+// Reed-percentile sweep: how taxa populations shift when the reed limit
+// moves (80th/85th/90th percentile equivalents ≈ limits 10/14/20).
+func BenchmarkReedLimitSweep(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for _, limit := range []int{10, 14, 20} {
+		b.Run(fmt.Sprintf("limit%d", limit), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				counts := map[core.Taxon]int{}
+				for _, m := range s.Measures {
+					remeasured := core.Measure(s.Analyses[m.Project], limit)
+					counts[core.Classify(remeasured)]++
+				}
+			}
+		})
+	}
+}
+
+// --- extension experiment benchmarks -------------------------------------------
+
+func BenchmarkE19ForeignKeys(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForeignKeys()
+	}
+}
+
+func BenchmarkE20TablePatterns(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Electrolysis()
+	}
+}
+
+func BenchmarkE21Granularity(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	windows := []time.Duration{0, 24 * time.Hour}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Granularity(windows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE22Sensitivity(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ThresholdSensitivity()
+	}
+}
+
+func BenchmarkSMODerive(b *testing.B) {
+	setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := smo.Derive(benchOld, benchNew)
+		if len(ops) == 0 {
+			b.Fatal("no ops derived")
+		}
+	}
+}
+
+func BenchmarkSMOReplay(b *testing.B) {
+	setup(b)
+	ops := smo.Derive(benchOld, benchNew)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := smo.Apply(benchOld.Clone(), ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableLives(b *testing.B) {
+	s := setup(b)
+	a := s.Analyses[s.Measures[len(s.Measures)-1].Project] // an active project
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables.Analyze(a)
+	}
+}
+
+func BenchmarkExportCSV(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.ExportCSV(); len(out) == 0 {
+			b.Fatal("empty export")
+		}
+	}
+}
+
+func BenchmarkE23Forecast(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Forecast([]float64{0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SurvivorDurationCorrelation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackedRead(b *testing.B) {
+	// Round-trip through a git-repacked repository, the real-clone path.
+	gitBin, err := exec.LookPath("git")
+	if err != nil {
+		b.Skip("git not installed")
+	}
+	dir := b.TempDir()
+	repo, err := gitstore.Init(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := gitstore.NewWorktree(repo, "master")
+	sig := gitstore.Signature{Name: "b", Email: "b@b", When: time.Unix(1600000000, 0)}
+	for i := 0; i < 20; i++ {
+		sig.When = sig.When.Add(time.Hour)
+		w.Set("schema.sql", []byte(fmt.Sprintf("%s\n-- rev %d\n", benchDump, i)))
+		if _, err := w.Commit("c", sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	os.WriteFile(filepath.Join(dir, "config"), []byte("[core]\n\tbare = true\n"), 0o644)
+	if out, err := exec.Command(gitBin, "--git-dir", dir, "repack", "-a", "-d").CombinedOutput(); err != nil {
+		b.Fatalf("git repack: %v: %s", err, out)
+	}
+	head, _ := repo.Head()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, _ := gitstore.Open(dir)
+		hist, err := fresh.PathHistory(head, "schema.sql")
+		if err != nil || len(hist) != 20 {
+			b.Fatalf("history = %d, err %v", len(hist), err)
+		}
+	}
+}
+
+func BenchmarkE25Tempo(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tempo()
+	}
+}
+
+func BenchmarkE26Shapes(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ShapeDistribution()
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/corpus"
+)
+
+func TestWriteFlat(t *testing.T) {
+	p := corpus.Generate(corpus.Config{Seed: 3, Counts: map[core.Taxon]int{core.AlmostFrozen: 1}})[0]
+	dir := filepath.Join(t.TempDir(), p.Name)
+	if err := writeFlat(p, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(p.Hist.Versions) {
+		t.Fatalf("wrote %d files, want %d", len(entries), len(p.Hist.Versions))
+	}
+	// Files carry the version timestamps (used by hecate -dir mode).
+	info0, err := os.Stat(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info0.ModTime().Equal(p.Hist.Versions[0].When) {
+		t.Errorf("mtime = %v, want %v", info0.ModTime(), p.Hist.Versions[0].When)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != p.Hist.Versions[0].SQL {
+		t.Error("content mismatch")
+	}
+}

@@ -1,0 +1,117 @@
+// Command gitcat inspects repositories written by (or readable by) the
+// gitstore engine — loose or packed — without needing git itself. It exists
+// to debug generated corpora and verify extraction behaviour.
+//
+// Usage:
+//
+//	gitcat -repo DIR branches              # list branches
+//	gitcat -repo DIR [-n 20] log           # first-parent log, newest last
+//	gitcat -repo DIR cat HASH              # print an object
+//	gitcat -repo DIR history PATH          # versions of a file
+//
+// (flags precede the subcommand, as usual with the standard flag package)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+	"github.com/schemaevo/schemaevo/internal/gitstore"
+)
+
+func main() {
+	var (
+		repoDir = flag.String("repo", "", "repository directory (required)")
+		limit   = flag.Int("n", 0, "limit log output to the last n commits (0 = all)")
+	)
+	flag.Parse()
+	if *repoDir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gitcat -repo DIR {branches|log|cat HASH|history PATH}")
+		os.Exit(2)
+	}
+	repo, err := gitstore.Open(*repoDir)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "branches":
+		branches, err := repo.Branches()
+		if err != nil {
+			fail(err)
+		}
+		for _, b := range branches {
+			h, err := repo.ResolveRef("refs/heads/" + b)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%s %s\n", h.String()[:12], b)
+		}
+	case "log":
+		head, err := repo.Head()
+		if err != nil {
+			fail(err)
+		}
+		chain, err := repo.Log(head)
+		if err != nil {
+			fail(err)
+		}
+		if *limit > 0 && len(chain) > *limit {
+			chain = chain[len(chain)-*limit:]
+		}
+		for _, c := range chain {
+			marker := " "
+			if len(c.Parents) > 1 {
+				marker = "M" // merge on the first-parent chain
+			}
+			fmt.Printf("%s %s %s %s\n", marker, c.Hash.String()[:12],
+				c.Committer.When.Format("2006-01-02 15:04"), c.Message)
+		}
+	case "cat":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("cat needs an object hash"))
+		}
+		h, err := gitstore.ParseHash(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		typ, data, err := repo.ReadObject(h)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("type: %s, %d bytes\n", typ, len(data))
+		if typ == gitstore.TypeTree {
+			entries, err := repo.ReadTree(h)
+			if err != nil {
+				fail(err)
+			}
+			for _, e := range entries {
+				fmt.Printf("%s %s %s\n", e.Mode, e.Hash.String()[:12], e.Name)
+			}
+		} else {
+			os.Stdout.Write(data)
+		}
+	case "history":
+		if flag.NArg() < 2 {
+			fail(fmt.Errorf("history needs a file path"))
+		}
+		hist, err := schemaevo.HistoryFromRepo(repo, "inspect", flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range hist.Versions {
+			fmt.Printf("v%d %s %s (%d bytes) %s\n", v.ID, v.Commit[:12],
+				v.When.Format("2006-01-02"), len(v.SQL), v.Message)
+		}
+		fmt.Printf("%d versions over %d project commits\n", len(hist.Versions), hist.ProjectCommits)
+	default:
+		fail(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gitcat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,233 @@
+// Command hecate analyzes one schema history — the role of the paper's
+// Hecate tool. It accepts either a git repository (mined for the versions of
+// one DDL path) or a directory of ordered .sql files, and reports the
+// project's measures, heartbeat, schema-size series and taxon.
+//
+// Usage:
+//
+//	hecate -repo /path/to/repo -path db/schema.sql
+//	hecate -dir  /path/to/versions/        # *.sql in lexical order
+//	hecate -repo ... -path ... -csv        # machine-readable transitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+	"github.com/schemaevo/schemaevo/internal/report"
+)
+
+func main() {
+	var (
+		repoDir = flag.String("repo", "", "git repository to mine")
+		branch  = flag.String("branch", "", "mine this branch instead of HEAD")
+		ddlPath = flag.String("path", "schema.sql", "path of the DDL file inside the repository")
+		dir     = flag.String("dir", "", "directory of ordered .sql version files (alternative to -repo)")
+		scanDir = flag.String("scan", "", "corpus directory: classify every project subdirectory (flat versions or git repos)")
+		project = flag.String("project", "", "project name (defaults to the repo/dir basename)")
+		asCSV   = flag.Bool("csv", false, "emit per-transition CSV instead of the report")
+		reedLim = flag.Int("reed-limit", schemaevo.DefaultReedLimit, "activity threshold above which a commit is a reed")
+	)
+	flag.Parse()
+
+	if *scanDir != "" {
+		if err := scanCorpus(*scanDir, *ddlPath, *reedLim); err != nil {
+			fmt.Fprintln(os.Stderr, "hecate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var hist *schemaevo.History
+	var err error
+	if *branch != "" && *repoDir != "" {
+		var repo *schemaevo.Repo
+		repo, err = schemaevo.OpenRepo(*repoDir)
+		if err == nil {
+			name := *project
+			if name == "" {
+				name = filepath.Base(*repoDir)
+			}
+			hist, err = schemaevo.HistoryFromRepoBranch(repo, name, *branch, *ddlPath)
+		}
+	} else {
+		hist, err = loadHistory(*repoDir, *dir, *ddlPath, *project)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hecate:", err)
+		os.Exit(1)
+	}
+	if dropped := hist.Filter(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "hecate: dropped %d empty/non-DDL versions\n", dropped)
+	}
+	if hist.IsHistoryLess() {
+		fmt.Printf("project %s is history-less (%d version): no transitions to study\n",
+			hist.Project, len(hist.Versions))
+		return
+	}
+	analysis, err := schemaevo.Analyze(hist)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hecate:", err)
+		os.Exit(1)
+	}
+	if analysis.ParseErrors > 0 {
+		fmt.Fprintf(os.Stderr, "hecate: tolerant parser skipped %d statements\n", analysis.ParseErrors)
+	}
+	m := schemaevo.MeasureWithLimit(analysis, *reedLim)
+
+	if *asCSV {
+		tb := report.NewTable("", "transition", "when", "expansion", "maintenance",
+			"tables_before", "tables_after", "attrs_before", "attrs_after")
+		for _, tr := range analysis.Transitions {
+			tb.AddRow(fmt.Sprint(tr.ToID), tr.When.Format(time.RFC3339),
+				fmt.Sprint(tr.Delta.Expansion()), fmt.Sprint(tr.Delta.Maintenance()),
+				fmt.Sprint(tr.TablesBefore), fmt.Sprint(tr.TablesAfter),
+				fmt.Sprint(tr.AttrsBefore), fmt.Sprint(tr.AttrsAfter))
+		}
+		fmt.Print(tb.CSV())
+		return
+	}
+
+	fmt.Printf("project:        %s\n", m.Project)
+	fmt.Printf("taxon:          %v\n", schemaevo.Classify(m))
+	fmt.Printf("commits:        %d (%d active: %d reeds + %d turf)\n",
+		m.Commits, m.ActiveCommits, m.Reeds, m.Turf)
+	fmt.Printf("activity:       %d attributes (%d expansion + %d maintenance)\n",
+		m.TotalActivity, m.Expansion, m.Maintenance)
+	fmt.Printf("tables:         %d → %d (+%d inserted, -%d deleted)\n",
+		m.TablesStart, m.TablesEnd, m.TableInsertions, m.TableDeletions)
+	fmt.Printf("attributes:     %d → %d\n", m.AttrsStart, m.AttrsEnd)
+	fmt.Printf("SUP:            %d months   PUP: %d months   DDL share: %.1f%%\n\n",
+		m.SUPMonths, m.PUPMonths, 100*m.DDLShare)
+
+	exp := make([]int, len(m.Heartbeat))
+	maint := make([]int, len(m.Heartbeat))
+	for i, b := range m.Heartbeat {
+		exp[i] = b.Expansion
+		maint[i] = b.Maintenance
+	}
+	fmt.Println("heartbeat (expansion ↑ / maintenance ↓ per transition):")
+	fmt.Print(report.Heartbeat(exp, maint, 6))
+
+	sizes := analysis.SizeSeries()
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, p := range sizes {
+		xs[i] = p.When.Sub(sizes[0].When).Hours() / 24
+		ys[i] = float64(p.Tables)
+	}
+	fmt.Println()
+	fmt.Print(report.StepChart(xs, ys, 10, 72, "schema size (#tables) over days since V0"))
+}
+
+// scanCorpus classifies every project under root: a subdirectory is treated
+// as a git repository when it holds an objects/ directory, otherwise as a
+// flat set of ordered .sql version files. It prints one row per project and
+// a taxa summary.
+func scanCorpus(root, ddlPath string, reedLimit int) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("", "project", "taxon", "commits", "active", "reeds", "activity", "SUP(mo)")
+	counts := map[schemaevo.Taxon]int{}
+	historyless := 0
+	scanned := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(root, e.Name())
+		var hist *schemaevo.History
+		if _, statErr := os.Stat(filepath.Join(sub, "objects")); statErr == nil {
+			hist, err = loadHistory(sub, "", ddlPath, e.Name())
+		} else {
+			hist, err = loadHistory("", sub, "", e.Name())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hecate: %s: %v (skipped)\n", e.Name(), err)
+			continue
+		}
+		hist.Filter()
+		scanned++
+		if hist.IsHistoryLess() {
+			historyless++
+			continue
+		}
+		analysis, err := schemaevo.Analyze(hist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hecate: %s: %v (skipped)\n", e.Name(), err)
+			continue
+		}
+		m := schemaevo.MeasureWithLimit(analysis, reedLimit)
+		taxon := schemaevo.Classify(m)
+		counts[taxon]++
+		tb.AddRow(e.Name(), taxon.String(), fmt.Sprint(m.Commits), fmt.Sprint(m.ActiveCommits),
+			fmt.Sprint(m.Reeds), fmt.Sprint(m.TotalActivity), fmt.Sprint(m.SUPMonths))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nscanned %d projects (%d history-less excluded)\n", scanned, historyless)
+	sum := report.NewTable("taxa summary", "taxon", "count")
+	for _, taxon := range schemaevo.Taxa() {
+		if counts[taxon] > 0 {
+			sum.AddRow(taxon.String(), fmt.Sprint(counts[taxon]))
+		}
+	}
+	fmt.Print(sum.String())
+	return nil
+}
+
+// loadHistory builds the history from whichever source was given.
+func loadHistory(repoDir, dir, ddlPath, project string) (*schemaevo.History, error) {
+	switch {
+	case repoDir != "":
+		repo, err := schemaevo.OpenRepo(repoDir)
+		if err != nil {
+			return nil, err
+		}
+		if project == "" {
+			project = filepath.Base(repoDir)
+		}
+		return schemaevo.HistoryFromRepo(repo, project, ddlPath)
+	case dir != "":
+		entries, err := filepath.Glob(filepath.Join(dir, "*.sql"))
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("no .sql files in %s", dir)
+		}
+		sort.Strings(entries)
+		if project == "" {
+			project = filepath.Base(dir)
+		}
+		h := &schemaevo.History{Project: project, Path: dir}
+		base := time.Now().UTC().AddDate(0, -len(entries), 0)
+		for i, path := range entries {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			info, err := os.Stat(path)
+			when := base.AddDate(0, i, 0)
+			if err == nil && i > 0 {
+				// Prefer real modification times when they are ordered.
+				if mt := info.ModTime().UTC(); mt.After(h.Versions[i-1].When) {
+					when = mt
+				}
+			}
+			h.Versions = append(h.Versions, schemaevo.Version{ID: i, When: when, SQL: string(data)})
+		}
+		h.ProjectStart = h.Versions[0].When
+		h.ProjectEnd = h.Versions[len(h.Versions)-1].When
+		h.ProjectCommits = len(h.Versions)
+		return h, nil
+	default:
+		return nil, fmt.Errorf("one of -repo or -dir is required")
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+)
+
+func TestLoadHistoryFromDir(t *testing.T) {
+	dir := t.TempDir()
+	versions := []string{
+		"CREATE TABLE t (a INT);",
+		"CREATE TABLE t (a INT, b INT);",
+		"CREATE TABLE t (a INT, b INT, c INT);",
+	}
+	for i, sql := range versions {
+		path := filepath.Join(dir, "v"+string(rune('0'+i))+".sql")
+		if err := os.WriteFile(path, []byte(sql), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Date(2020, time.Month(i+1), 1, 0, 0, 0, 0, time.UTC)
+		os.Chtimes(path, mt, mt)
+	}
+	h, err := loadHistory("", dir, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Versions) != 3 {
+		t.Fatalf("versions = %d", len(h.Versions))
+	}
+	if h.Project != filepath.Base(dir) {
+		t.Errorf("project = %q", h.Project)
+	}
+	a, err := schemaevo.Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := schemaevo.Measure(a)
+	if m.TotalActivity != 2 || m.ActiveCommits != 2 {
+		t.Fatalf("measures: %+v", m)
+	}
+}
+
+func TestLoadHistoryFromRepo(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := schemaevo.InitRepo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := schemaevo.NewWorktree(repo, "master")
+	sig := schemaevo.Signature{Name: "d", Email: "d@e", When: time.Unix(1_600_000_000, 0)}
+	w.Set("db/s.sql", []byte("CREATE TABLE t (a INT);"))
+	if _, err := w.Commit("v0", sig); err != nil {
+		t.Fatal(err)
+	}
+	sig.When = sig.When.Add(time.Hour)
+	w.Set("db/s.sql", []byte("CREATE TABLE t (a INT, b INT);"))
+	if _, err := w.Commit("v1", sig); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := loadHistory(dir, "", "db/s.sql", "myproj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Project != "myproj" || len(h.Versions) != 2 {
+		t.Fatalf("history: %q, %d versions", h.Project, len(h.Versions))
+	}
+}
+
+func TestLoadHistoryErrors(t *testing.T) {
+	if _, err := loadHistory("", "", "x", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadHistory("", t.TempDir(), "", ""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := loadHistory(t.TempDir(), "", "s.sql", ""); err == nil {
+		t.Error("non-repo accepted")
+	}
+}
+
+func TestScanCorpus(t *testing.T) {
+	root := t.TempDir()
+	// Flat project.
+	flat := filepath.Join(root, "flatproj")
+	os.MkdirAll(flat, 0o755)
+	os.WriteFile(filepath.Join(flat, "v0.sql"), []byte("CREATE TABLE t (a INT);"), 0o644)
+	os.WriteFile(filepath.Join(flat, "v1.sql"), []byte("CREATE TABLE t (a INT, b INT);"), 0o644)
+	// History-less project.
+	single := filepath.Join(root, "singleproj")
+	os.MkdirAll(single, 0o755)
+	os.WriteFile(filepath.Join(single, "v0.sql"), []byte("CREATE TABLE t (a INT);"), 0o644)
+	// Git project.
+	gitDir := filepath.Join(root, "gitproj")
+	repo, err := schemaevo.InitRepo(gitDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := schemaevo.NewWorktree(repo, "master")
+	sig := schemaevo.Signature{Name: "d", Email: "d@e", When: time.Unix(1_500_000_000, 0)}
+	w.Set("schema.sql", []byte("CREATE TABLE t (a INT);"))
+	w.Commit("v0", sig)
+	sig.When = sig.When.Add(time.Hour)
+	w.Set("schema.sql", []byte("CREATE TABLE t (a TEXT);"))
+	w.Commit("v1", sig)
+
+	if err := scanCorpus(root, "schema.sql", schemaevo.DefaultReedLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := scanCorpus(filepath.Join(root, "missing"), "schema.sql", 14); err == nil {
+		t.Error("missing root accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Command studyrun executes the full reproduction and prints every table
+// and figure of the paper's evaluation plus the extension experiments
+// (E01–E26 of DESIGN.md).
+//
+// Usage:
+//
+//	studyrun                      # everything, to stdout
+//	studyrun -seed 7              # a different synthetic corpus
+//	studyrun -only fig4,fig11     # selected experiments
+//	studyrun -out results/        # one file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// experiments maps selector names to driver functions.
+var experiments = []struct {
+	key string
+	run func(*study.Study) string
+}{
+	{"funnel", (*study.Study).RunFunnel},
+	{"fig1", (*study.Study).RunFig1},
+	{"fig2", (*study.Study).RunFig2},
+	{"taxonomy", (*study.Study).RunTaxonomy},
+	{"fig4", (*study.Study).RunFig4},
+	{"exemplars", (*study.Study).RunExemplars},
+	{"fig10", (*study.Study).RunFig10},
+	{"fig11", (*study.Study).RunFig11},
+	{"fig12", (*study.Study).RunFig12},
+	{"fig13", (*study.Study).RunFig13},
+	{"kw", (*study.Study).RunOverallKW},
+	{"shapiro", (*study.Study).RunShapiro},
+	{"durations", (*study.Study).RunDurations},
+	{"reedlimit", (*study.Study).RunReedLimit},
+	{"fkeys", (*study.Study).RunForeignKeys},
+	{"tables", (*study.Study).RunTablePatterns},
+	{"granularity", (*study.Study).RunGranularity},
+	{"sensitivity", (*study.Study).RunSensitivity},
+	{"forecast", (*study.Study).RunForecast},
+	{"tempo", (*study.Study).RunTempo},
+	{"shapes", (*study.Study).RunShapes},
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		only     = flag.String("only", "", "comma-separated experiment keys (default: all)")
+		out      = flag.String("out", "", "write one file per experiment into this directory")
+		list     = flag.Bool("list", false, "list experiment keys and exit")
+		csvPath  = flag.String("csv", "", "also export the per-project dataset as CSV to this file")
+		jsonPath = flag.String("json", "", "also export the machine-readable study summary as JSON to this file")
+		svgDir   = flag.String("svg", "", "also render every graphical figure as SVG into this directory")
+		htmlPath = flag.String("html", "", "also render the whole study as a self-contained HTML report")
+		seeds    = flag.Int("seeds", 0, "run the seed-robustness experiment (E24) over this many corpora and exit")
+	)
+	flag.Parse()
+
+	if *seeds > 0 {
+		var list []int64
+		for i := 1; i <= *seeds; i++ {
+			list = append(list, int64(i))
+		}
+		sums, err := study.MultiSeed(list)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+		fmt.Print(study.RenderMultiSeed(sums))
+		return
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e.key)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(k)] = true
+		}
+		for k := range selected {
+			if !known(k) {
+				fmt.Fprintf(os.Stderr, "studyrun: unknown experiment %q (use -list)\n", k)
+				os.Exit(2)
+			}
+		}
+	}
+
+	st, err := schemaevo.NewStudy(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "studyrun:", err)
+		os.Exit(1)
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(st.ExportCSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+
+	if *jsonPath != "" {
+		js, err := st.ExportJSON()
+		if err == nil {
+			err = os.WriteFile(*jsonPath, []byte(js), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+		for name, svg := range st.SVGFigures() {
+			path := filepath.Join(*svgDir, name)
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "studyrun:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("wrote SVG figures to", *svgDir)
+	}
+
+	if *htmlPath != "" {
+		html, err := st.HTMLReport()
+		if err == nil {
+			err = os.WriteFile(*htmlPath, []byte(html), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *htmlPath)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "studyrun:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.key] {
+			continue
+		}
+		text := e.run(st)
+		if *out != "" {
+			path := filepath.Join(*out, e.key+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "studyrun:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		} else {
+			fmt.Println(text)
+			fmt.Println(strings.Repeat("=", 78))
+		}
+	}
+}
+
+func known(key string) bool {
+	for _, e := range experiments {
+		if e.key == key {
+			return true
+		}
+	}
+	return false
+}

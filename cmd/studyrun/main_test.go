@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(experiments) != 21 {
+		t.Fatalf("registry has %d experiments", len(experiments))
+	}
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.key == "" || strings.ContainsAny(e.key, " ,") {
+			t.Errorf("bad key %q", e.key)
+		}
+		if seen[e.key] {
+			t.Errorf("duplicate key %q", e.key)
+		}
+		seen[e.key] = true
+		if e.run == nil {
+			t.Errorf("key %q has no driver", e.key)
+		}
+	}
+	if !known("fig4") || known("nope") {
+		t.Error("known() broken")
+	}
+}

@@ -1,0 +1,109 @@
+// Example minerepo: the end-to-end mining pipeline on a real repository
+// layout. It builds a small project repository commit by commit (README
+// churn interleaved with schema work, exactly like a real FOSS project),
+// then mines it back: extract the DDL history from the git objects, analyze
+// the transitions, measure the heartbeat, and classify the project.
+//
+// Run with: go run ./examples/minerepo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "minerepo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	repo, err := schemaevo.InitRepo(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := schemaevo.NewWorktree(repo, "master")
+	at := func(day int) schemaevo.Signature {
+		return schemaevo.Signature{
+			Name: "dev", Email: "dev@example.org",
+			When: time.Date(2017, 3, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, day),
+		}
+	}
+
+	commit := func(day int, msg string, files map[string]string) {
+		for path, content := range files {
+			w.Set(path, []byte(content))
+		}
+		if _, err := w.Commit(msg, at(day)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A year in the life of a small project.
+	commit(0, "initial import", map[string]string{
+		"README.md": "# tasks\n",
+		"db/schema.sql": `CREATE TABLE tasks (
+  id INT NOT NULL AUTO_INCREMENT,
+  title VARCHAR(100) NOT NULL,
+  done TINYINT(1) DEFAULT 0,
+  PRIMARY KEY (id)
+);`,
+	})
+	commit(14, "docs: add install notes", map[string]string{"README.md": "# tasks\n\ninstall...\n"})
+	commit(40, "schema: track owners", map[string]string{
+		"db/schema.sql": `CREATE TABLE tasks (
+  id INT NOT NULL AUTO_INCREMENT,
+  title VARCHAR(100) NOT NULL,
+  done TINYINT(1) DEFAULT 0,
+  owner_id INT,
+  PRIMARY KEY (id)
+);
+CREATE TABLE owners (
+  id INT NOT NULL,
+  name VARCHAR(50),
+  PRIMARY KEY (id)
+);`,
+	})
+	commit(90, "fix typo in readme", map[string]string{"README.md": "# Tasks\n\ninstall...\n"})
+	commit(200, "schema: widen title, drop done flag for status enum", map[string]string{
+		"db/schema.sql": `CREATE TABLE tasks (
+  id INT NOT NULL AUTO_INCREMENT,
+  title VARCHAR(255) NOT NULL,
+  status ENUM('open','done','blocked') DEFAULT 'open',
+  owner_id INT,
+  PRIMARY KEY (id)
+);
+CREATE TABLE owners (
+  id INT NOT NULL,
+  name VARCHAR(50),
+  PRIMARY KEY (id)
+);`,
+	})
+
+	// Mine it back, exactly as the study mined GitHub clones.
+	hist, err := schemaevo.HistoryFromRepo(repo, "tasks", "db/schema.sql")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist.Filter()
+	fmt.Printf("mined %d schema versions out of %d project commits\n",
+		len(hist.Versions), hist.ProjectCommits)
+
+	analysis, err := schemaevo.Analyze(hist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := schemaevo.Measure(analysis)
+	fmt.Printf("taxon: %v\n", schemaevo.Classify(m))
+	fmt.Printf("activity: %d (expansion %d, maintenance %d) over %d active commits\n",
+		m.TotalActivity, m.Expansion, m.Maintenance, m.ActiveCommits)
+	for _, b := range m.Heartbeat {
+		fmt.Printf("  transition %d (%s): +%d / -%d\n",
+			b.TransitionID, b.When.Format("2006-01-02"), b.Expansion, b.Maintenance)
+	}
+}

@@ -1,0 +1,71 @@
+// Example quickstart: parse two versions of a DDL file, diff them at the
+// logical level, and read the paper's change categories off the delta.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	schemaevo "github.com/schemaevo/schemaevo"
+)
+
+const v1 = `
+-- web shop, first cut
+CREATE TABLE users (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  email VARCHAR(100) NOT NULL,
+  name VARCHAR(50),
+  PRIMARY KEY (id)
+) ENGINE=InnoDB;
+
+CREATE TABLE carts (
+  id INT(11) NOT NULL,
+  user_id INT(11),
+  created DATETIME,
+  PRIMARY KEY (id)
+);
+`
+
+const v2 = `
+-- web shop, after the payments sprint
+CREATE TABLE users (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  email VARCHAR(255) NOT NULL,          -- widened
+  display_name VARCHAR(50),             -- renamed: reads as eject+inject
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE orders (                    -- carts became orders
+  id INT(11) NOT NULL,
+  user_id INT(11),
+  total DECIMAL(10,2),
+  placed_at DATETIME,
+  PRIMARY KEY (id)
+);
+`
+
+func main() {
+	oldRes := schemaevo.ParseSQL(v1)
+	newRes := schemaevo.ParseSQL(v2)
+	fmt.Printf("v1: %d tables, %d attributes\n", oldRes.Schema.NumTables(), oldRes.Schema.NumColumns())
+	fmt.Printf("v2: %d tables, %d attributes\n\n", newRes.Schema.NumTables(), newRes.Schema.NumColumns())
+
+	delta := schemaevo.Diff(oldRes.Schema, newRes.Schema)
+	fmt.Println("transition v1 → v2:")
+	fmt.Printf("  tables inserted: %v\n", delta.TablesInserted)
+	fmt.Printf("  tables deleted:  %v\n", delta.TablesDeleted)
+	fmt.Printf("  born=%d injected=%d deleted=%d ejected=%d type=%d pk=%d\n",
+		delta.Born, delta.Injected, delta.Deleted, delta.Ejected, delta.TypeChange, delta.PKChange)
+	fmt.Printf("  expansion=%d maintenance=%d activity=%d active=%v\n\n",
+		delta.Expansion(), delta.Maintenance(), delta.Activity(), delta.IsActive())
+
+	fmt.Println("attribute-level events:")
+	for _, c := range delta.Changes {
+		if c.Old != "" || c.New != "" {
+			fmt.Printf("  %-12s %s.%s  %s → %s\n", c.Kind, c.Table, c.Column, c.Old, c.New)
+		} else {
+			fmt.Printf("  %-12s %s.%s\n", c.Kind, c.Table, c.Column)
+		}
+	}
+}

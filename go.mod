@@ -1,0 +1,3 @@
+module github.com/schemaevo/schemaevo
+
+go 1.22

@@ -1,0 +1,158 @@
+package schemaevo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestGoldenEvolutionSequence drives a hand-written five-version schema
+// history (testdata/evolution) through the whole public pipeline and checks
+// every measure against values computed by hand — the end-to-end golden for
+// the measurement semantics.
+func TestGoldenEvolutionSequence(t *testing.T) {
+	h := &History{Project: "bookstore", Path: "testdata/evolution"}
+	base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i <= 4; i++ {
+		data, err := os.ReadFile(filepath.Join("testdata", "evolution", "v"+string(rune('0'+i))+".sql"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Versions = append(h.Versions, Version{ID: i, When: base.AddDate(0, i*2, 0), SQL: string(data)})
+	}
+	h.ProjectStart = base.AddDate(0, -3, 0)
+	h.ProjectEnd = base.AddDate(0, 12, 0)
+	h.ProjectCommits = 100
+
+	if dropped := h.Filter(); dropped != 0 {
+		t.Fatalf("filter dropped %d clean versions", dropped)
+	}
+	a, err := Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ParseErrors != 0 {
+		t.Fatalf("parse errors: %d", a.ParseErrors)
+	}
+
+	// Per-transition expectations, computed by hand from the DDL.
+	wantTransitions := []struct {
+		expansion, maintenance int
+	}{
+		{4, 0}, // orders born with 4 attributes
+		{0, 0}, // comments + index only: non-active
+		{4, 2}, // isbn, stock, name, qty injected; author ejected; price retyped
+		{1, 3}, // customers deleted (3 attrs); customer_email injected
+	}
+	if len(a.Transitions) != len(wantTransitions) {
+		t.Fatalf("transitions = %d", len(a.Transitions))
+	}
+	for i, want := range wantTransitions {
+		got := a.Transitions[i].Delta
+		if got.Expansion() != want.expansion || got.Maintenance() != want.maintenance {
+			t.Errorf("transition %d: expansion/maintenance = %d/%d, want %d/%d",
+				i, got.Expansion(), got.Maintenance(), want.expansion, want.maintenance)
+		}
+	}
+
+	m := Measure(a)
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"Commits", m.Commits, 5},
+		{"ActiveCommits", m.ActiveCommits, 3},
+		{"Expansion", m.Expansion, 9},
+		{"Maintenance", m.Maintenance, 5},
+		{"TotalActivity", m.TotalActivity, 14},
+		{"Reeds", m.Reeds, 0},
+		{"Turf", m.Turf, 3},
+		{"TableInsertions", m.TableInsertions, 1},
+		{"TableDeletions", m.TableDeletions, 1},
+		{"TablesStart", m.TablesStart, 2},
+		{"TablesEnd", m.TablesEnd, 2},
+		{"AttrsStart", m.AttrsStart, 6},
+		{"AttrsEnd", m.AttrsEnd, 11},
+		{"SUPMonths", m.SUPMonths, 8}, // Jun 2017 → Feb 2018: 245 days ≈ 8 mean months
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	// 3 active commits and 14 > 10 attributes: the "hit and freeze" taxon.
+	if got := Classify(m); got != FocusedShotFrozen {
+		t.Errorf("taxon = %v, want Focused Shot & Frozen", got)
+	}
+
+	// The SMO view of the big refactor (v2 → v3) replays exactly.
+	ops := DeriveSMOs(a.Schemas[2], a.Schemas[3])
+	replayed := a.Schemas[2].Clone()
+	if err := ApplySMOs(replayed, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !SchemasEqual(replayed, a.Schemas[3]) {
+		t.Error("SMO replay of the refactor diverged")
+	}
+
+	// Table biographies: customers is the only death.
+	lives := TableLives(a)
+	if len(lives) != 3 {
+		t.Fatalf("table lives = %d", len(lives))
+	}
+	for _, l := range lives {
+		switch l.Name {
+		case "customers":
+			if l.Survived || l.DeathVersion != 4 {
+				t.Errorf("customers = %+v", l)
+			}
+			if l.Updates != 1 { // name injected in v3
+				t.Errorf("customers updates = %d, want 1", l.Updates)
+			}
+		case "books":
+			if !l.Survived || l.Updates != 4 { // isbn, stock, price, author
+				t.Errorf("books = %+v", l)
+			}
+		case "orders":
+			if !l.Survived || l.BirthVersion != 1 {
+				t.Errorf("orders = %+v", l)
+			}
+		}
+	}
+}
+
+// TestGoldenEvolutionThroughGit runs the same sequence through an on-disk
+// repository, confirming storage does not alter any measure.
+func TestGoldenEvolutionThroughGit(t *testing.T) {
+	repo, err := InitRepo(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorktree(repo, "master")
+	base := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i <= 4; i++ {
+		data, err := os.ReadFile(filepath.Join("testdata", "evolution", "v"+string(rune('0'+i))+".sql"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Set("db/schema.sql", data)
+		sig := Signature{Name: "dev", Email: "d@e", When: base.AddDate(0, i*2, 0)}
+		if _, err := w.Commit("schema step", sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := HistoryFromRepo(repo, "bookstore", "db/schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(a)
+	if m.TotalActivity != 14 || m.ActiveCommits != 3 || Classify(m) != FocusedShotFrozen {
+		t.Fatalf("git path diverged: activity=%d active=%d taxon=%v",
+			m.TotalActivity, m.ActiveCommits, Classify(m))
+	}
+}

@@ -1,0 +1,191 @@
+package collect
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func studyNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("study-org/project_%03d", i)
+	}
+	return out
+}
+
+func TestFunnelReproducesPaperCounts(t *testing.T) {
+	targets := DefaultTargets()
+	files, meta, outcomes, err := GenerateDatasets(GenConfig{
+		Seed: 1, Targets: targets, StudyRepos: studyNames(targets.StudySet),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Run(files, meta, outcomes)
+	if f.SQLCollectionRepos != 133029 {
+		t.Errorf("SQLCollectionRepos = %d, want 133029", f.SQLCollectionRepos)
+	}
+	if f.LibIoDataset != 365 {
+		t.Errorf("LibIoDataset = %d, want 365", f.LibIoDataset)
+	}
+	if f.ZeroVersions != 14 || f.NoCreateTable != 24 {
+		t.Errorf("drops = %d/%d, want 14/24", f.ZeroVersions, f.NoCreateTable)
+	}
+	if f.Cloned != 327 {
+		t.Errorf("Cloned = %d, want 327", f.Cloned)
+	}
+	if f.Rigid != 132 {
+		t.Errorf("Rigid = %d, want 132", f.Rigid)
+	}
+	if f.StudySet != 195 || len(f.Survivors) != 195 {
+		t.Errorf("StudySet = %d (%d survivors), want 195", f.StudySet, len(f.Survivors))
+	}
+	// The survivors are exactly the injected study repos.
+	seen := map[string]bool{}
+	for _, c := range f.Survivors {
+		seen[c.Repo] = true
+	}
+	for _, name := range studyNames(targets.StudySet) {
+		if !seen[name] {
+			t.Errorf("study repo %s missing from survivors", name)
+		}
+	}
+}
+
+func TestFunnelString(t *testing.T) {
+	targets := Targets{SQLCollectionRepos: 100, LibIoDataset: 10, ZeroVersions: 1, NoCreateTable: 2, Rigid: 3, StudySet: 4}
+	files, meta, outcomes, err := GenerateDatasets(GenConfig{Seed: 2, Targets: targets, StudyRepos: studyNames(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Run(files, meta, outcomes).String()
+	for _, want := range []string{"100", "365"} {
+		if want == "365" {
+			continue
+		}
+		if !strings.Contains(s, want) {
+			t.Errorf("funnel string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTargetsValidate(t *testing.T) {
+	bad := DefaultTargets()
+	bad.Rigid = 131
+	if err := bad.Validate(); err == nil {
+		t.Error("inconsistent targets accepted")
+	}
+	small := DefaultTargets()
+	small.SQLCollectionRepos = 10
+	if err := small.Validate(); err == nil {
+		t.Error("SQL collection smaller than Lib-io accepted")
+	}
+	if err := DefaultTargets().Validate(); err != nil {
+		t.Errorf("paper targets rejected: %v", err)
+	}
+}
+
+func TestGenerateDatasetsArgumentChecks(t *testing.T) {
+	if _, _, _, err := GenerateDatasets(GenConfig{Targets: DefaultTargets(), StudyRepos: studyNames(3)}); err == nil {
+		t.Error("wrong study repo count accepted")
+	}
+	cfg := GenConfig{Targets: DefaultTargets(), StudyRepos: studyNames(195), RigidRepos: []string{"just-one"}}
+	if _, _, _, err := GenerateDatasets(cfg); err == nil {
+		t.Error("wrong rigid repo count accepted")
+	}
+}
+
+func TestPathExclusion(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"db/schema.sql", false},
+		{"test/schema.sql", true},
+		{"src/TESTS/x.sql", true},
+		{"demo/x.sql", true},
+		{"examples/basic.sql", true},
+		{"contest/x.sql", true}, // substring match, as in the paper's SQL filter
+		{"migrations/001.sql", false},
+	}
+	for _, c := range cases {
+		if got := pathExcluded(c.path); got != c.want {
+			t.Errorf("pathExcluded(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestReduceToSingleDDL(t *testing.T) {
+	cases := []struct {
+		paths []string
+		want  string
+		ok    bool
+	}{
+		{[]string{"db/schema.sql"}, "db/schema.sql", true},
+		{[]string{"db/mysql/s.sql", "db/postgres/s.sql"}, "db/mysql/s.sql", true},
+		{[]string{"db/postgres/s.sql", "db/oracle/s.sql"}, "", false},
+		{[]string{"a.sql", "b.sql"}, "", false},                     // file-per-table
+		{[]string{"db/mysql/en.sql", "db/mysql/fr.sql"}, "", false}, // vendor×language
+		{[]string{"db/postgres/s.sql", "main.sql"}, "main.sql", true},
+	}
+	for _, c := range cases {
+		got, ok := reduceToSingleDDL(c.paths)
+		if got != c.want || ok != c.ok {
+			t.Errorf("reduceToSingleDDL(%v) = %q,%v want %q,%v", c.paths, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRunFiltersEachRejectionClass(t *testing.T) {
+	meta := []RepoMeta{
+		{Repo: "ok/one", URL: "https://github.com/ok/one", Stars: 3, Contributors: 2},
+		{Repo: "bad/fork", URL: "https://github.com/bad/fork", Fork: true, Stars: 3, Contributors: 2},
+		{Repo: "bad/stars", URL: "https://github.com/bad/stars", Stars: 0, Contributors: 2},
+		{Repo: "bad/solo", URL: "https://github.com/bad/solo", Stars: 3, Contributors: 1},
+		{Repo: "bad/url", URL: "https://elsewhere.com/bad/url", Stars: 3, Contributors: 2},
+		{Repo: "bad/testonly", URL: "https://github.com/bad/testonly", Stars: 3, Contributors: 2},
+	}
+	files := []FileRecord{
+		{"ok/one", "schema.sql"},
+		{"bad/fork", "schema.sql"},
+		{"bad/stars", "schema.sql"},
+		{"bad/solo", "schema.sql"},
+		{"bad/url", "schema.sql"},
+		{"bad/testonly", "test/schema.sql"},
+		{"bad/nometa", "schema.sql"},
+	}
+	f := Run(files, meta, nil)
+	if f.SQLCollectionRepos != 7 {
+		t.Errorf("SQLCollectionRepos = %d", f.SQLCollectionRepos)
+	}
+	if f.JoinedOriginal != 2 { // ok/one and bad/testonly pass metadata
+		t.Errorf("JoinedOriginal = %d, want 2", f.JoinedOriginal)
+	}
+	if f.AfterPathFilter != 1 || f.LibIoDataset != 1 {
+		t.Errorf("path/vendor stages = %d/%d, want 1/1", f.AfterPathFilter, f.LibIoDataset)
+	}
+	if f.StudySet != 1 || f.Survivors[0].Repo != "ok/one" {
+		t.Errorf("survivors = %+v", f.Survivors)
+	}
+}
+
+func TestRunDeterministicSurvivorOrder(t *testing.T) {
+	targets := Targets{SQLCollectionRepos: 50, LibIoDataset: 8, ZeroVersions: 1, NoCreateTable: 1, Rigid: 2, StudySet: 4}
+	files, meta, outcomes, err := GenerateDatasets(GenConfig{Seed: 3, Targets: targets, StudyRepos: studyNames(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run(files, meta, outcomes)
+	b := Run(files, meta, outcomes)
+	for i := range a.Survivors {
+		if a.Survivors[i].Repo != b.Survivors[i].Repo {
+			t.Fatal("survivor order not deterministic")
+		}
+	}
+	for i := 1; i < len(a.Survivors); i++ {
+		if a.Survivors[i-1].Repo > a.Survivors[i].Repo {
+			t.Fatal("survivors not sorted")
+		}
+	}
+}

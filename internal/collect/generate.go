@@ -1,0 +1,171 @@
+package collect
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Targets fixes the funnel's intermediate counts. DefaultTargets returns the
+// paper's numbers.
+type Targets struct {
+	SQLCollectionRepos int
+	LibIoDataset       int
+	ZeroVersions       int
+	NoCreateTable      int
+	Rigid              int
+	StudySet           int
+}
+
+// DefaultTargets returns the counts reported in §III.A.
+func DefaultTargets() Targets {
+	return Targets{
+		SQLCollectionRepos: 133029,
+		LibIoDataset:       365,
+		ZeroVersions:       14,
+		NoCreateTable:      24,
+		Rigid:              132,
+		StudySet:           195,
+	}
+}
+
+// Validate checks the funnel arithmetic (365 = 14 + 24 + 132 + 195).
+func (t Targets) Validate() error {
+	if t.LibIoDataset != t.ZeroVersions+t.NoCreateTable+t.Rigid+t.StudySet {
+		return fmt.Errorf("collect: targets inconsistent: %d ≠ %d+%d+%d+%d",
+			t.LibIoDataset, t.ZeroVersions, t.NoCreateTable, t.Rigid, t.StudySet)
+	}
+	if t.SQLCollectionRepos < t.LibIoDataset {
+		return fmt.Errorf("collect: SQL collection smaller than Lib-io dataset")
+	}
+	return nil
+}
+
+// GenConfig parameterises dataset synthesis.
+type GenConfig struct {
+	Seed    int64
+	Targets Targets
+	// StudyRepos names the repositories that must survive the whole funnel
+	// (typically the corpus project names); its length must equal
+	// Targets.StudySet.
+	StudyRepos []string
+	// RigidRepos optionally names the rigid survivors; auto-generated when
+	// nil.
+	RigidRepos []string
+}
+
+// GenerateDatasets synthesises the GitHub Activity and Libraries.io
+// datasets plus the clone outcomes such that Run reproduces the configured
+// funnel exactly. The rejected padding exercises every filter of the
+// pipeline: missing metadata, URL mismatches, forks, zero stars, single
+// contributors, excluded path terms, and irreducible multi-file layouts.
+func GenerateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error) {
+	t := cfg.Targets
+	if err := t.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(cfg.StudyRepos) != t.StudySet {
+		return nil, nil, nil, fmt.Errorf("collect: %d study repos provided, targets want %d",
+			len(cfg.StudyRepos), t.StudySet)
+	}
+	rigid := cfg.RigidRepos
+	if rigid == nil {
+		for i := 0; i < t.Rigid; i++ {
+			rigid = append(rigid, fmt.Sprintf("rigid-org/rigid_%03d", i))
+		}
+	}
+	if len(rigid) != t.Rigid {
+		return nil, nil, nil, fmt.Errorf("collect: %d rigid repos provided, targets want %d", len(rigid), t.Rigid)
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var files []FileRecord
+	var meta []RepoMeta
+	outcomes := Outcomes{}
+
+	goodMeta := func(repo string) RepoMeta {
+		return RepoMeta{
+			Repo:         repo,
+			URL:          "https://github.com/" + repo,
+			Fork:         false,
+			Stars:        1 + r.Intn(5000),
+			Contributors: 2 + r.Intn(80),
+		}
+	}
+	// addGood emits a repo that survives through the Lib-io stage. A third
+	// of them use a multi-vendor layout reduced to MySQL.
+	addGood := func(repo string) {
+		meta = append(meta, goodMeta(repo))
+		if r.Intn(3) == 0 {
+			files = append(files,
+				FileRecord{repo, "db/mysql/schema.sql"},
+				FileRecord{repo, "db/postgres/schema.sql"},
+				FileRecord{repo, "db/mssql/schema.sql"},
+			)
+		} else {
+			files = append(files, FileRecord{repo, "db/schema.sql"})
+		}
+	}
+
+	for _, repo := range cfg.StudyRepos {
+		addGood(repo)
+		outcomes[repo] = Candidate{Outcome: CloneOK, Rigid: false}
+	}
+	for _, repo := range rigid {
+		addGood(repo)
+		outcomes[repo] = Candidate{Outcome: CloneOK, Rigid: true}
+	}
+	for i := 0; i < t.ZeroVersions; i++ {
+		repo := fmt.Sprintf("ghost-org/gone_%03d", i)
+		addGood(repo)
+		outcomes[repo] = Candidate{Outcome: CloneZeroVersions}
+	}
+	for i := 0; i < t.NoCreateTable; i++ {
+		repo := fmt.Sprintf("noddl-org/datafile_%03d", i)
+		addGood(repo)
+		outcomes[repo] = Candidate{Outcome: CloneNoCreateTable}
+	}
+
+	// Rejected padding up to the SQL-Collection size.
+	pad := t.SQLCollectionRepos - t.LibIoDataset
+	for i := 0; i < pad; i++ {
+		repo := fmt.Sprintf("pad-org/repo_%06d", i)
+		switch r.Intn(7) {
+		case 0: // not monitored by Libraries.io
+			files = append(files, FileRecord{repo, "schema.sql"})
+		case 1: // fork
+			m := goodMeta(repo)
+			m.Fork = true
+			meta = append(meta, m)
+			files = append(files, FileRecord{repo, "schema.sql"})
+		case 2: // zero stars
+			m := goodMeta(repo)
+			m.Stars = 0
+			meta = append(meta, m)
+			files = append(files, FileRecord{repo, "schema.sql"})
+		case 3: // single contributor
+			m := goodMeta(repo)
+			m.Contributors = 1
+			meta = append(meta, m)
+			files = append(files, FileRecord{repo, "schema.sql"})
+		case 4: // only test/demo/example files
+			meta = append(meta, goodMeta(repo))
+			files = append(files,
+				FileRecord{repo, "test/fixtures/schema.sql"},
+				FileRecord{repo, "examples/demo.sql"},
+			)
+		case 5: // irreducible multi-file layout (file per table)
+			meta = append(meta, goodMeta(repo))
+			files = append(files,
+				FileRecord{repo, "tables/users.sql"},
+				FileRecord{repo, "tables/orders.sql"},
+				FileRecord{repo, "tables/items.sql"},
+			)
+		default: // URL join mismatch (moved/renamed project)
+			m := goodMeta(repo)
+			m.URL = "https://gitlab.com/" + repo
+			meta = append(meta, m)
+			files = append(files, FileRecord{repo, "schema.sql"})
+		}
+	}
+	return files, meta, outcomes, nil
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/history"
+)
+
+// mkHistory builds a history from SQL versions spaced 10 days apart.
+func mkHistory(t *testing.T, versions ...string) *history.Analysis {
+	t.Helper()
+	h := &history.History{Project: "p", Path: "s.sql"}
+	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i, sql := range versions {
+		h.Versions = append(h.Versions, history.Version{ID: i, When: base.AddDate(0, 0, i*10), SQL: sql})
+	}
+	h.ProjectStart = base.AddDate(0, -2, 0)
+	h.ProjectEnd = base.AddDate(0, 0, len(versions)*10+60)
+	h.ProjectCommits = len(versions) * 20
+	a, err := history.Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMeasureBasics(t *testing.T) {
+	a := mkHistory(t,
+		"CREATE TABLE t (a INT);",
+		"CREATE TABLE t (a INT, b INT, c INT);", // +2 injected
+		"CREATE TABLE t (a INT, b INT, c INT);", // non-active (identical)
+		"CREATE TABLE t (a BIGINT, b INT);",     // 1 type change + 1 ejected
+	)
+	m := Measure(a, DefaultReedLimit)
+	if m.Commits != 4 {
+		t.Errorf("Commits = %d, want 4", m.Commits)
+	}
+	if m.ActiveCommits != 2 {
+		t.Errorf("ActiveCommits = %d, want 2", m.ActiveCommits)
+	}
+	if m.Expansion != 2 || m.Maintenance != 2 {
+		t.Errorf("Expansion/Maintenance = %d/%d, want 2/2", m.Expansion, m.Maintenance)
+	}
+	if m.TotalActivity != 4 {
+		t.Errorf("TotalActivity = %d", m.TotalActivity)
+	}
+	if m.Reeds != 0 || m.Turf != 2 {
+		t.Errorf("Reeds/Turf = %d/%d, want 0/2", m.Reeds, m.Turf)
+	}
+	if m.TablesStart != 1 || m.TablesEnd != 1 {
+		t.Errorf("Tables %d→%d", m.TablesStart, m.TablesEnd)
+	}
+	if m.AttrsStart != 1 || m.AttrsEnd != 2 {
+		t.Errorf("Attrs %d→%d", m.AttrsStart, m.AttrsEnd)
+	}
+	if m.SUPMonths != 1 { // 30 days ≈ 1 month floor
+		t.Errorf("SUPMonths = %d, want 1", m.SUPMonths)
+	}
+	if m.PUPMonths < 3 {
+		t.Errorf("PUPMonths = %d, want ≥ 3", m.PUPMonths)
+	}
+	if m.DDLShare != 4.0/80 {
+		t.Errorf("DDLShare = %v", m.DDLShare)
+	}
+	if len(m.Heartbeat) != 3 {
+		t.Fatalf("heartbeat length = %d", len(m.Heartbeat))
+	}
+	if m.Heartbeat[0].Expansion != 2 || m.Heartbeat[0].Activity() != 2 {
+		t.Errorf("beat 0 = %+v", m.Heartbeat[0])
+	}
+}
+
+func TestMeasureReedDetection(t *testing.T) {
+	// Build a transition with 20 injected attributes: a reed.
+	big := "CREATE TABLE t (a INT"
+	for i := 0; i < 20; i++ {
+		big += fmt.Sprintf(", x%d INT", i)
+	}
+	big += ");"
+	a := mkHistory(t, "CREATE TABLE t (a INT);", big)
+	m := Measure(a, DefaultReedLimit)
+	if m.Reeds != 1 || m.Turf != 0 {
+		t.Errorf("Reeds/Turf = %d/%d, want 1/0", m.Reeds, m.Turf)
+	}
+	// Activity exactly at the limit is turf ("strictly higher than 14").
+	exact := "CREATE TABLE t (a INT"
+	for i := 0; i < DefaultReedLimit; i++ {
+		exact += fmt.Sprintf(", y%d INT", i)
+	}
+	exact += ");"
+	a2 := mkHistory(t, "CREATE TABLE t (a INT);", exact)
+	m2 := Measure(a2, DefaultReedLimit)
+	if m2.Reeds != 0 || m2.Turf != 1 {
+		t.Errorf("boundary: Reeds/Turf = %d/%d, want 0/1", m2.Reeds, m2.Turf)
+	}
+}
+
+func TestMeasureTableBirthsAndDeaths(t *testing.T) {
+	a := mkHistory(t,
+		"CREATE TABLE a (x INT);",
+		"CREATE TABLE a (x INT); CREATE TABLE b (y INT);",
+		"CREATE TABLE b (y INT);",
+	)
+	m := Measure(a, DefaultReedLimit)
+	if m.TableInsertions != 1 || m.TableDeletions != 1 {
+		t.Errorf("Insertions/Deletions = %d/%d", m.TableInsertions, m.TableDeletions)
+	}
+}
+
+func taxonOf(commits, active, reeds, activity int) Taxon {
+	return Classify(Measures{
+		Commits:       commits,
+		ActiveCommits: active,
+		Reeds:         reeds,
+		Turf:          active - reeds,
+		TotalActivity: activity,
+	})
+}
+
+func TestClassifyTree(t *testing.T) {
+	cases := []struct {
+		name                             string
+		commits, active, reeds, activity int
+		want                             Taxon
+	}{
+		{"single commit", 1, 0, 0, 0, HistoryLess},
+		{"frozen", 5, 0, 0, 0, Frozen},
+		{"almost frozen typical", 3, 1, 0, 3, AlmostFrozen},
+		{"almost frozen boundary", 13, 3, 0, 10, AlmostFrozen},
+		{"fshot frozen just over", 4, 3, 0, 11, FocusedShotFrozen},
+		{"fshot frozen single reed", 2, 1, 1, 383, FocusedShotFrozen},
+		{"moderate typical", 10, 7, 0, 23, Moderate},
+		{"moderate min", 5, 4, 0, 11, Moderate},
+		{"moderate with high active no reeds", 43, 22, 0, 88, Moderate},
+		{"fsl typical", 10, 6, 1, 71, FocusedShotLow},
+		{"fsl two reeds", 19, 10, 2, 315, FocusedShotLow},
+		{"fsl lower bound", 7, 4, 1, 27, FocusedShotLow},
+		{"active typical", 36, 22, 5, 254, Active},
+		// 7 active commits with 3 reeds escapes the FSL reed range → Active
+		// even at the Active taxon's minimum activity.
+		{"active min activecommits", 9, 7, 3, 112, Active},
+		{"active many", 516, 232, 31, 3485, Active},
+		{"moderate 11 active 2 reeds low act", 15, 11, 2, 60, Moderate},
+	}
+	for _, c := range cases {
+		got := taxonOf(c.commits, c.active, c.reeds, c.activity)
+		if got != c.want {
+			t.Errorf("%s: Classify(commits=%d active=%d reeds=%d activity=%d) = %v, want %v",
+				c.name, c.commits, c.active, c.reeds, c.activity, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCompletenessProperty(t *testing.T) {
+	// Every syntactically consistent measure combination lands in exactly
+	// one taxon (completeness of the tree).
+	f := func(commits uint8, active uint8, reeds uint8, activity uint16) bool {
+		c := int(commits)
+		a := int(active)
+		r := int(reeds)
+		act := int(activity)
+		if c < 1 {
+			c = 1
+		}
+		if a > c-1 {
+			a = c - 1
+		}
+		if a < 0 {
+			a = 0
+		}
+		if r > a {
+			r = a
+		}
+		if a == 0 {
+			act = 0
+		} else if act < a { // each active commit changes ≥1 attribute
+			act = a
+		}
+		taxon := taxonOf(c, a, r, act)
+		return taxon >= HistoryLess && taxon <= Active
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyDisjointnessViaFig4Ranges(t *testing.T) {
+	// The Fig. 4 per-taxon min/max ranges must classify back into their own
+	// taxon at the corners that are well-defined.
+	corners := []struct {
+		active, reeds, activity int
+		want                    Taxon
+	}{
+		{0, 0, 0, Frozen},
+		{1, 0, 1, AlmostFrozen},
+		{3, 0, 10, AlmostFrozen},
+		{1, 1, 23, FocusedShotFrozen},
+		{3, 1, 383, FocusedShotFrozen},
+		{4, 0, 11, Moderate},
+		{22, 2, 88, Moderate},
+		{4, 1, 27, FocusedShotLow},
+		{10, 2, 315, FocusedShotLow},
+		{22, 5, 254, Active},
+		{232, 31, 3485, Active},
+	}
+	for _, c := range corners {
+		commits := c.active + 1
+		if got := taxonOf(commits+3, c.active, c.reeds, c.activity); got != c.want {
+			t.Errorf("corner (active=%d reeds=%d activity=%d) = %v, want %v",
+				c.active, c.reeds, c.activity, got, c.want)
+		}
+	}
+}
+
+func TestDeriveReedLimit(t *testing.T) {
+	// 20 single-active-commit projects with power-law-ish activities whose
+	// 85th percentile sits near 14.
+	var corpus []Measures
+	activities := []int{1, 1, 1, 2, 2, 2, 3, 3, 4, 4, 5, 6, 7, 8, 9, 11, 13, 14, 40, 120}
+	for i, act := range activities {
+		corpus = append(corpus, Measures{
+			Project: fmt.Sprintf("p%d", i), Commits: 2,
+			ActiveCommits: 1, TotalActivity: act,
+		})
+	}
+	// Add multi-active-commit noise that must be ignored.
+	corpus = append(corpus, Measures{Commits: 50, ActiveCommits: 30, TotalActivity: 5000})
+	got := DeriveReedLimit(corpus)
+	if got < 12 || got > 17 {
+		t.Errorf("DeriveReedLimit = %d, want near 14", got)
+	}
+}
+
+func TestDeriveReedLimitEmptyCorpus(t *testing.T) {
+	if got := DeriveReedLimit(nil); got != DefaultReedLimit {
+		t.Errorf("empty corpus limit = %d, want default", got)
+	}
+	if got := DeriveReedLimit([]Measures{{ActiveCommits: 5}}); got != DefaultReedLimit {
+		t.Errorf("no single-active corpus limit = %d, want default", got)
+	}
+}
+
+func TestByTaxon(t *testing.T) {
+	corpus := []Measures{
+		{Commits: 1},
+		{Commits: 4, ActiveCommits: 0},
+		{Commits: 4, ActiveCommits: 2, TotalActivity: 5},
+		{Commits: 4, ActiveCommits: 2, TotalActivity: 50},
+		{Commits: 12, ActiveCommits: 7, TotalActivity: 30},
+		{Commits: 12, ActiveCommits: 7, Reeds: 1, TotalActivity: 80},
+		{Commits: 40, ActiveCommits: 25, Reeds: 5, TotalActivity: 400},
+	}
+	parts := ByTaxon(corpus)
+	wantCounts := map[Taxon]int{
+		HistoryLess: 1, Frozen: 1, AlmostFrozen: 1, FocusedShotFrozen: 1,
+		Moderate: 1, FocusedShotLow: 1, Active: 1,
+	}
+	for taxon, want := range wantCounts {
+		if got := len(parts[taxon]); got != want {
+			t.Errorf("taxon %v: %d projects, want %d", taxon, got, want)
+		}
+	}
+}
+
+func TestTaxonStringsAndParse(t *testing.T) {
+	for _, taxon := range append([]Taxon{HistoryLess}, Taxa...) {
+		if taxon.String() == "Unknown" || taxon.Short() == "?" || taxon.Definition() == "" {
+			t.Errorf("taxon %d missing labels", taxon)
+		}
+		if got, ok := ParseTaxon(taxon.String()); !ok || got != taxon {
+			t.Errorf("ParseTaxon(%q) = %v, %v", taxon.String(), got, ok)
+		}
+		if got, ok := ParseTaxon(taxon.Short()); !ok || got != taxon {
+			t.Errorf("ParseTaxon(%q) = %v, %v", taxon.Short(), got, ok)
+		}
+	}
+	if _, ok := ParseTaxon("nope"); ok {
+		t.Error("ParseTaxon accepted garbage")
+	}
+}
+
+func TestHeartbeatIdentity(t *testing.T) {
+	// TotalActivity must equal the sum over the heartbeat, and
+	// ActiveCommits = Reeds + Turf.
+	a := mkHistory(t,
+		"CREATE TABLE a (x INT);",
+		"CREATE TABLE a (x INT, y INT); CREATE TABLE b (p INT, q INT, r INT);",
+		"CREATE TABLE a (x INT, y INT);",
+		"CREATE TABLE a (x TEXT, y INT);",
+	)
+	m := Measure(a, DefaultReedLimit)
+	sum := 0
+	for _, b := range m.Heartbeat {
+		sum += b.Activity()
+	}
+	if sum != m.TotalActivity {
+		t.Errorf("heartbeat sum %d != TotalActivity %d", sum, m.TotalActivity)
+	}
+	if m.Reeds+m.Turf != m.ActiveCommits {
+		t.Errorf("Reeds+Turf = %d, ActiveCommits = %d", m.Reeds+m.Turf, m.ActiveCommits)
+	}
+}
+
+func TestMonthsSpan(t *testing.T) {
+	if got := monthsSpan(0); got != 0 {
+		t.Errorf("monthsSpan(0) = %d", got)
+	}
+	if got := monthsSpan(24 * time.Hour); got != 1 {
+		t.Errorf("monthsSpan(1d) = %d, want 1", got)
+	}
+	if got := monthsSpan(100 * 30 * 24 * time.Hour); got < 96 || got > 100 {
+		t.Errorf("monthsSpan(100×30d) = %d", got)
+	}
+}
+
+func TestFrozenHistoryMeasures(t *testing.T) {
+	// Multiple versions, only comment changes: Frozen taxon.
+	a := mkHistory(t,
+		"CREATE TABLE t (id INT);",
+		"CREATE TABLE t (id INT); -- touched",
+		"CREATE TABLE t (id INT); -- touched again",
+	)
+	m := Measure(a, DefaultReedLimit)
+	if m.ActiveCommits != 0 || m.TotalActivity != 0 {
+		t.Fatalf("frozen project measured active=%d activity=%d", m.ActiveCommits, m.TotalActivity)
+	}
+	if Classify(m) != Frozen {
+		t.Fatalf("Classify = %v, want Frozen", Classify(m))
+	}
+}
+
+func TestShapeOf(t *testing.T) {
+	cases := []struct {
+		name     string
+		versions []string
+		want     Shape
+	}{
+		{"flat", []string{
+			"CREATE TABLE t (a INT);",
+			"CREATE TABLE t (a INT, b INT);",
+		}, FlatLine},
+		{"single step", []string{
+			"CREATE TABLE t (a INT);",
+			"CREATE TABLE t (a INT); CREATE TABLE u (x INT);",
+		}, SingleStepUp},
+		{"multi step", []string{
+			"CREATE TABLE t (a INT);",
+			"CREATE TABLE t (a INT); CREATE TABLE u (x INT);",
+			"CREATE TABLE t (a INT); CREATE TABLE u (x INT); CREATE TABLE v (y INT);",
+		}, MultiStepRise},
+		{"drop", []string{
+			"CREATE TABLE t (a INT); CREATE TABLE u (x INT);",
+			"CREATE TABLE t (a INT);",
+		}, DroppingLine},
+		{"net drop with growth", []string{
+			"CREATE TABLE a (x INT); CREATE TABLE b (x INT); CREATE TABLE c (x INT);",
+			"CREATE TABLE a (x INT); CREATE TABLE b (x INT); CREATE TABLE c (x INT); CREATE TABLE d (x INT);",
+			"CREATE TABLE a (x INT);",
+		}, DroppingLine},
+		{"turbulent", []string{
+			"CREATE TABLE a (x INT);",
+			"CREATE TABLE a (x INT); CREATE TABLE b (x INT);",
+			"CREATE TABLE a (x INT);",
+			"CREATE TABLE a (x INT); CREATE TABLE c (x INT);",
+			"CREATE TABLE a (x INT); CREATE TABLE d (x INT);",
+		}, TurbulentLine},
+	}
+	for _, c := range cases {
+		a := mkHistory(t, c.versions...)
+		if got := ShapeOf(a); got != c.want {
+			t.Errorf("%s: ShapeOf = %v, want %v", c.name, got, c.want)
+		}
+	}
+	for _, s := range []Shape{FlatLine, SingleStepUp, MultiStepRise, DroppingLine, TurbulentLine} {
+		if s.String() == "?" {
+			t.Errorf("shape %d unlabeled", s)
+		}
+	}
+}

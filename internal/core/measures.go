@@ -1,0 +1,177 @@
+// Package core implements the paper's primary contribution: the measurement
+// nomenclature of schema evolution (heartbeat, expansion, maintenance,
+// activity, active commits, reeds and turf, SUP/PUP), the derivation of the
+// reed limit, and the rule-based classification of projects into taxa of
+// evolutionary behaviour.
+package core
+
+import (
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/stats"
+)
+
+// DefaultReedLimit is the activity threshold above which a commit is a
+// "reed". The paper derives 14 by taking all single-active-commit projects,
+// sorting them by activity (a power-law-like distribution) and splitting at
+// the 85% limit; DeriveReedLimit reproduces the derivation over a corpus.
+const DefaultReedLimit = 14
+
+// ReedPercentile is the split point of the reed-limit derivation.
+const ReedPercentile = 85.0
+
+// Beat is one element of the heartbeat H = {cᵢ(eᵢ, mᵢ)}: the expansion and
+// maintenance of one commit to the schema file.
+type Beat struct {
+	// TransitionID is the sequential id of the commit (1-based: the paper's
+	// heartbeat charts plot transition ids, V0 having no beat).
+	TransitionID int
+	When         time.Time
+	Expansion    int
+	Maintenance  int
+}
+
+// Activity is the beat's total activity.
+func (b Beat) Activity() int { return b.Expansion + b.Maintenance }
+
+// Measures summarises one project's schema evolution — every quantity of the
+// paper's Fig. 4 plus the duration context of §IV.
+type Measures struct {
+	Project string
+
+	// Commits is the number of commits of the DDL file (versions in the
+	// history, including V0).
+	Commits int
+	// ActiveCommits is the number of commits whose sum of updates exceeds
+	// zero.
+	ActiveCommits int
+
+	// Expansion, Maintenance and TotalActivity in affected attributes.
+	Expansion     int
+	Maintenance   int
+	TotalActivity int
+
+	// Reeds are active commits with activity strictly above the reed limit;
+	// Turf are the remaining active commits.
+	Reeds int
+	Turf  int
+
+	TableInsertions int
+	TableDeletions  int
+	TablesStart     int
+	TablesEnd       int
+	AttrsStart      int
+	AttrsEnd        int
+
+	// SUPMonths is the Schema Update Period in months (minimum 1 for any
+	// history with ≥2 commits, matching the paper's reporting granularity).
+	SUPMonths int
+	// PUPMonths is the Project Update Period in months.
+	PUPMonths int
+	// DDLShare is the fraction of project commits that touch the DDL file.
+	DDLShare float64
+
+	// Foreign-key usage (extension for the paper's "open paths": the
+	// treatment of constraints, ref [12]). FK churn never contributes to
+	// Expansion, Maintenance or TotalActivity.
+	FKsStart  int
+	FKsEnd    int
+	FKAdded   int
+	FKRemoved int
+
+	// Heartbeat is the per-commit (expansion, maintenance) sequence.
+	Heartbeat []Beat
+}
+
+// monthsSpan converts a duration to the paper's month unit: a floor division
+// by the mean month length, with any non-empty span counting as ≥ 1.
+func monthsSpan(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	meanMonth := time.Duration(30.4375 * 24 * float64(time.Hour))
+	m := int(d / meanMonth)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Measure computes all measures of an analyzed history, using the given reed
+// limit (pass DefaultReedLimit outside calibration runs).
+func Measure(a *history.Analysis, reedLimit int) Measures {
+	h := a.History
+	m := Measures{
+		Project: h.Project,
+		Commits: len(h.Versions),
+	}
+	if len(a.Schemas) > 0 {
+		first, last := a.Schemas[0], a.Schemas[len(a.Schemas)-1]
+		m.TablesStart = first.NumTables()
+		m.TablesEnd = last.NumTables()
+		m.AttrsStart = first.NumColumns()
+		m.AttrsEnd = last.NumColumns()
+		m.FKsStart = first.NumForeignKeys()
+		m.FKsEnd = last.NumForeignKeys()
+	}
+	for _, tr := range a.Transitions {
+		beat := Beat{
+			TransitionID: tr.ToID,
+			When:         tr.When,
+			Expansion:    tr.Delta.Expansion(),
+			Maintenance:  tr.Delta.Maintenance(),
+		}
+		m.Heartbeat = append(m.Heartbeat, beat)
+		m.Expansion += beat.Expansion
+		m.Maintenance += beat.Maintenance
+		m.TableInsertions += len(tr.Delta.TablesInserted)
+		m.TableDeletions += len(tr.Delta.TablesDeleted)
+		m.FKAdded += tr.Delta.FKAdded
+		m.FKRemoved += tr.Delta.FKRemoved
+		if beat.Activity() > 0 {
+			m.ActiveCommits++
+			if beat.Activity() > reedLimit {
+				m.Reeds++
+			} else {
+				m.Turf++
+			}
+		}
+	}
+	m.TotalActivity = m.Expansion + m.Maintenance
+	m.SUPMonths = monthsSpan(h.SchemaUpdatePeriod())
+	if m.Commits >= 2 && m.SUPMonths == 0 {
+		m.SUPMonths = 1
+	}
+	m.PUPMonths = monthsSpan(h.ProjectUpdatePeriod())
+	if h.ProjectCommits > 0 {
+		m.DDLShare = float64(m.Commits) / float64(h.ProjectCommits)
+	}
+	return m
+}
+
+// DeriveReedLimit reproduces the paper's reed-limit derivation over a
+// corpus: the 85th percentile of total activity over the projects with
+// exactly one active commit, rounded to the nearest attribute. It returns
+// DefaultReedLimit when the corpus has no single-active-commit projects.
+//
+// The measures passed in may have been computed with any reed limit — the
+// derivation uses only ActiveCommits and TotalActivity, which are
+// limit-independent.
+func DeriveReedLimit(corpus []Measures) int {
+	var acts []float64
+	for _, m := range corpus {
+		if m.ActiveCommits == 1 {
+			acts = append(acts, float64(m.TotalActivity))
+		}
+	}
+	if len(acts) == 0 {
+		return DefaultReedLimit
+	}
+	p := stats.Percentile(acts, ReedPercentile)
+	limit := int(p + 0.5)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}

@@ -1,0 +1,248 @@
+package core
+
+import "github.com/schemaevo/schemaevo/internal/history"
+
+// Taxon is a family of schema-evolution behaviour (Fig. 3 / Table I of the
+// paper).
+type Taxon int
+
+// The taxa, in the paper's presentation order.
+const (
+	// HistoryLess: only one commit of the .sql file; excluded from the
+	// study for lack of transitions.
+	HistoryLess Taxon = iota
+	// Frozen: a real history but zero active commits and zero activity.
+	Frozen
+	// AlmostFrozen: at most 3 active commits, activity ≤ 10 attributes.
+	AlmostFrozen
+	// FocusedShotFrozen: at most 3 active commits, activity > 10 —
+	// change focused in (almost) a single shot.
+	FocusedShotFrozen
+	// Moderate: none of the focused/frozen rules, activity < 90.
+	Moderate
+	// FocusedShotLow: 4–10 active commits with 1–2 reeds.
+	FocusedShotLow
+	// Active: none of the rest; activity ≥ 90, frequent heartbeat.
+	Active
+)
+
+// Taxa lists the six studied taxa (HistoryLess excluded) in canonical order.
+var Taxa = []Taxon{Frozen, AlmostFrozen, FocusedShotFrozen, Moderate, FocusedShotLow, Active}
+
+// NonFrozenTaxa lists the taxa included in the Kruskal–Wallis validation:
+// the paper excludes the totally frozen taxon, a degenerate special case.
+var NonFrozenTaxa = []Taxon{AlmostFrozen, FocusedShotFrozen, Moderate, FocusedShotLow, Active}
+
+func (t Taxon) String() string {
+	switch t {
+	case HistoryLess:
+		return "History-less"
+	case Frozen:
+		return "Frozen"
+	case AlmostFrozen:
+		return "Almost Frozen"
+	case FocusedShotFrozen:
+		return "Focused Shot & Frozen"
+	case Moderate:
+		return "Moderate"
+	case FocusedShotLow:
+		return "Focused Shot & Low"
+	case Active:
+		return "Active"
+	}
+	return "Unknown"
+}
+
+// Short returns the compact label used in the paper's matrix figures.
+func (t Taxon) Short() string {
+	switch t {
+	case HistoryLess:
+		return "Hless"
+	case Frozen:
+		return "Frozen"
+	case AlmostFrozen:
+		return "Alm. Frozen"
+	case FocusedShotFrozen:
+		return "FShot+Frozen"
+	case Moderate:
+		return "Moderate"
+	case FocusedShotLow:
+		return "FShot+Low"
+	case Active:
+		return "Active"
+	}
+	return "?"
+}
+
+// Definition returns the rule-based definition from Table I.
+func (t Taxon) Definition() string {
+	switch t {
+	case HistoryLess:
+		return "Only 1 commit of the .sql file (not studied: no transitions)"
+	case Frozen:
+		return "With history, but total activity of 0 changes & 0 active commits"
+	case AlmostFrozen:
+		return "At most 3 active commits, change ≤ 10 updated attributes"
+	case FocusedShotFrozen:
+		return "At most 3 active commits, change > 10 updated attributes"
+	case Moderate:
+		return "None of the rest, total change < 90 updated attributes"
+	case FocusedShotLow:
+		return "Between 4 and 10 active commits, 1–2 reeds"
+	case Active:
+		return "None of the rest, total change ≥ 90 updated attributes"
+	}
+	return ""
+}
+
+// ClassifierThresholds parameterises the classification tree; the zero value
+// must not be used — call DefaultThresholds. Exposed so the ablation
+// benchmarks can sweep the reed percentile and activity cut-offs.
+type ClassifierThresholds struct {
+	// FrozenActiveMax is the most active commits an (Almost) Frozen or
+	// Focused Shot & Frozen project may have (paper: 3).
+	FrozenActiveMax int
+	// AlmostFrozenActivityMax is the most attributes an Almost Frozen
+	// project may change (paper: 10).
+	AlmostFrozenActivityMax int
+	// FSLActiveMin/Max bound the Focused Shot & Low heartbeat (paper: 4–10).
+	FSLActiveMin, FSLActiveMax int
+	// FSLReedsMin/Max bound its reed count (paper: 1–2).
+	FSLReedsMin, FSLReedsMax int
+	// ModerateActivityMax separates Moderate from Active (paper: 90).
+	ModerateActivityMax int
+}
+
+// DefaultThresholds returns the paper's published thresholds.
+func DefaultThresholds() ClassifierThresholds {
+	return ClassifierThresholds{
+		FrozenActiveMax:         3,
+		AlmostFrozenActivityMax: 10,
+		FSLActiveMin:            4,
+		FSLActiveMax:            10,
+		FSLReedsMin:             1,
+		FSLReedsMax:             2,
+		ModerateActivityMax:     90,
+	}
+}
+
+// Classify assigns a project to its taxon using the paper's thresholds.
+func Classify(m Measures) Taxon {
+	return ClassifyWith(m, DefaultThresholds())
+}
+
+// ClassifyWith runs the classification tree of Fig. 3 with custom
+// thresholds. The rules are evaluated top-down and are mutually exclusive by
+// construction (§V, Disjointness).
+func ClassifyWith(m Measures, th ClassifierThresholds) Taxon {
+	switch {
+	case m.Commits <= 1:
+		return HistoryLess
+	case m.ActiveCommits == 0:
+		return Frozen
+	case m.ActiveCommits <= th.FrozenActiveMax:
+		if m.TotalActivity <= th.AlmostFrozenActivityMax {
+			return AlmostFrozen
+		}
+		return FocusedShotFrozen
+	case m.ActiveCommits >= th.FSLActiveMin && m.ActiveCommits <= th.FSLActiveMax &&
+		m.Reeds >= th.FSLReedsMin && m.Reeds <= th.FSLReedsMax:
+		return FocusedShotLow
+	case m.TotalActivity < th.ModerateActivityMax:
+		return Moderate
+	default:
+		return Active
+	}
+}
+
+// ByTaxon partitions a corpus into its taxa.
+func ByTaxon(corpus []Measures) map[Taxon][]Measures {
+	out := make(map[Taxon][]Measures)
+	for _, m := range corpus {
+		t := Classify(m)
+		out[t] = append(out[t], m)
+	}
+	return out
+}
+
+// Shape classifies the schema-size line of a project — the qualitative
+// descriptions the paper attaches to each taxon ("flat line", "single
+// step-up", "rise", "turbulent or dropping schema lines").
+type Shape int
+
+// Schema-line shapes.
+const (
+	// FlatLine: the table count never changes.
+	FlatLine Shape = iota
+	// SingleStepUp: exactly one growth step, no shrinking steps.
+	SingleStepUp
+	// MultiStepRise: several growth steps, no shrinking steps.
+	MultiStepRise
+	// DroppingLine: the line shrinks on net (possibly with some growth).
+	DroppingLine
+	// TurbulentLine: both growth and shrinking steps, non-negative net.
+	TurbulentLine
+)
+
+func (s Shape) String() string {
+	switch s {
+	case FlatLine:
+		return "flat"
+	case SingleStepUp:
+		return "single step-up"
+	case MultiStepRise:
+		return "rise"
+	case DroppingLine:
+		return "drop"
+	case TurbulentLine:
+		return "turbulent"
+	}
+	return "?"
+}
+
+// ShapeOf classifies the schema line from the analyzed history's
+// per-transition table counts.
+func ShapeOf(a *history.Analysis) Shape {
+	up, down := 0, 0
+	for _, tr := range a.Transitions {
+		if tr.TablesAfter > tr.TablesBefore {
+			up++
+		} else if tr.TablesAfter < tr.TablesBefore {
+			down++
+		}
+	}
+	switch {
+	case up == 0 && down == 0:
+		return FlatLine
+	case down == 0 && up == 1:
+		return SingleStepUp
+	case down == 0:
+		return MultiStepRise
+	case up == 0:
+		return DroppingLine
+	default:
+		if len(a.Schemas) > 0 &&
+			a.Schemas[len(a.Schemas)-1].NumTables() < a.Schemas[0].NumTables() {
+			return DroppingLine
+		}
+		// The paper reads a growing line with occasional dips as a rise
+		// ("the schema is being augmented over time", Fig. 9); reserve
+		// "turbulent" for histories where shrinking steps are a substantial
+		// share of the movement.
+		if down*3 <= up {
+			return MultiStepRise
+		}
+		return TurbulentLine
+	}
+}
+
+// ParseTaxon resolves a label (long or short form, case-sensitive) to its
+// taxon, reporting success.
+func ParseTaxon(s string) (Taxon, bool) {
+	for _, t := range append([]Taxon{HistoryLess}, Taxa...) {
+		if t.String() == s || t.Short() == s {
+			return t, true
+		}
+	}
+	return 0, false
+}

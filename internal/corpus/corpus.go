@@ -1,0 +1,259 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/gitstore"
+	"github.com/schemaevo/schemaevo/internal/history"
+)
+
+// Project is one synthetic FOSS project: its intended taxon, the sampled
+// spec, and the materialised schema history.
+type Project struct {
+	Name     string
+	Intended core.Taxon
+	Spec     Spec
+	Hist     *history.History
+}
+
+// Config parameterises corpus generation.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical corpora.
+	Seed int64
+	// Counts sets the population per taxon; nil means DefaultCounts.
+	Counts map[core.Taxon]int
+	// BaseYear anchors project start dates (default 2012, matching the
+	// study's observation window ending in 2019).
+	BaseYear int
+}
+
+// DefaultCounts reproduces the paper's population: 327 cloned repositories,
+// of which 132 are history-less, leaving the 195-project study set.
+func DefaultCounts() map[core.Taxon]int {
+	return map[core.Taxon]int{
+		core.HistoryLess:       132,
+		core.Frozen:            34,
+		core.AlmostFrozen:      65,
+		core.FocusedShotFrozen: 25,
+		core.Moderate:          29,
+		core.FocusedShotLow:    20,
+		core.Active:            22,
+	}
+}
+
+// Generate builds the full corpus deterministically from cfg.Seed. Projects
+// are returned in a stable order (taxon-major, then index).
+func Generate(cfg Config) []*Project {
+	counts := cfg.Counts
+	if counts == nil {
+		counts = DefaultCounts()
+	}
+	baseYear := cfg.BaseYear
+	if baseYear == 0 {
+		baseYear = 2012
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	var out []*Project
+	order := append([]core.Taxon{core.HistoryLess}, core.Taxa...)
+	for _, taxon := range order {
+		n := counts[taxon]
+		for i := 0; i < n; i++ {
+			r := rand.New(rand.NewSource(master.Int63()))
+			name := fmt.Sprintf("%s_%03d", taxonSlug(taxon), i)
+			spec := Plan(taxon, r)
+			out = append(out, Build(name, spec, r, baseYear))
+		}
+	}
+	return out
+}
+
+func taxonSlug(t core.Taxon) string {
+	switch t {
+	case core.HistoryLess:
+		return "hless"
+	case core.Frozen:
+		return "frozen"
+	case core.AlmostFrozen:
+		return "almostfrozen"
+	case core.FocusedShotFrozen:
+		return "fsfrozen"
+	case core.Moderate:
+		return "moderate"
+	case core.FocusedShotLow:
+		return "fslow"
+	case core.Active:
+		return "active"
+	}
+	return "unknown"
+}
+
+const dayHours = 24
+
+// Build materialises a spec into a schema history: an initial schema plus
+// one rendered DDL version per planned commit.
+func Build(name string, spec Spec, r *rand.Rand, baseYear int) *Project {
+	sim := newSimulator(r)
+	// V0 schema.
+	for i := 0; i < spec.TablesStart; i++ {
+		sim.addTable(2 + r.Intn(10))
+	}
+	sim.tableIns, sim.tableDel = 0, 0 // count evolution only
+
+	// Commit timestamps: V0 at a random month of the base era, the rest
+	// spread over the SUP with jittered spacing.
+	v0 := time.Date(baseYear+r.Intn(5), time.Month(1+r.Intn(12)), 1+r.Intn(28),
+		8+r.Intn(10), r.Intn(60), 0, 0, time.UTC)
+	supDays := float64(spec.SUPMonths) * 30.4375
+	transitions := spec.Commits - 1
+	offsets := make([]float64, transitions)
+	for i := range offsets {
+		offsets[i] = r.Float64() * supDays
+	}
+	sort.Float64s(offsets)
+	if transitions > 0 {
+		offsets[transitions-1] = supDays // the SUP is defined by the last commit
+		// Enforce strictly increasing times (≥1 hour apart).
+		for i := 1; i < transitions; i++ {
+			if offsets[i] <= offsets[i-1] {
+				offsets[i] = offsets[i-1] + 1.0/dayHours
+			}
+		}
+	}
+
+	weights := weightsFor(spec.Taxon)
+	hist := &history.History{Project: name, Path: "schema.sql"}
+	revision := 0
+	noise := r.Intn(2) == 0
+	hist.Versions = append(hist.Versions, history.Version{
+		ID: 0, When: v0, SQL: Render(sim.schema, name, revision, noise),
+	})
+	for i := 0; i < transitions; i++ {
+		revision++
+		if act := spec.CommitActivities[i]; act > 0 {
+			sim.spendBudget(act, weights)
+		} else if r.Intn(3) == 0 {
+			noise = !noise // physical-only churn
+		}
+		hist.Versions = append(hist.Versions, history.Version{
+			ID:   i + 1,
+			When: v0.Add(time.Duration(offsets[i] * dayHours * float64(time.Hour))),
+			SQL:  Render(sim.schema, name, revision, noise),
+		})
+	}
+
+	// Project-level context: the project exists before the schema file and
+	// outlives its last change.
+	pupDays := float64(spec.PUPMonths) * 30.4375
+	if pupDays < supDays {
+		pupDays = supDays
+	}
+	pre := r.Float64() * (pupDays - supDays)
+	hist.ProjectStart = v0.Add(-time.Duration(pre * dayHours * float64(time.Hour)))
+	hist.ProjectEnd = hist.ProjectStart.Add(time.Duration(pupDays * dayHours * float64(time.Hour)))
+	hist.ProjectCommits = spec.ProjectCommits
+
+	return &Project{Name: name, Intended: spec.Taxon, Spec: spec, Hist: hist}
+}
+
+// WriteToRepo materialises the project's history into an on-disk
+// git-compatible repository at dir, interleaving filler commits (README
+// churn) so that the DDL-commit share of the repository approximates the
+// spec. fillerCap bounds the filler volume; pass 0 for no filler.
+func WriteToRepo(p *Project, dir string, fillerCap int) (*gitstore.Repo, error) {
+	repo, err := gitstore.Init(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := gitstore.NewWorktree(repo, "master")
+	sig := func(t time.Time, i int) gitstore.Signature {
+		return gitstore.Signature{Name: "dev", Email: "dev@" + p.Name + ".example", When: t.Add(time.Duration(i) * time.Second)}
+	}
+
+	filler := p.Hist.ProjectCommits - len(p.Hist.Versions)
+	if filler > fillerCap {
+		filler = fillerCap
+	}
+	if filler < 0 {
+		filler = 0
+	}
+	// Lead-in filler before the schema appears.
+	lead := filler / 2
+	span := p.Hist.Versions[0].When.Sub(p.Hist.ProjectStart)
+	for i := 0; i < lead; i++ {
+		t := p.Hist.ProjectStart.Add(span * time.Duration(i) / time.Duration(lead+1))
+		w.Set("README.md", []byte(fmt.Sprintf("# %s\nrev %d\n", p.Name, i)))
+		if _, err := w.Commit(fmt.Sprintf("docs: update %d", i), sig(t, i)); err != nil {
+			return nil, err
+		}
+	}
+	for i, v := range p.Hist.Versions {
+		w.Set("schema.sql", []byte(v.SQL))
+		if _, err := w.Commit(fmt.Sprintf("schema: version %d", v.ID), sig(v.When, i)); err != nil {
+			return nil, err
+		}
+	}
+	// A side branch merged back into the mainline, mirroring real FOSS
+	// histories (the paper's threats section discusses non-linear git
+	// histories; extraction follows the first-parent chain, so the merge
+	// must not disturb the schema history).
+	last := p.Hist.Versions[len(p.Hist.Versions)-1].When
+	if filler >= 2 {
+		if err := addMergedSideBranch(repo, p.Name, last.Add(30*time.Minute)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Tail filler after the last schema change.
+	tail := filler - lead
+	span = p.Hist.ProjectEnd.Sub(last)
+	for i := 0; i < tail; i++ {
+		t := last.Add(span * time.Duration(i+1) / time.Duration(tail+1))
+		w.Set("CHANGELOG.md", []byte(fmt.Sprintf("release %d\n", i)))
+		if _, err := w.Commit(fmt.Sprintf("chore: release %d", i), sig(t, i)); err != nil {
+			return nil, err
+		}
+	}
+	return repo, nil
+}
+
+// addMergedSideBranch writes a side commit plus a merge commit on master,
+// whose first parent stays the previous mainline head. The side work only
+// touches an unrelated file, so schema extraction is unaffected.
+func addMergedSideBranch(repo *gitstore.Repo, project string, when time.Time) error {
+	head, err := repo.ResolveRef("refs/heads/master")
+	if err != nil {
+		return err
+	}
+	headCommit, err := repo.ReadCommit(head)
+	if err != nil {
+		return err
+	}
+	entries, err := repo.ReadTree(headCommit.Tree)
+	if err != nil {
+		return err
+	}
+	blob, err := repo.WriteBlob([]byte("experimental notes for " + project + "\n"))
+	if err != nil {
+		return err
+	}
+	entries = append(entries, gitstore.TreeEntry{Mode: gitstore.ModeFile, Name: "NOTES.md", Hash: blob})
+	tree, err := repo.WriteTree(entries)
+	if err != nil {
+		return err
+	}
+	sig := gitstore.Signature{Name: "contributor", Email: "side@" + project + ".example", When: when}
+	side, err := repo.WriteCommit(tree, []gitstore.Hash{head}, sig, sig, "experiment on a branch")
+	if err != nil {
+		return err
+	}
+	sig.When = when.Add(10 * time.Minute)
+	merge, err := repo.WriteCommit(tree, []gitstore.Hash{head, side}, sig, sig, "Merge branch 'experiment'")
+	if err != nil {
+		return err
+	}
+	return repo.UpdateRef("refs/heads/master", merge)
+}

@@ -1,0 +1,374 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+	"github.com/schemaevo/schemaevo/internal/stats"
+)
+
+func measureProject(t *testing.T, p *Project) core.Measures {
+	t.Helper()
+	a, err := history.Analyze(p.Hist)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return core.Measure(a, core.DefaultReedLimit)
+}
+
+func TestRenderParsesBack(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sim := newSimulator(r)
+	sim.addTable(5)
+	sim.addTable(3)
+	sql := Render(sim.schema, "proj", 0, true)
+	res := sqlparse.Parse(sql)
+	if len(res.Errors) > 0 {
+		t.Fatalf("rendered DDL does not parse: %v\n%s", res.Errors, sql)
+	}
+	if res.Schema.NumTables() != 2 || res.Schema.NumColumns() != 8 {
+		t.Fatalf("round trip: %d tables %d cols", res.Schema.NumTables(), res.Schema.NumColumns())
+	}
+}
+
+func TestPartitionActivityInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(30)
+		reeds := r.Intn(n + 1)
+		min := (n - reeds) + reeds*(reedLimit+1)
+		total := min + r.Intn(400)
+		if reeds == 0 {
+			max := n * reedLimit
+			if total > max {
+				total = max
+			}
+		}
+		parts := partitionActivity(r, n, total, reeds, reedLimit)
+		sum, gotReeds := 0, 0
+		for _, p := range parts {
+			if p < 1 {
+				t.Fatalf("part %d < 1", p)
+			}
+			sum += p
+			if p > reedLimit {
+				gotReeds++
+			}
+		}
+		if sum != total {
+			t.Fatalf("sum %d != total %d", sum, total)
+		}
+		if gotReeds != reeds {
+			t.Fatalf("reeds %d != planned %d (parts %v)", gotReeds, reeds, parts)
+		}
+	}
+}
+
+func TestClampReeds(t *testing.T) {
+	cases := []struct{ active, activity, desired, want int }{
+		{1, 14, 1, 0},   // cannot be a reed at activity 14
+		{1, 15, 0, 1},   // must be a reed at 15
+		{2, 28, 1, 1},   // either is feasible; desired kept
+		{10, 27, 2, 1},  // (27-10)/14 = 1
+		{22, 254, 5, 5}, // plenty of room
+		{4, 300, 9, 4},  // capped at active
+	}
+	for _, c := range cases {
+		if got := clampReeds(c.active, c.activity, c.desired); got != c.want {
+			t.Errorf("clampReeds(%d,%d,%d) = %d, want %d", c.active, c.activity, c.desired, got, c.want)
+		}
+	}
+}
+
+// TestBuildMatchesSpec is the generator's central guarantee: the measured
+// history reproduces the planned quantities exactly, for every taxon over
+// many seeds.
+func TestBuildMatchesSpec(t *testing.T) {
+	taxa := append([]core.Taxon{core.HistoryLess}, core.Taxa...)
+	for _, taxon := range taxa {
+		for seed := int64(0); seed < 30; seed++ {
+			r := rand.New(rand.NewSource(seed*31 + int64(taxon)))
+			spec := Plan(taxon, r)
+			p := Build("t", spec, r, 2013)
+			if taxon == core.HistoryLess {
+				if len(p.Hist.Versions) != 1 {
+					t.Fatalf("history-less with %d versions", len(p.Hist.Versions))
+				}
+				continue
+			}
+			m := measureProject(t, p)
+			if m.Commits != spec.Commits {
+				t.Errorf("%v seed %d: commits %d != spec %d", taxon, seed, m.Commits, spec.Commits)
+			}
+			if m.ActiveCommits != spec.ActiveCommits {
+				t.Errorf("%v seed %d: active %d != spec %d", taxon, seed, m.ActiveCommits, spec.ActiveCommits)
+			}
+			if m.TotalActivity != spec.TotalActivity {
+				t.Errorf("%v seed %d: activity %d != spec %d", taxon, seed, m.TotalActivity, spec.TotalActivity)
+			}
+			if m.Reeds != spec.Reeds {
+				t.Errorf("%v seed %d: reeds %d != spec %d", taxon, seed, m.Reeds, spec.Reeds)
+			}
+			if got := core.Classify(m); got != taxon {
+				t.Errorf("%v seed %d: classified as %v (active=%d reeds=%d activity=%d)",
+					taxon, seed, got, m.ActiveCommits, m.Reeds, m.TotalActivity)
+			}
+			if m.SUPMonths > spec.SUPMonths+1 || m.SUPMonths < spec.SUPMonths-1 {
+				t.Errorf("%v seed %d: SUP %d != spec %d", taxon, seed, m.SUPMonths, spec.SUPMonths)
+			}
+		}
+	}
+}
+
+func TestGenerateDefaultPopulation(t *testing.T) {
+	projects := Generate(Config{Seed: 42})
+	if len(projects) != 327 {
+		t.Fatalf("corpus size = %d, want 327", len(projects))
+	}
+	counts := map[core.Taxon]int{}
+	for _, p := range projects {
+		counts[p.Intended]++
+	}
+	want := DefaultCounts()
+	for taxon, n := range want {
+		if counts[taxon] != n {
+			t.Errorf("taxon %v: %d projects, want %d", taxon, counts[taxon], n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	small := map[core.Taxon]int{core.Moderate: 2, core.Active: 1}
+	a := Generate(Config{Seed: 9, Counts: small})
+	b := Generate(Config{Seed: 9, Counts: small})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Hist.Versions) != len(b[i].Hist.Versions) {
+			t.Fatalf("project %d differs between runs", i)
+		}
+		for j := range a[i].Hist.Versions {
+			if a[i].Hist.Versions[j].SQL != b[i].Hist.Versions[j].SQL {
+				t.Fatalf("project %d version %d SQL differs", i, j)
+			}
+		}
+	}
+	c := Generate(Config{Seed: 10, Counts: small})
+	same := true
+	for i := range a {
+		if len(a[i].Hist.Versions) != len(c[i].Hist.Versions) {
+			same = false
+			break
+		}
+		for j := range a[i].Hist.Versions {
+			if a[i].Hist.Versions[j].SQL != c[i].Hist.Versions[j].SQL {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusMediansTrackFig4(t *testing.T) {
+	// Corpus-level calibration: per-taxon medians should sit near the
+	// paper's Fig. 4 (generous tolerances — shape, not exact numbers).
+	projects := Generate(Config{Seed: 1})
+	byTaxon := map[core.Taxon][]core.Measures{}
+	for _, p := range projects {
+		if p.Intended == core.HistoryLess {
+			continue
+		}
+		m := measureProject(t, p)
+		byTaxon[p.Intended] = append(byTaxon[p.Intended], m)
+	}
+	med := func(taxon core.Taxon, get func(core.Measures) int) float64 {
+		var xs []float64
+		for _, m := range byTaxon[taxon] {
+			xs = append(xs, float64(get(m)))
+		}
+		return stats.Median(xs)
+	}
+	activity := func(m core.Measures) int { return m.TotalActivity }
+	active := func(m core.Measures) int { return m.ActiveCommits }
+
+	checks := []struct {
+		taxon  core.Taxon
+		name   string
+		get    func(core.Measures) int
+		lo, hi float64
+	}{
+		{core.AlmostFrozen, "activity", activity, 1, 6},
+		{core.FocusedShotFrozen, "activity", activity, 14, 40},
+		{core.Moderate, "activity", activity, 15, 40},
+		{core.FocusedShotLow, "activity", activity, 45, 110},
+		{core.Active, "activity", activity, 150, 420},
+		{core.AlmostFrozen, "active", active, 1, 2},
+		{core.Moderate, "active", active, 5, 9},
+		{core.FocusedShotLow, "active", active, 5, 8},
+		{core.Active, "active", active, 14, 33},
+	}
+	for _, c := range checks {
+		got := med(c.taxon, c.get)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%v median %s = %v, want in [%v, %v]", c.taxon, c.name, got, c.lo, c.hi)
+		}
+	}
+	// Ordering of activity medians across taxa must match the paper.
+	if !(med(core.AlmostFrozen, activity) < med(core.Moderate, activity) &&
+		med(core.Moderate, activity) < med(core.FocusedShotLow, activity) &&
+		med(core.FocusedShotLow, activity) < med(core.Active, activity)) {
+		t.Error("activity median ordering violated")
+	}
+}
+
+func TestWriteToRepoRoundTrip(t *testing.T) {
+	small := map[core.Taxon]int{core.Moderate: 1}
+	p := Generate(Config{Seed: 5, Counts: small})[0]
+	repo, err := WriteToRepo(p, t.TempDir(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := history.FromRepo(repo, p.Name, "schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Versions) != len(p.Hist.Versions) {
+		t.Fatalf("extracted %d versions, generated %d", len(h.Versions), len(p.Hist.Versions))
+	}
+	// The extracted history must measure identically to the in-memory one.
+	am, _ := history.Analyze(p.Hist)
+	ag, _ := history.Analyze(h)
+	mm := core.Measure(am, core.DefaultReedLimit)
+	mg := core.Measure(ag, core.DefaultReedLimit)
+	if mm.TotalActivity != mg.TotalActivity || mm.ActiveCommits != mg.ActiveCommits {
+		t.Fatalf("in-memory vs git-extracted measures diverge: %+v vs %+v", mm, mg)
+	}
+	if h.ProjectCommits <= len(h.Versions) {
+		t.Error("filler commits missing")
+	}
+}
+
+func TestReedLimitDerivationOnCorpus(t *testing.T) {
+	// The derived reed limit over the generated corpus must land near the
+	// paper's 14 (the generator is calibrated for this).
+	projects := Generate(Config{Seed: 3})
+	var corpus []core.Measures
+	for _, p := range projects {
+		if p.Intended == core.HistoryLess {
+			continue
+		}
+		corpus = append(corpus, measureProject(t, p))
+	}
+	limit := core.DeriveReedLimit(corpus)
+	if limit < 8 || limit > 22 {
+		t.Errorf("derived reed limit = %d, want near 14", limit)
+	}
+}
+
+func TestNonActiveCommitsChangeTextOnly(t *testing.T) {
+	small := map[core.Taxon]int{core.Frozen: 3}
+	for _, p := range Generate(Config{Seed: 11, Counts: small}) {
+		m := measureProject(t, p)
+		if m.ActiveCommits != 0 || m.TotalActivity != 0 {
+			t.Fatalf("%s: frozen project has activity", p.Name)
+		}
+		// Consecutive versions must differ textually (they are distinct
+		// commits) while being logically identical.
+		for i := 1; i < len(p.Hist.Versions); i++ {
+			if p.Hist.Versions[i].SQL == p.Hist.Versions[i-1].SQL {
+				t.Fatalf("%s: versions %d and %d are byte-identical", p.Name, i-1, i)
+			}
+		}
+	}
+}
+
+func TestVersionTimesMonotonic(t *testing.T) {
+	for _, p := range Generate(Config{Seed: 2, Counts: map[core.Taxon]int{core.Active: 3, core.Moderate: 3}}) {
+		for i := 1; i < len(p.Hist.Versions); i++ {
+			if !p.Hist.Versions[i].When.After(p.Hist.Versions[i-1].When) {
+				t.Fatalf("%s: version %d time not increasing", p.Name, i)
+			}
+		}
+		if p.Hist.ProjectStart.After(p.Hist.Versions[0].When) {
+			t.Fatalf("%s: project starts after V0", p.Name)
+		}
+		last := p.Hist.Versions[len(p.Hist.Versions)-1].When
+		if p.Hist.ProjectEnd.Before(last) {
+			t.Fatalf("%s: project ends before last schema commit", p.Name)
+		}
+	}
+}
+
+func TestRenderPreservesForeignKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	sim := newSimulator(r)
+	// Enough tables that the FK chance fires at least once.
+	for i := 0; i < 40; i++ {
+		sim.addTable(4)
+	}
+	if sim.schema.NumForeignKeys() == 0 {
+		t.Skip("no FK drawn at this seed (chance-based)")
+	}
+	sql := Render(sim.schema, "p", 0, false)
+	res := sqlparse.Parse(sql)
+	if len(res.Errors) > 0 {
+		t.Fatalf("render with FKs does not parse: %v", res.Errors)
+	}
+	if got := res.Schema.NumForeignKeys(); got != sim.schema.NumForeignKeys() {
+		t.Fatalf("FK round trip: %d parsed, %d generated", got, sim.schema.NumForeignKeys())
+	}
+}
+
+func TestCorpusGeneratesForeignKeys(t *testing.T) {
+	projects := Generate(Config{Seed: 4, Counts: map[core.Taxon]int{core.Active: 5}})
+	total := 0
+	for _, p := range projects {
+		last := p.Hist.Versions[len(p.Hist.Versions)-1]
+		total += sqlparse.Parse(last.SQL).Schema.NumForeignKeys()
+	}
+	if total == 0 {
+		t.Fatal("no foreign keys generated across five active projects")
+	}
+}
+
+func TestWriteToRepoMergeDoesNotDisturbExtraction(t *testing.T) {
+	p := Generate(Config{Seed: 6, Counts: map[core.Taxon]int{core.Moderate: 1}})[0]
+	repo, err := WriteToRepo(p, t.TempDir(), 10) // filler ≥ 2 → merge added
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A merge commit must exist on the mainline…
+	head, _ := repo.Head()
+	chain, err := repo.Log(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := 0
+	for _, c := range chain {
+		if len(c.Parents) == 2 {
+			merges++
+		}
+	}
+	if merges != 1 {
+		t.Fatalf("merge commits = %d, want 1", merges)
+	}
+	// …and the schema history must be byte-identical to the generated one.
+	h, err := history.FromRepo(repo, p.Name, "schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Versions) != len(p.Hist.Versions) {
+		t.Fatalf("versions = %d vs %d", len(h.Versions), len(p.Hist.Versions))
+	}
+	for i := range h.Versions {
+		if h.Versions[i].SQL != p.Hist.Versions[i].SQL {
+			t.Fatalf("version %d diverged across the merge", i)
+		}
+	}
+}

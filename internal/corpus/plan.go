@@ -1,0 +1,452 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+)
+
+// Spec is the sampled blueprint of one synthetic project: every quantity the
+// classifier consumes, drawn from per-taxon distributions calibrated to the
+// paper's Fig. 4, plus the commit-by-commit activity plan.
+type Spec struct {
+	Taxon core.Taxon
+
+	// Commits counts the DDL file versions including V0.
+	Commits       int
+	ActiveCommits int
+	Reeds         int
+	TotalActivity int
+
+	SUPMonths      int
+	PUPMonths      int
+	ProjectCommits int
+	TablesStart    int
+
+	// CommitActivities plans each transition's activity (0 = non-active
+	// commit); length is Commits − 1.
+	CommitActivities []int
+}
+
+// drawer wraps the RNG with the sampling helpers the planners share.
+type drawer struct{ r *rand.Rand }
+
+// logAround samples round(median·exp(σ·N)) clamped to [min, max] — a
+// discrete log-normal centred on the paper's published medians, matching
+// the heavy right skew of every evolution measure.
+func (d drawer) logAround(median float64, sigma float64, lo, hi int) int {
+	v := int(math.Round(median * math.Exp(sigma*d.r.NormFloat64())))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// weighted picks an index with the given relative weights.
+func (d drawer) weighted(weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	pick := d.r.Intn(total)
+	for i, w := range weights {
+		if pick < w {
+			return i
+		}
+		pick -= w
+	}
+	return len(weights) - 1
+}
+
+// partitionActivity splits total activity over n active commits such that
+// exactly reeds of them exceed limit and the rest stay within (0, limit].
+// The caller must pass total ≥ (n−reeds) + reeds·(limit+1).
+func partitionActivity(r *rand.Rand, n, total, reeds, limit int) []int {
+	turf := n - reeds
+	out := make([]int, n)
+	for i := 0; i < turf; i++ {
+		out[i] = 1
+	}
+	for i := turf; i < n; i++ {
+		out[i] = limit + 1
+	}
+	rem := total - turf - reeds*(limit+1)
+	if rem < 0 {
+		panic("corpus: infeasible activity partition")
+	}
+	turfCap := turf * (limit - 1)
+	// Decide how much of the remainder the turf absorbs. With no reeds it
+	// must absorb everything; otherwise keep turf low-volume, as in the
+	// paper's heartbeat shapes.
+	turfExtra := rem
+	if reeds > 0 {
+		if turfCap < turfExtra {
+			turfExtra = turfCap
+		}
+		if turfExtra > 0 {
+			turfExtra = r.Intn(turfExtra + 1)
+			turfExtra = turfExtra / 2 // bias low: reeds carry the change
+		}
+	} else if rem > turfCap {
+		panic("corpus: turf cannot absorb activity without reeds")
+	}
+	// Spread turfExtra with per-commit cap.
+	for spent := 0; spent < turfExtra; {
+		i := r.Intn(turf)
+		if out[i] < limit {
+			out[i]++
+			spent++
+		}
+	}
+	rem -= turfExtra
+	// Spread the rest over the reeds with random proportions.
+	if reeds > 0 && rem > 0 {
+		weights := make([]float64, reeds)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = -math.Log(1 - r.Float64()) // Exp(1)
+			sum += weights[i]
+		}
+		given := 0
+		for i := 0; i < reeds-1; i++ {
+			g := int(float64(rem) * weights[i] / sum)
+			out[turf+i] += g
+			given += g
+		}
+		out[turf+reeds-1] += rem - given
+	}
+	// Shuffle so reeds land anywhere in the sequence.
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// interleave scatters the active-commit activities over Commits−1 slots,
+// the rest being non-active commits.
+func interleave(r *rand.Rand, transitions int, activities []int) []int {
+	out := make([]int, transitions)
+	slots := r.Perm(transitions)[:len(activities)]
+	for i, s := range slots {
+		out[s] = activities[i]
+	}
+	return out
+}
+
+// frontload biases the heaviest commits toward the early life of the
+// project — the "ladder up" growth phase the paper's project charts show
+// (Fig. 2) and the early focused periods reported by [11]. It swaps the
+// largest activities into the first half without changing the multiset, so
+// every aggregate measure is untouched.
+func frontload(r *rand.Rand, plan []int) {
+	n := len(plan)
+	if n < 4 {
+		return
+	}
+	half := n / 2
+	for i := half; i < n; i++ {
+		if plan[i] <= reedLimit {
+			continue
+		}
+		// Move this reed to a random early slot (with 75% probability).
+		if r.Intn(4) == 0 {
+			continue
+		}
+		j := r.Intn(half)
+		plan[i], plan[j] = plan[j], plan[i]
+	}
+}
+
+const reedLimit = core.DefaultReedLimit
+
+// finishSpec fills the plan and the project-level context fields.
+func finishSpec(d drawer, s *Spec) {
+	transitions := s.Commits - 1
+	if s.ActiveCommits > transitions {
+		s.Commits = s.ActiveCommits + 1
+		transitions = s.ActiveCommits
+	}
+	var acts []int
+	if s.ActiveCommits > 0 {
+		acts = partitionActivity(d.r, s.ActiveCommits, s.TotalActivity, s.Reeds, reedLimit)
+	}
+	s.CommitActivities = interleave(d.r, transitions, acts)
+	switch s.Taxon {
+	case core.FocusedShotFrozen, core.FocusedShotLow, core.Active:
+		frontload(d.r, s.CommitActivities)
+	}
+
+	if s.PUPMonths < s.SUPMonths {
+		s.PUPMonths = s.SUPMonths
+	}
+	// The DDL file receives 4–6% of project commits in every taxon (§IV).
+	share := 0.03 + d.r.Float64()*0.05
+	s.ProjectCommits = int(float64(s.Commits)/share) + 1
+	if s.ProjectCommits < s.Commits+2 {
+		s.ProjectCommits = s.Commits + 2
+	}
+}
+
+// minActivity returns the lowest total compatible with the reed plan.
+func minActivity(active, reeds int) int {
+	return (active - reeds) + reeds*(reedLimit+1)
+}
+
+// clampReeds forces a desired reed count into the feasible range for the
+// given (active, activity) pair: every reed needs > limit attributes, every
+// turf commit 1..limit, so R must satisfy active + 14R ≤ activity, and R ≥ 1
+// whenever the turf alone cannot absorb the activity.
+func clampReeds(active, activity, desired int) int {
+	maxR := (activity - active) / reedLimit
+	if maxR > active {
+		maxR = active
+	}
+	minR := 0
+	if activity > active*reedLimit {
+		minR = 1
+	}
+	if maxR < minR {
+		maxR = minR
+	}
+	if desired < minR {
+		return minR
+	}
+	if desired > maxR {
+		return maxR
+	}
+	return desired
+}
+
+// PlanHistoryLess samples a one-version project (the 132 "rigid" projects of
+// the funnel).
+func PlanHistoryLess(r *rand.Rand) Spec {
+	d := drawer{r}
+	s := Spec{
+		Taxon:       core.HistoryLess,
+		Commits:     1,
+		TablesStart: d.logAround(3, 1.1, 1, 150),
+		SUPMonths:   0,
+		PUPMonths:   d.logAround(20, 1.0, 1, 120),
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanFrozen samples a multi-version history with zero logical change.
+func PlanFrozen(r *rand.Rand) Spec {
+	d := drawer{r}
+	s := Spec{
+		Taxon: core.Frozen,
+		// Median 2, max ~11 commits (Fig. 4).
+		Commits:     2 + d.weighted(60, 15, 10, 6, 4, 2, 1, 1, 1, 1)*1,
+		TablesStart: d.logAround(2, 1.4, 1, 227),
+		SUPMonths:   d.logAround(1.4, 1.3, 1, 69),
+		PUPMonths:   d.logAround(32, 0.8, 1, 120),
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanAlmostFrozen samples ≤3 active commits with ≤10 changed attributes.
+func PlanAlmostFrozen(r *rand.Rand) Spec {
+	d := drawer{r}
+	active := 1 + d.weighted(68, 21, 11) // median 1, max 3
+	activity := d.logAround(3.2, 0.8, active, 10)
+	s := Spec{
+		Taxon:         core.AlmostFrozen,
+		ActiveCommits: active,
+		TotalActivity: activity,
+		Reeds:         0,
+		TablesStart:   d.logAround(3, 1.1, 1, 68),
+		SUPMonths:     d.logAround(6, 1.1, 1, 99),
+		PUPMonths:     d.logAround(28, 0.9, 1, 120),
+	}
+	s.Commits = active + 1 + d.weighted(45, 25, 15, 8, 4, 2, 1)
+	if s.Commits > 13 {
+		s.Commits = 13
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanFocusedShotFrozen samples ≤3 active commits with >10 changed
+// attributes — the "hit and freeze" profile.
+func PlanFocusedShotFrozen(r *rand.Rand) Spec {
+	d := drawer{r}
+	active := 1 + d.weighted(28, 39, 33) // median 2, lifted above Almost Frozen
+	// Activity > 10 with a dense low end just past the Almost-Frozen cut —
+	// the smooth power-law tail the reed-limit derivation (§III.B) splits.
+	activity := 10 + d.logAround(13, 0.95, 1, 373)
+	// The shot is concentrated: most of these histories carry one reed.
+	desired := 1
+	if activity > 60 && active >= 2 && d.r.Float64() < 0.18 {
+		desired = 2
+	}
+	reeds := clampReeds(active, activity, desired)
+	s := Spec{
+		Taxon:         core.FocusedShotFrozen,
+		ActiveCommits: active,
+		TotalActivity: activity,
+		Reeds:         reeds,
+		TablesStart:   d.logAround(4, 1.0, 1, 47),
+		SUPMonths:     d.logAround(2.4, 1.3, 1, 46),
+		PUPMonths:     d.logAround(20, 1.0, 1, 120),
+	}
+	s.Commits = active + 1 + d.weighted(40, 28, 16, 9, 4, 2, 1)
+	if s.Commits > 17 {
+		s.Commits = 17
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanModerate samples steady low-volume turf evolution.
+func PlanModerate(r *rand.Rand) Spec {
+	d := drawer{r}
+	active := d.logAround(7, 0.42, 4, 22)
+	reeds := 0
+	if active > 10 {
+		// Outside the FSL heartbeat range a couple of reeds may appear.
+		reeds = d.weighted(75, 18, 7)
+	}
+	maxAct := 89
+	if cap := (active-reeds)*reedLimit + reeds*120; cap < maxAct {
+		maxAct = cap
+	}
+	activity := d.logAround(24, 0.5, minActivity(active, reeds), maxAct)
+	if activity < 11 {
+		activity = 11
+	}
+	reeds = clampReeds(active, activity, reeds)
+	s := Spec{
+		Taxon:         core.Moderate,
+		ActiveCommits: active,
+		TotalActivity: activity,
+		Reeds:         reeds,
+		TablesStart:   d.logAround(5, 1.0, 1, 65),
+		SUPMonths:     d.logAround(20, 0.9, 1, 100),
+		PUPMonths:     d.logAround(34, 0.8, 1, 140),
+	}
+	s.Commits = active + 1 + d.logAround(2.5, 0.9, 0, 21)
+	if s.Commits > 43 {
+		s.Commits = 43
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanFocusedShotLow samples the moderate-heartbeat, reed-driven profile.
+func PlanFocusedShotLow(r *rand.Rand) Spec {
+	d := drawer{r}
+	active := 4 + d.weighted(14, 16, 22, 18, 12, 10, 8) // 4..10, median ≈ 6.5
+	reeds := 1 + d.weighted(60, 40)                     // 1 or 2
+	activity := d.logAround(71, 0.65, 27, 315)
+	reeds = clampReeds(active, activity, reeds)
+	if reeds < 1 { // FSL requires ≥1 reed; feasible since activity ≥ 27
+		reeds = 1
+		if activity < minActivity(active, reeds) {
+			activity = minActivity(active, reeds)
+		}
+	}
+	s := Spec{
+		Taxon:         core.FocusedShotLow,
+		ActiveCommits: active,
+		TotalActivity: activity,
+		Reeds:         reeds,
+		TablesStart:   d.logAround(8, 0.7, 2, 26),
+		SUPMonths:     d.logAround(17.5, 0.9, 1, 57),
+		PUPMonths:     d.logAround(32, 0.8, 1, 130),
+	}
+	s.Commits = active + 1 + d.weighted(30, 25, 18, 12, 8, 4, 2, 1)
+	if s.Commits > 19 {
+		s.Commits = 19
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// PlanActive samples the high-volume, long-lived profile.
+func PlanActive(r *rand.Rand) Spec {
+	d := drawer{r}
+	active := d.logAround(22, 0.75, 7, 232)
+	var reeds int
+	if active <= 10 {
+		// Escape the FSL rule: at least 3 reeds.
+		reeds = 3 + d.r.Intn(active-2)
+	} else {
+		reeds = d.logAround(5.5, 0.65, 1, 31)
+		if reeds > active {
+			reeds = active
+		}
+	}
+	activity := d.logAround(254, 0.85, 112, 3485)
+	reeds = clampReeds(active, activity, reeds)
+	if active <= 10 && reeds < 3 {
+		reeds = 3 // stay out of the FSL rule; always feasible at activity ≥ 112
+	}
+	if activity < minActivity(active, reeds) {
+		activity = minActivity(active, reeds)
+	}
+	s := Spec{
+		Taxon:         core.Active,
+		ActiveCommits: active,
+		TotalActivity: activity,
+		Reeds:         reeds,
+		TablesStart:   d.logAround(20, 0.6, 2, 61),
+		SUPMonths:     d.logAround(31, 0.7, 1, 100),
+		PUPMonths:     d.logAround(42, 0.6, 2, 150),
+	}
+	extra := int(float64(active) * (0.3 + d.r.Float64()*0.9))
+	s.Commits = active + 1 + extra
+	if s.Commits > 516 {
+		s.Commits = 516
+	}
+	finishSpec(d, &s)
+	return s
+}
+
+// Plan dispatches to the per-taxon planner.
+func Plan(taxon core.Taxon, r *rand.Rand) Spec {
+	switch taxon {
+	case core.HistoryLess:
+		return PlanHistoryLess(r)
+	case core.Frozen:
+		return PlanFrozen(r)
+	case core.AlmostFrozen:
+		return PlanAlmostFrozen(r)
+	case core.FocusedShotFrozen:
+		return PlanFocusedShotFrozen(r)
+	case core.Moderate:
+		return PlanModerate(r)
+	case core.FocusedShotLow:
+		return PlanFocusedShotLow(r)
+	case core.Active:
+		return PlanActive(r)
+	}
+	panic("corpus: unknown taxon")
+}
+
+// weightsFor tunes the operation mix per taxon so table-level measures track
+// Fig. 4 (e.g. Active projects insert and delete many tables; Almost Frozen
+// mostly retype attributes in place).
+func weightsFor(taxon core.Taxon) opWeights {
+	switch taxon {
+	case core.AlmostFrozen:
+		return opWeights{expand: 30, eject: 12, typeChange: 45, pkChange: 8, dropTable: 5, newTableBias: 12}
+	case core.FocusedShotFrozen:
+		// 36% of these projects keep a flat schema line and 52% show a
+		// single step-up (§IV.C): expansion is mostly intra-table, table
+		// deaths are rare.
+		return opWeights{expand: 76, eject: 8, typeChange: 12, pkChange: 2, dropTable: 2, newTableBias: 16}
+	case core.Moderate:
+		return opWeights{expand: 68, eject: 10, typeChange: 15, pkChange: 3, dropTable: 4, newTableBias: 28}
+	case core.FocusedShotLow:
+		return opWeights{expand: 66, eject: 9, typeChange: 13, pkChange: 2, dropTable: 8, newTableBias: 45}
+	case core.Active:
+		return opWeights{expand: 68, eject: 8, typeChange: 13, pkChange: 2, dropTable: 7, newTableBias: 50}
+	default:
+		return defaultWeights()
+	}
+}

@@ -1,0 +1,450 @@
+// Package corpus synthesises the study's project population. The paper
+// mined 327 real FOSS repositories from GitHub; offline, this package plays
+// that role with per-taxon stochastic generators that emit genuine MySQL DDL
+// text evolving commit by commit. The generators are calibrated against the
+// paper's published per-taxon statistics (Fig. 4), and — crucially — they
+// exercise the exact same parse → diff → measure path as mined repositories
+// would, because each version is rendered to SQL and re-parsed downstream.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+)
+
+// simulator evolves an in-memory schema, spending per-commit activity
+// budgets on randomly chosen logical operations while guaranteeing that the
+// downstream diff engine will count exactly the budgeted number of affected
+// attributes.
+type simulator struct {
+	r       *rand.Rand
+	schema  *schema.Schema
+	nameSeq int
+	// exact counters for verification and Fig. 4 table-level measures
+	tableIns int
+	tableDel int
+}
+
+var tableWords = []string{
+	"users", "orders", "sessions", "articles", "comments", "tags",
+	"invoices", "payments", "products", "categories", "settings",
+	"messages", "events", "jobs", "tokens", "profiles", "permissions",
+	"audit_log", "attachments", "subscriptions", "devices", "metrics",
+	"channels", "reports", "notes", "teams", "projects", "builds",
+}
+
+var columnWords = []string{
+	"id", "name", "title", "body", "status", "created_at", "updated_at",
+	"email", "count", "price", "amount", "description", "url", "type",
+	"owner_id", "parent_id", "position", "enabled", "hash", "token",
+	"score", "label", "data", "version", "notes", "kind", "level",
+}
+
+var columnTypes = []schema.DataType{
+	{Name: "int", Args: []string{"11"}},
+	{Name: "bigint", Args: []string{"20"}},
+	{Name: "smallint", Args: []string{"6"}},
+	{Name: "tinyint", Args: []string{"1"}},
+	{Name: "varchar", Args: []string{"32"}},
+	{Name: "varchar", Args: []string{"64"}},
+	{Name: "varchar", Args: []string{"255"}},
+	{Name: "text"},
+	{Name: "datetime"},
+	{Name: "timestamp"},
+	{Name: "decimal", Args: []string{"10", "2"}},
+	{Name: "double"},
+	{Name: "char", Args: []string{"36"}},
+}
+
+func newSimulator(r *rand.Rand) *simulator {
+	return &simulator{r: r, schema: schema.New()}
+}
+
+func (s *simulator) freshTableName() string {
+	s.nameSeq++
+	w := tableWords[s.r.Intn(len(tableWords))]
+	return fmt.Sprintf("%s_%d", w, s.nameSeq)
+}
+
+func (s *simulator) freshColumnName() string {
+	s.nameSeq++
+	w := columnWords[s.r.Intn(len(columnWords))]
+	return fmt.Sprintf("%s_%d", w, s.nameSeq)
+}
+
+func (s *simulator) randomType() schema.DataType {
+	return columnTypes[s.r.Intn(len(columnTypes))]
+}
+
+// differentType returns a type whose canonical form differs from cur.
+func (s *simulator) differentType(cur schema.DataType) schema.DataType {
+	for {
+		t := s.randomType()
+		if !t.Equal(cur) {
+			return t
+		}
+	}
+}
+
+// fkChance is the probability (%) that a fresh multi-column table declares
+// a foreign key to an existing table. Constraint usage in FOSS schemata is
+// far from universal (ref [12] of the paper), so it stays well below 100.
+const fkChance = 35
+
+// addTable creates a fresh table with cols columns (cols ≥ 1); the first
+// column becomes the primary key. Returns the number of attributes born.
+func (s *simulator) addTable(cols int) int {
+	if cols < 1 {
+		cols = 1
+	}
+	t := schema.NewTable(s.freshTableName())
+	for i := 0; i < cols; i++ {
+		c := &schema.Column{Name: s.freshColumnName(), Type: s.randomType(), Nullable: i != 0}
+		if i == 0 {
+			c.Type = schema.DataType{Name: "int", Args: []string{"11"}}
+			c.AutoInc = true
+		}
+		t.AddColumn(c)
+	}
+	t.SetPrimaryKey([]string{t.Columns[0].Name})
+	t.Options = map[string]string{"engine": "InnoDB"}
+
+	// Optionally reference an existing table through the second column.
+	if cols >= 2 && s.schema.NumTables() > 0 && s.r.Intn(100) < fkChance {
+		ref := s.schema.Tables[s.r.Intn(len(s.schema.Tables))]
+		if len(ref.PrimaryKey) == 1 {
+			refCol := ref.Column(ref.PrimaryKey[0])
+			child := t.Columns[1]
+			child.Type = refCol.Type
+			child.Type.Unsigned = refCol.Type.Unsigned
+			s.nameSeq++
+			fk := &schema.ForeignKey{
+				Name:       fmt.Sprintf("fk_%s_%d", t.Name, s.nameSeq),
+				Columns:    []string{child.Name},
+				RefTable:   ref.Name,
+				RefColumns: []string{ref.PrimaryKey[0]},
+			}
+			if s.r.Intn(2) == 0 {
+				fk.OnDelete = "cascade"
+			}
+			t.AddForeignKey(fk)
+		}
+	}
+	s.schema.AddTable(t)
+	s.tableIns++
+	return cols
+}
+
+// commitState tracks which pre-commit elements are still eligible for
+// maintenance within the current commit, so that every maintenance
+// operation is visible to the version-to-version diff.
+type commitState struct {
+	// untouched maps table name → column names existing before this commit
+	// and not yet modified in it.
+	untouched map[string][]string
+	// prevTables lists tables existing before the commit and untouched so
+	// far (eligible for dropping).
+	prevTables map[string]bool
+}
+
+func (s *simulator) beginCommit() *commitState {
+	cs := &commitState{untouched: map[string][]string{}, prevTables: map[string]bool{}}
+	for _, t := range s.schema.Tables {
+		name := schema.Normalize(t.Name)
+		cs.prevTables[name] = true
+		cols := make([]string, 0, len(t.Columns))
+		for _, c := range t.Columns {
+			cols = append(cols, schema.Normalize(c.Name))
+		}
+		cs.untouched[name] = cols
+	}
+	return cs
+}
+
+// pickMaintTable returns a table with at least one untouched column.
+func (cs *commitState) pickMaintTable(r *rand.Rand) (string, bool) {
+	var candidates []string
+	for name, cols := range cs.untouched {
+		if len(cols) > 0 {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	sort.Strings(candidates) // determinism across map iteration order
+	return candidates[r.Intn(len(candidates))], true
+}
+
+// takeColumns removes up to n untouched columns of table from the pool and
+// returns them.
+func (cs *commitState) takeColumns(r *rand.Rand, table string, n int) []string {
+	cols := cs.untouched[table]
+	if n > len(cols) {
+		n = len(cols)
+	}
+	r.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	taken := append([]string(nil), cols[:n]...)
+	cs.untouched[table] = cols[n:]
+	return taken
+}
+
+// maintenanceCapacity reports how many attribute-units of maintenance remain
+// available this commit.
+func (cs *commitState) maintenanceCapacity() int {
+	n := 0
+	for _, cols := range cs.untouched {
+		n += len(cols)
+	}
+	return n
+}
+
+// opWeights biases the expansion/maintenance mix; values are relative.
+type opWeights struct {
+	expand     int // addTable or inject
+	eject      int
+	typeChange int
+	pkChange   int
+	dropTable  int
+	// newTableBias is the chance (out of 100) that expansion creates a new
+	// table rather than injecting into an existing one.
+	newTableBias int
+}
+
+// defaultWeights reflect the literature's "expansion dominates deletion".
+func defaultWeights() opWeights {
+	return opWeights{expand: 70, eject: 8, typeChange: 14, pkChange: 3, dropTable: 5, newTableBias: 40}
+}
+
+// spendBudget applies random logical operations totalling exactly budget
+// affected attributes. The expansion/maintenance split is an emergent
+// property read back by the downstream diff; the simulator only guarantees
+// the total. Maintenance operations that are infeasible (nothing untouched
+// left to modify) fall back to expansion, so the loop always terminates.
+func (s *simulator) spendBudget(budget int, w opWeights) {
+	cs := s.beginCommit()
+	for budget > 0 {
+		total := w.expand + w.eject + w.typeChange + w.pkChange + w.dropTable
+		var n int
+		switch pick := s.r.Intn(total); {
+		case pick < w.expand:
+			n = s.opExpand(budget, w)
+		case pick < w.expand+w.eject:
+			n = s.opEject(cs, budget)
+		case pick < w.expand+w.eject+w.typeChange:
+			n = s.opTypeChange(cs, budget)
+		case pick < w.expand+w.eject+w.typeChange+w.pkChange:
+			n = s.opPKChange(cs)
+		default:
+			n = s.opDropTable(cs, budget)
+		}
+		if n == 0 {
+			n = s.opExpand(budget, w)
+		}
+		budget -= n
+	}
+}
+
+// opExpand spends 1..budget attributes on growth, returning the amount.
+func (s *simulator) opExpand(budget int, w opWeights) int {
+	if budget <= 0 {
+		return 0
+	}
+	n := 1 + s.r.Intn(min(budget, 7))
+	if s.schema.NumTables() == 0 || s.r.Intn(100) < w.newTableBias {
+		return s.addTable(n)
+	}
+	t := s.schema.Tables[s.r.Intn(len(s.schema.Tables))]
+	for i := 0; i < n; i++ {
+		t.AddColumn(&schema.Column{Name: s.freshColumnName(), Type: s.randomType(), Nullable: true})
+	}
+	return n
+}
+
+// opEject removes 1..budget untouched pre-commit columns from one table,
+// never emptying it (a table must keep ≥1 column to stay valid DDL).
+func (s *simulator) opEject(cs *commitState, budget int) int {
+	table, ok := cs.pickMaintTable(s.r)
+	if !ok || budget <= 0 {
+		return 0
+	}
+	t := s.schema.Table(table)
+	if t == nil || len(t.Columns) < 2 {
+		return 0
+	}
+	max := min(min(budget, len(cs.untouched[table])), len(t.Columns)-1)
+	if max <= 0 {
+		return 0
+	}
+	n := 1 + s.r.Intn(min(max, 3))
+	cols := cs.takeColumns(s.r, table, n)
+	for _, c := range cols {
+		t.DropColumn(c)
+		s.schema.DropForeignKeysToColumn(table, c)
+	}
+	return len(cols)
+}
+
+// opTypeChange alters the data type of 1..budget untouched columns.
+func (s *simulator) opTypeChange(cs *commitState, budget int) int {
+	table, ok := cs.pickMaintTable(s.r)
+	if !ok || budget <= 0 {
+		return 0
+	}
+	t := s.schema.Table(table)
+	if t == nil {
+		return 0
+	}
+	max := min(budget, len(cs.untouched[table]))
+	if max <= 0 {
+		return 0
+	}
+	n := 1 + s.r.Intn(min(max, 3))
+	cols := cs.takeColumns(s.r, table, n)
+	changed := 0
+	for _, cname := range cols {
+		c := t.Column(cname)
+		if c == nil {
+			continue
+		}
+		c.Type = s.differentType(c.Type)
+		changed++
+	}
+	return changed
+}
+
+// opPKChange toggles the primary-key membership of one untouched column.
+func (s *simulator) opPKChange(cs *commitState) int {
+	table, ok := cs.pickMaintTable(s.r)
+	if !ok {
+		return 0
+	}
+	t := s.schema.Table(table)
+	if t == nil {
+		return 0
+	}
+	cols := cs.takeColumns(s.r, table, 1)
+	if len(cols) == 0 {
+		return 0
+	}
+	cname := cols[0]
+	if t.HasPKColumn(cname) {
+		// Removing the sole PK column is fine: tables without PKs are common
+		// in the corpus (the paper notes widespread missing constraints).
+		var pk []string
+		for _, p := range t.PrimaryKey {
+			if p != cname {
+				pk = append(pk, p)
+			}
+		}
+		t.SetPrimaryKey(pk)
+	} else {
+		t.SetPrimaryKey(append(append([]string{}, t.PrimaryKey...), cname))
+	}
+	return 1
+}
+
+// opDropTable removes one untouched table whose column count fits in budget.
+// The schema always keeps at least one table.
+func (s *simulator) opDropTable(cs *commitState, budget int) int {
+	if s.schema.NumTables() < 2 {
+		return 0
+	}
+	var candidates []string
+	for name := range cs.prevTables {
+		t := s.schema.Table(name)
+		if t == nil {
+			continue
+		}
+		// Only drop tables whose columns are all untouched (ejections this
+		// commit would otherwise be re-counted as deletions).
+		if len(cs.untouched[name]) == len(t.Columns) && len(t.Columns) <= budget {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	sort.Strings(candidates)
+	victim := candidates[s.r.Intn(len(candidates))]
+	n := len(s.schema.Table(victim).Columns)
+	s.schema.DropTable(victim)
+	s.schema.DropForeignKeysTo(victim)
+	delete(cs.prevTables, victim)
+	delete(cs.untouched, victim)
+	s.tableDel++
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Render emits the current schema as a MySQL DDL dump. revision feeds the
+// header comment so that non-active commits produce textually distinct but
+// logically identical files, and noise optionally appends physical-level
+// statements (INSERTs, SETs) that the parser must skim over.
+func Render(s *schema.Schema, project string, revision int, noise bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s database schema\n-- dump revision %d\n\n", project, revision)
+	b.WriteString("SET FOREIGN_KEY_CHECKS=0;\n\n")
+	for _, t := range s.Tables {
+		fmt.Fprintf(&b, "DROP TABLE IF EXISTS `%s`;\n", t.Name)
+		fmt.Fprintf(&b, "CREATE TABLE `%s` (\n", t.Name)
+		var lines []string
+		for _, c := range t.Columns {
+			var l strings.Builder
+			fmt.Fprintf(&l, "  `%s` %s", c.Name, strings.ToUpper(c.Type.Name))
+			if len(c.Type.Args) > 0 {
+				fmt.Fprintf(&l, "(%s)", strings.Join(c.Type.Args, ","))
+			}
+			if c.Type.Unsigned {
+				l.WriteString(" UNSIGNED")
+			}
+			if !c.Nullable {
+				l.WriteString(" NOT NULL")
+			}
+			if c.AutoInc {
+				l.WriteString(" AUTO_INCREMENT")
+			}
+			lines = append(lines, l.String())
+		}
+		if len(t.PrimaryKey) > 0 {
+			lines = append(lines, fmt.Sprintf("  PRIMARY KEY (`%s`)", strings.Join(t.PrimaryKey, "`,`")))
+		}
+		for _, fk := range t.ForeignKeys {
+			var l strings.Builder
+			l.WriteString("  ")
+			if fk.Name != "" {
+				fmt.Fprintf(&l, "CONSTRAINT `%s` ", fk.Name)
+			}
+			fmt.Fprintf(&l, "FOREIGN KEY (`%s`) REFERENCES `%s` (`%s`)",
+				strings.Join(fk.Columns, "`,`"), fk.RefTable, strings.Join(fk.RefColumns, "`,`"))
+			if fk.OnDelete != "" {
+				fmt.Fprintf(&l, " ON DELETE %s", strings.ToUpper(fk.OnDelete))
+			}
+			if fk.OnUpdate != "" {
+				fmt.Fprintf(&l, " ON UPDATE %s", strings.ToUpper(fk.OnUpdate))
+			}
+			lines = append(lines, l.String())
+		}
+		b.WriteString(strings.Join(lines, ",\n"))
+		b.WriteString("\n")
+		engine := "InnoDB"
+		if t.Options != nil && t.Options["engine"] != "" {
+			engine = t.Options["engine"]
+		}
+		fmt.Fprintf(&b, ") ENGINE=%s DEFAULT CHARSET=utf8;\n\n", engine)
+	}
+	if noise && len(s.Tables) > 0 {
+		fmt.Fprintf(&b, "INSERT INTO `%s` VALUES (1);\n", s.Tables[0].Name)
+	}
+	return b.String()
+}

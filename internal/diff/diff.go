@@ -1,0 +1,270 @@
+// Package diff computes the logical-level delta between two versions of a
+// schema, quantified in the paper's change categories. The fundamental unit
+// of measurement is the attribute: every category counts attributes.
+//
+// The categories (§III.B of the paper):
+//
+//   - Born:       attributes born with a new table
+//   - Injected:   attributes injected into an existing table
+//   - Deleted:    attributes deleted with a removed table
+//   - Ejected:    attributes ejected from a surviving table
+//   - TypeChange: attributes whose data type changed
+//   - PKChange:   attributes whose participation in the primary key changed
+//
+// Expansion = Born + Injected; Maintenance = Deleted + Ejected + TypeChange +
+// PKChange; Activity = Expansion + Maintenance.
+package diff
+
+import (
+	"sort"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+)
+
+// Options tunes the diff. The zero value is the study's production setting.
+type Options struct {
+	// OrderSensitive also reports a TypeChange when a column keeps its name
+	// and type but moves position. The paper's model is order-insensitive;
+	// this knob exists for the ablation benchmark.
+	OrderSensitive bool
+}
+
+// Delta is the quantified difference between two schema versions.
+type Delta struct {
+	// TablesInserted / TablesDeleted list normalized names of tables that
+	// appear only in the new / old version.
+	TablesInserted []string
+	TablesDeleted  []string
+
+	// Attribute-level counts, per the paper's categories.
+	Born       int
+	Injected   int
+	Deleted    int
+	Ejected    int
+	TypeChange int
+	PKChange   int
+
+	// FKAdded / FKRemoved count foreign-key constraints appearing and
+	// disappearing on surviving tables. They are an extension for the
+	// paper's "open paths" (constraint treatment, ref [12]) and do NOT
+	// contribute to Expansion, Maintenance or Activity.
+	FKAdded   int
+	FKRemoved int
+
+	// Detail rows for reporting and debugging.
+	Changes []Change
+}
+
+// ChangeKind discriminates attribute-level change categories.
+type ChangeKind int
+
+// Attribute change kinds.
+const (
+	AttrBorn ChangeKind = iota
+	AttrInjected
+	AttrDeleted
+	AttrEjected
+	AttrTypeChange
+	AttrPKChange
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case AttrBorn:
+		return "born"
+	case AttrInjected:
+		return "injected"
+	case AttrDeleted:
+		return "deleted"
+	case AttrEjected:
+		return "ejected"
+	case AttrTypeChange:
+		return "type-change"
+	case AttrPKChange:
+		return "pk-change"
+	}
+	return "unknown"
+}
+
+// Change is one attribute-level change event.
+type Change struct {
+	Kind   ChangeKind
+	Table  string // normalized table name
+	Column string // normalized column name
+	// Old and New hold the type strings for AttrTypeChange rows.
+	Old string
+	New string
+}
+
+// Expansion returns Born + Injected.
+func (d *Delta) Expansion() int { return d.Born + d.Injected }
+
+// Maintenance returns Deleted + Ejected + TypeChange + PKChange.
+func (d *Delta) Maintenance() int { return d.Deleted + d.Ejected + d.TypeChange + d.PKChange }
+
+// Activity returns Expansion + Maintenance: the total number of affected
+// attributes in the transition.
+func (d *Delta) Activity() int { return d.Expansion() + d.Maintenance() }
+
+// IsActive reports whether the transition changes the logical capacity of
+// the schema at all — the paper's "active commit" criterion.
+func (d *Delta) IsActive() bool { return d.Activity() > 0 }
+
+// Compute diffs old → new with default options.
+func Compute(old, new *schema.Schema) *Delta {
+	return ComputeOptions(old, new, Options{})
+}
+
+// ComputeOptions diffs old → new. Either schema may be nil, which reads as
+// the empty schema (so V0 against nil yields all attributes Born).
+func ComputeOptions(old, new *schema.Schema, opts Options) *Delta {
+	if old == nil {
+		old = schema.New()
+	}
+	if new == nil {
+		new = schema.New()
+	}
+	d := &Delta{}
+
+	oldNames := nameSet(old)
+	newNames := nameSet(new)
+
+	// Table insertions: every column of a new table is Born.
+	for _, name := range sortedKeys(newNames) {
+		if _, ok := oldNames[name]; ok {
+			continue
+		}
+		d.TablesInserted = append(d.TablesInserted, name)
+		t := new.Table(name)
+		for _, c := range t.Columns {
+			d.Born++
+			d.Changes = append(d.Changes, Change{Kind: AttrBorn, Table: name, Column: schema.Normalize(c.Name)})
+		}
+		d.FKAdded += len(t.ForeignKeys)
+	}
+
+	// Table deletions: every column of a removed table is Deleted.
+	for _, name := range sortedKeys(oldNames) {
+		if _, ok := newNames[name]; ok {
+			continue
+		}
+		d.TablesDeleted = append(d.TablesDeleted, name)
+		t := old.Table(name)
+		for _, c := range t.Columns {
+			d.Deleted++
+			d.Changes = append(d.Changes, Change{Kind: AttrDeleted, Table: name, Column: schema.Normalize(c.Name)})
+		}
+		d.FKRemoved += len(t.ForeignKeys)
+	}
+
+	// Surviving tables: column-level comparison.
+	for _, name := range sortedKeys(oldNames) {
+		if _, ok := newNames[name]; !ok {
+			continue
+		}
+		diffTable(d, old.Table(name), new.Table(name), opts)
+	}
+	return d
+}
+
+func diffTable(d *Delta, old, new *schema.Table, opts Options) {
+	tname := schema.Normalize(old.Name)
+
+	oldCols := colSet(old)
+	newCols := colSet(new)
+
+	// Injected.
+	for _, cname := range sortedKeys(newCols) {
+		if _, ok := oldCols[cname]; !ok {
+			d.Injected++
+			d.Changes = append(d.Changes, Change{Kind: AttrInjected, Table: tname, Column: cname})
+		}
+	}
+	// Ejected.
+	for _, cname := range sortedKeys(oldCols) {
+		if _, ok := newCols[cname]; !ok {
+			d.Ejected++
+			d.Changes = append(d.Changes, Change{Kind: AttrEjected, Table: tname, Column: cname})
+		}
+	}
+	// Foreign keys (extension; identity is column set + target, so renamed
+	// constraints do not register as change).
+	oldFKs := map[string]bool{}
+	for _, fk := range old.ForeignKeys {
+		oldFKs[fk.Key()] = true
+	}
+	newFKs := map[string]bool{}
+	for _, fk := range new.ForeignKeys {
+		newFKs[fk.Key()] = true
+	}
+	for key := range newFKs {
+		if !oldFKs[key] {
+			d.FKAdded++
+		}
+	}
+	for key := range oldFKs {
+		if !newFKs[key] {
+			d.FKRemoved++
+		}
+	}
+
+	// Survivors: type change, PK participation change.
+	for _, cname := range sortedKeys(oldCols) {
+		nc, ok := newCols[cname]
+		if !ok {
+			continue
+		}
+		oc := oldCols[cname]
+		if !oc.Type.Equal(nc.Type) {
+			d.TypeChange++
+			d.Changes = append(d.Changes, Change{
+				Kind: AttrTypeChange, Table: tname, Column: cname,
+				Old: oc.Type.String(), New: nc.Type.String(),
+			})
+		} else if opts.OrderSensitive && colPosition(old, cname) != colPosition(new, cname) {
+			d.TypeChange++
+			d.Changes = append(d.Changes, Change{
+				Kind: AttrTypeChange, Table: tname, Column: cname,
+				Old: oc.Type.String(), New: nc.Type.String(),
+			})
+		}
+		if old.HasPKColumn(cname) != new.HasPKColumn(cname) {
+			d.PKChange++
+			d.Changes = append(d.Changes, Change{Kind: AttrPKChange, Table: tname, Column: cname})
+		}
+	}
+}
+
+func nameSet(s *schema.Schema) map[string]struct{} {
+	out := make(map[string]struct{}, len(s.Tables))
+	for _, t := range s.Tables {
+		out[schema.Normalize(t.Name)] = struct{}{}
+	}
+	return out
+}
+
+func colSet(t *schema.Table) map[string]*schema.Column {
+	out := make(map[string]*schema.Column, len(t.Columns))
+	for _, c := range t.Columns {
+		out[schema.Normalize(c.Name)] = c
+	}
+	return out
+}
+
+func colPosition(t *schema.Table, name string) int {
+	for i, c := range t.Columns {
+		if schema.Normalize(c.Name) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

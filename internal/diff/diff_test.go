@@ -1,0 +1,275 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+)
+
+func parse(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	res := sqlparse.Parse(src)
+	if len(res.Errors) > 0 {
+		t.Fatalf("parse errors: %v", res.Errors)
+	}
+	return res.Schema
+}
+
+func TestIdenticalSchemasNoChange(t *testing.T) {
+	src := "CREATE TABLE t (id INT, v VARCHAR(10), PRIMARY KEY (id));"
+	d := Compute(parse(t, src), parse(t, src))
+	if d.IsActive() {
+		t.Fatalf("identical schemas produced activity %d: %+v", d.Activity(), d.Changes)
+	}
+}
+
+func TestTableBirth(t *testing.T) {
+	old := parse(t, "CREATE TABLE a (x INT);")
+	new := parse(t, "CREATE TABLE a (x INT); CREATE TABLE b (p INT, q INT, r INT);")
+	d := Compute(old, new)
+	if d.Born != 3 {
+		t.Errorf("Born = %d, want 3", d.Born)
+	}
+	if len(d.TablesInserted) != 1 || d.TablesInserted[0] != "b" {
+		t.Errorf("TablesInserted = %v", d.TablesInserted)
+	}
+	if d.Expansion() != 3 || d.Maintenance() != 0 {
+		t.Errorf("exp=%d maint=%d", d.Expansion(), d.Maintenance())
+	}
+}
+
+func TestTableDeath(t *testing.T) {
+	old := parse(t, "CREATE TABLE a (x INT); CREATE TABLE b (p INT, q INT);")
+	new := parse(t, "CREATE TABLE a (x INT);")
+	d := Compute(old, new)
+	if d.Deleted != 2 {
+		t.Errorf("Deleted = %d, want 2", d.Deleted)
+	}
+	if len(d.TablesDeleted) != 1 || d.TablesDeleted[0] != "b" {
+		t.Errorf("TablesDeleted = %v", d.TablesDeleted)
+	}
+	if d.Maintenance() != 2 || d.Expansion() != 0 {
+		t.Errorf("exp=%d maint=%d", d.Expansion(), d.Maintenance())
+	}
+}
+
+func TestInjectionAndEjection(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, b INT);")
+	new := parse(t, "CREATE TABLE t (a INT, c INT, d INT);")
+	d := Compute(old, new)
+	if d.Injected != 2 {
+		t.Errorf("Injected = %d, want 2 (c, d)", d.Injected)
+	}
+	if d.Ejected != 1 {
+		t.Errorf("Ejected = %d, want 1 (b)", d.Ejected)
+	}
+	if d.Activity() != 3 {
+		t.Errorf("Activity = %d, want 3", d.Activity())
+	}
+}
+
+func TestTypeChange(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT(11), b VARCHAR(50));")
+	new := parse(t, "CREATE TABLE t (a BIGINT(11), b VARCHAR(100));")
+	d := Compute(old, new)
+	if d.TypeChange != 2 {
+		t.Errorf("TypeChange = %d, want 2", d.TypeChange)
+	}
+	found := false
+	for _, c := range d.Changes {
+		if c.Kind == AttrTypeChange && c.Column == "a" {
+			found = true
+			if c.Old != "int(11)" || c.New != "bigint(11)" {
+				t.Errorf("old/new = %q/%q", c.Old, c.New)
+			}
+		}
+	}
+	if !found {
+		t.Error("no type-change row for a")
+	}
+}
+
+func TestUnsignedCountsAsTypeChange(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT);")
+	new := parse(t, "CREATE TABLE t (a INT UNSIGNED);")
+	if d := Compute(old, new); d.TypeChange != 1 {
+		t.Errorf("TypeChange = %d, want 1", d.TypeChange)
+	}
+}
+
+func TestPKChange(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));")
+	new := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));")
+	d := Compute(old, new)
+	if d.PKChange != 1 {
+		t.Errorf("PKChange = %d, want 1 (b joined the key)", d.PKChange)
+	}
+	old2 := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));")
+	new2 := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (b));")
+	if d := Compute(old2, new2); d.PKChange != 2 {
+		t.Errorf("PKChange = %d, want 2 (a left, b joined)", d.PKChange)
+	}
+}
+
+func TestNilOldSchemaAllBorn(t *testing.T) {
+	new := parse(t, "CREATE TABLE t (a INT, b INT);")
+	d := Compute(nil, new)
+	if d.Born != 2 || len(d.TablesInserted) != 1 {
+		t.Errorf("Born=%d inserted=%v", d.Born, d.TablesInserted)
+	}
+}
+
+func TestNilNewSchemaAllDeleted(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, b INT);")
+	d := Compute(old, nil)
+	if d.Deleted != 2 || len(d.TablesDeleted) != 1 {
+		t.Errorf("Deleted=%d deleted=%v", d.Deleted, d.TablesDeleted)
+	}
+}
+
+func TestRenamedTableIsDeathPlusBirth(t *testing.T) {
+	old := parse(t, "CREATE TABLE t_old (a INT, b INT);")
+	new := parse(t, "CREATE TABLE t_new (a INT, b INT);")
+	d := Compute(old, new)
+	if d.Born != 2 || d.Deleted != 2 {
+		t.Errorf("Born=%d Deleted=%d, want 2/2 (no rename detection)", d.Born, d.Deleted)
+	}
+}
+
+func TestNonLogicalChangesInactive(t *testing.T) {
+	// Index, engine, comment, default changes are not logical capacity.
+	old := parse(t, `CREATE TABLE t (a INT DEFAULT 1, KEY k (a)) ENGINE=MyISAM; -- old`)
+	new := parse(t, `CREATE TABLE t (a INT DEFAULT 2, KEY k2 (a)) ENGINE=InnoDB; -- new`)
+	d := Compute(old, new)
+	if d.IsActive() {
+		t.Fatalf("physical-only change counted as active: %+v", d.Changes)
+	}
+}
+
+func TestColumnOrderInsensitiveByDefault(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, b INT);")
+	new := parse(t, "CREATE TABLE t (b INT, a INT);")
+	if d := Compute(old, new); d.IsActive() {
+		t.Fatal("column reorder should be inactive by default")
+	}
+	if d := ComputeOptions(old, new, Options{OrderSensitive: true}); d.TypeChange != 2 {
+		t.Fatalf("order-sensitive mode: TypeChange = %d, want 2", d.TypeChange)
+	}
+}
+
+func TestMixedTransition(t *testing.T) {
+	old := parse(t, `
+CREATE TABLE keep (a INT, gone INT, changes INT, PRIMARY KEY (a));
+CREATE TABLE dying (x INT, y INT);`)
+	new := parse(t, `
+CREATE TABLE keep (a INT, fresh INT, changes BIGINT, PRIMARY KEY (a, fresh));
+CREATE TABLE born (p INT, q INT, r INT);`)
+	d := Compute(old, new)
+	if d.Born != 3 {
+		t.Errorf("Born = %d, want 3", d.Born)
+	}
+	if d.Deleted != 2 {
+		t.Errorf("Deleted = %d, want 2", d.Deleted)
+	}
+	if d.Injected != 1 {
+		t.Errorf("Injected = %d, want 1", d.Injected)
+	}
+	if d.Ejected != 1 {
+		t.Errorf("Ejected = %d, want 1", d.Ejected)
+	}
+	if d.TypeChange != 1 {
+		t.Errorf("TypeChange = %d, want 1", d.TypeChange)
+	}
+	// fresh joined the PK but is newly injected, so it counts once (as
+	// injected, not additionally as a PK change); a's participation is
+	// unchanged. PK changes are measured over surviving attributes only.
+	if d.PKChange != 0 {
+		t.Errorf("PKChange = %d, want 0", d.PKChange)
+	}
+	if d.Activity() != d.Expansion()+d.Maintenance() {
+		t.Error("activity identity broken")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := []ChangeKind{AttrBorn, AttrInjected, AttrDeleted, AttrEjected, AttrTypeChange, AttrPKChange}
+	want := []string{"born", "injected", "deleted", "ejected", "type-change", "pk-change"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("%d.String() = %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+// randomSchema builds a deterministic pseudo-random schema for properties.
+func randomSchema(r *rand.Rand) *schema.Schema {
+	s := schema.New()
+	types := []string{"int", "bigint", "varchar", "text", "datetime"}
+	nt := r.Intn(6)
+	for i := 0; i < nt; i++ {
+		t := schema.NewTable(string(rune('a' + i)))
+		nc := 1 + r.Intn(5)
+		for j := 0; j < nc; j++ {
+			t.AddColumn(&schema.Column{
+				Name: string(rune('p' + j)),
+				Type: schema.DataType{Name: types[r.Intn(len(types))]},
+			})
+		}
+		if r.Intn(2) == 0 && nc > 0 {
+			t.SetPrimaryKey([]string{string(rune('p'))})
+		}
+		s.AddTable(t)
+	}
+	return s
+}
+
+// Property: diff of a schema against itself is always empty.
+func TestSelfDiffEmptyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSchema(rand.New(rand.NewSource(seed)))
+		return !Compute(s, s.Clone()).IsActive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diff is anti-symmetric — expansion(a→b) = deletions-side of
+// maintenance(b→a) for table-level events, and activity is equal in both
+// directions when only births/deaths occur.
+func TestDiffAntiSymmetryProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomSchema(rand.New(rand.NewSource(seedA)))
+		b := randomSchema(rand.New(rand.NewSource(seedB)))
+		fwd := Compute(a, b)
+		rev := Compute(b, a)
+		// Births forward must equal deaths backward and vice versa.
+		if fwd.Born != rev.Deleted || fwd.Deleted != rev.Born {
+			return false
+		}
+		if fwd.Injected != rev.Ejected || fwd.Ejected != rev.Injected {
+			return false
+		}
+		// Type and PK changes are direction-independent counts.
+		return fwd.TypeChange == rev.TypeChange && fwd.PKChange == rev.PKChange
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: activity always equals the number of detail rows.
+func TestActivityMatchesChangeRows(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomSchema(rand.New(rand.NewSource(seedA)))
+		b := randomSchema(rand.New(rand.NewSource(seedB)))
+		d := Compute(a, b)
+		return d.Activity() == len(d.Changes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

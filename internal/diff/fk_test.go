@@ -1,0 +1,38 @@
+package diff
+
+import "testing"
+
+func TestFKAddedAndRemoved(t *testing.T) {
+	old := parse(t, `
+CREATE TABLE p (id INT PRIMARY KEY);
+CREATE TABLE c (a INT, b INT, CONSTRAINT fk1 FOREIGN KEY (a) REFERENCES p (id));`)
+	new := parse(t, `
+CREATE TABLE p (id INT PRIMARY KEY);
+CREATE TABLE c (a INT, b INT, CONSTRAINT fk2 FOREIGN KEY (b) REFERENCES p (id));`)
+	d := Compute(old, new)
+	if d.FKAdded != 1 || d.FKRemoved != 1 {
+		t.Fatalf("FK delta = +%d/-%d, want +1/-1", d.FKAdded, d.FKRemoved)
+	}
+	// FK churn is not logical-capacity activity.
+	if d.IsActive() {
+		t.Fatalf("FK-only change counted as active: %+v", d)
+	}
+}
+
+func TestFKRenameIsNotChange(t *testing.T) {
+	old := parse(t, "CREATE TABLE c (a INT, CONSTRAINT old_name FOREIGN KEY (a) REFERENCES p (id));")
+	new := parse(t, "CREATE TABLE c (a INT, CONSTRAINT new_name FOREIGN KEY (a) REFERENCES p (id));")
+	d := Compute(old, new)
+	if d.FKAdded != 0 || d.FKRemoved != 0 {
+		t.Fatalf("constraint rename registered as change: +%d/-%d", d.FKAdded, d.FKRemoved)
+	}
+}
+
+func TestFKTargetChangeIsRemoveAdd(t *testing.T) {
+	old := parse(t, "CREATE TABLE c (a INT, FOREIGN KEY (a) REFERENCES p (id));")
+	new := parse(t, "CREATE TABLE c (a INT, FOREIGN KEY (a) REFERENCES q (id));")
+	d := Compute(old, new)
+	if d.FKAdded != 1 || d.FKRemoved != 1 {
+		t.Fatalf("FK retarget = +%d/-%d, want +1/-1", d.FKAdded, d.FKRemoved)
+	}
+}

@@ -1,0 +1,494 @@
+package gitstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testRepo(t *testing.T) *Repo {
+	t.Helper()
+	r, err := Init(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func sigAt(unix int64) Signature {
+	return Signature{Name: "Dev", Email: "dev@example.com", When: time.Unix(unix, 0).UTC()}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	r := testRepo(t)
+	content := []byte("CREATE TABLE t (id INT);\n")
+	h, err := r.WriteBlob(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBlob(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestBlobHashMatchesGit(t *testing.T) {
+	// git hash-object of "hello\n" is a well-known constant.
+	h := HashObject(TypeBlob, []byte("hello\n"))
+	if h.String() != "ce013625030ba8dba906f756967f9e9ca394464a" {
+		t.Fatalf("hash = %s, want git's ce0136...", h)
+	}
+	// Empty blob constant.
+	if HashObject(TypeBlob, nil).String() != "e69de29bb2d1d6434b8b29ae775ad8c2e48c5391" {
+		t.Fatal("empty blob hash mismatch with git")
+	}
+}
+
+func TestWriteObjectIdempotent(t *testing.T) {
+	r := testRepo(t)
+	h1, err := r.WriteBlob([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.WriteBlob([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("content addressing broken")
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	r := testRepo(t)
+	b1, _ := r.WriteBlob([]byte("a"))
+	b2, _ := r.WriteBlob([]byte("b"))
+	entries := []TreeEntry{
+		{Mode: ModeFile, Name: "z.sql", Hash: b1},
+		{Mode: ModeFile, Name: "a.sql", Hash: b2},
+	}
+	th, err := r.WriteTree(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadTree(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a.sql" || got[1].Name != "z.sql" {
+		t.Fatalf("tree entries = %+v (must be sorted)", got)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	r := testRepo(t)
+	b, _ := r.WriteBlob([]byte("x"))
+	tree, _ := r.WriteTree([]TreeEntry{{Mode: ModeFile, Name: "f", Hash: b}})
+	sig := sigAt(1500000000)
+	h, err := r.WriteCommit(tree, nil, sig, sig, "initial import")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.ReadCommit(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tree != tree || len(c.Parents) != 0 {
+		t.Fatalf("commit fields wrong: %+v", c)
+	}
+	if c.Message != "initial import" {
+		t.Fatalf("message = %q", c.Message)
+	}
+	if !c.Author.When.Equal(sig.When) {
+		t.Fatalf("author time = %v, want %v", c.Author.When, sig.When)
+	}
+	if c.Author.Email != "dev@example.com" {
+		t.Fatalf("email = %q", c.Author.Email)
+	}
+}
+
+func TestCommitChainAndLog(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	var last Hash
+	for i := 0; i < 5; i++ {
+		w.Set("schema.sql", []byte(fmt.Sprintf("-- v%d\nCREATE TABLE t (id INT);\n", i)))
+		h, err := w.Commit(fmt.Sprintf("commit %d", i), sigAt(int64(1500000000+i*3600)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = h
+	}
+	head, err := r.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != last {
+		t.Fatal("HEAD does not point at last commit")
+	}
+	chain, err := r.Log(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 5 {
+		t.Fatalf("log length = %d, want 5", len(chain))
+	}
+	for i, c := range chain {
+		if want := fmt.Sprintf("commit %d", i); c.Message != want {
+			t.Errorf("chain[%d].Message = %q, want %q (oldest first)", i, c.Message, want)
+		}
+	}
+}
+
+func TestPathHistorySkipsUnchanged(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("db/schema.sql", []byte("v1"))
+	w.Set("README", []byte("readme"))
+	w.Commit("c1", sigAt(1000))
+	w.Set("README", []byte("readme 2")) // schema untouched
+	w.Commit("c2", sigAt(2000))
+	w.Set("db/schema.sql", []byte("v2"))
+	w.Commit("c3", sigAt(3000))
+
+	head, _ := r.Head()
+	hist, err := r.PathHistory(head, "db/schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history length = %d, want 2", len(hist))
+	}
+	if string(hist[0].Content) != "v1" || string(hist[1].Content) != "v2" {
+		t.Fatalf("contents = %q, %q", hist[0].Content, hist[1].Content)
+	}
+	if !hist[0].When.Before(hist[1].When) {
+		t.Fatal("history not oldest-first")
+	}
+}
+
+func TestPathHistoryDeletionAndRebirth(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("s.sql", []byte("v1"))
+	w.Commit("add", sigAt(1000))
+	w.Remove("s.sql")
+	w.Set("other", []byte("x"))
+	w.Commit("delete", sigAt(2000))
+	w.Set("s.sql", []byte("v1")) // same content returns
+	w.Commit("restore", sigAt(3000))
+
+	head, _ := r.Head()
+	hist, err := r.PathHistory(head, "s.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history length = %d, want 2 (deletion breaks the chain)", len(hist))
+	}
+}
+
+func TestPathHistoryMissingPath(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("a", []byte("x"))
+	w.Commit("c", sigAt(1000))
+	head, _ := r.Head()
+	hist, err := r.PathHistory(head, "nope.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 0 {
+		t.Fatalf("history of missing path = %d versions", len(hist))
+	}
+}
+
+func TestNestedTrees(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("a/b/c/deep.sql", []byte("deep"))
+	w.Set("a/top.txt", []byte("top"))
+	w.Set("root.txt", []byte("root"))
+	w.Commit("c", sigAt(1000))
+	head, _ := r.Head()
+	c, _ := r.ReadCommit(head)
+	blob, ok, err := r.LookupPath(c, "a/b/c/deep.sql")
+	if err != nil || !ok {
+		t.Fatalf("LookupPath: ok=%v err=%v", ok, err)
+	}
+	content, _ := r.ReadBlob(blob)
+	if string(content) != "deep" {
+		t.Fatalf("content = %q", content)
+	}
+	if _, ok, _ := r.LookupPath(c, "a/b"); ok {
+		t.Fatal("directory lookup should report not-a-file")
+	}
+}
+
+func TestResolveRefThroughHEAD(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("f", []byte("x"))
+	h, _ := w.Commit("c", sigAt(1000))
+	got, err := r.ResolveRef("HEAD")
+	if err != nil || got != h {
+		t.Fatalf("HEAD = %v, err %v", got, err)
+	}
+}
+
+func TestOpenRejectsNonRepo(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open should fail on a non-repository")
+	}
+}
+
+func TestParseHashErrors(t *testing.T) {
+	if _, err := ParseHash("short"); err == nil {
+		t.Error("short hash accepted")
+	}
+	if _, err := ParseHash(strings.Repeat("z", 40)); err == nil {
+		t.Error("non-hex hash accepted")
+	}
+	h, err := ParseHash("ce013625030ba8dba906f756967f9e9ca394464a")
+	if err != nil || h.String() != "ce013625030ba8dba906f756967f9e9ca394464a" {
+		t.Error("valid hash rejected")
+	}
+}
+
+func TestSignatureEncodeParseRoundTrip(t *testing.T) {
+	sig := Signature{Name: "Ada Lovelace", Email: "ada@example.org", When: time.Unix(1234567890, 0).UTC()}
+	parsed, err := parseSignature(sig.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != sig.Name || parsed.Email != sig.Email || !parsed.When.Equal(sig.When) {
+		t.Fatalf("round trip: %+v", parsed)
+	}
+}
+
+func TestCountCommits(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	for i := 0; i < 7; i++ {
+		w.Set("f", []byte(fmt.Sprintf("%d", i)))
+		w.Commit("c", sigAt(int64(1000+i)))
+	}
+	head, _ := r.Head()
+	n, err := r.CountCommits(head)
+	if err != nil || n != 7 {
+		t.Fatalf("CountCommits = %d, err %v", n, err)
+	}
+}
+
+// Property: blob round trip preserves arbitrary bytes.
+func TestBlobRoundTripProperty(t *testing.T) {
+	r := testRepo(t)
+	f := func(data []byte) bool {
+		h, err := r.WriteBlob(data)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadBlob(h)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGitInterop verifies that real git can read our repositories, when git
+// is available on the machine (skipped otherwise).
+func TestGitInterop(t *testing.T) {
+	gitBin, err := exec.LookPath("git")
+	if err != nil {
+		t.Skip("git not installed")
+	}
+	dir := t.TempDir()
+	r, err := Init(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorktree(r, "master")
+	w.Set("schema.sql", []byte("CREATE TABLE t (id INT);\n"))
+	h, err := w.Commit("import schema", sigAt(1600000000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark as bare so git accepts the layout.
+	os.WriteFile(filepath.Join(dir, "config"), []byte("[core]\n\tbare = true\n"), 0o644)
+
+	out, err := exec.Command(gitBin, "--git-dir", dir, "cat-file", "-t", h.String()).CombinedOutput()
+	if err != nil {
+		t.Fatalf("git cat-file: %v: %s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "commit" {
+		t.Fatalf("git sees %q, want commit", out)
+	}
+	out, err = exec.Command(gitBin, "--git-dir", dir, "log", "--format=%s", "master").CombinedOutput()
+	if err != nil {
+		t.Fatalf("git log: %v: %s", err, out)
+	}
+	if strings.TrimSpace(string(out)) != "import schema" {
+		t.Fatalf("git log = %q", out)
+	}
+}
+
+func TestLogFollowsFirstParentAcrossMerges(t *testing.T) {
+	// Non-linear histories are a threat-to-validity the paper discusses:
+	// the extraction walks the first-parent chain (the mainline). Build
+	//   c1 -- c2 ---- m (merge)
+	//     \-- side --/
+	// and verify the log is c1, c2, m.
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("f", []byte("v1"))
+	c1, _ := w.Commit("c1", sigAt(1000))
+	w.Set("f", []byte("v2"))
+	c2, _ := w.Commit("c2", sigAt(2000))
+
+	// Side branch from c1.
+	blob, _ := r.WriteBlob([]byte("side"))
+	tree, _ := r.WriteTree([]TreeEntry{{Mode: ModeFile, Name: "f", Hash: blob}})
+	side, _ := r.WriteCommit(tree, []Hash{c1}, sigAt(1500), sigAt(1500), "side work")
+
+	// Merge side into master (first parent = c2).
+	mblob, _ := r.WriteBlob([]byte("merged"))
+	mtree, _ := r.WriteTree([]TreeEntry{{Mode: ModeFile, Name: "f", Hash: mblob}})
+	m, _ := r.WriteCommit(mtree, []Hash{c2, side}, sigAt(3000), sigAt(3000), "merge side")
+	r.UpdateRef("refs/heads/master", m)
+
+	chain, err := r.Log(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d, want 3 (first-parent only)", len(chain))
+	}
+	want := []string{"c1", "c2", "merge side"}
+	for i, c := range chain {
+		if c.Message != want[i] {
+			t.Errorf("chain[%d] = %q, want %q", i, c.Message, want[i])
+		}
+	}
+	// The merge commit's parents are both recorded.
+	if len(chain[2].Parents) != 2 {
+		t.Fatalf("merge parents = %d", len(chain[2].Parents))
+	}
+	// Path history sees v1, v2, merged — not the side branch's state.
+	hist, err := r.PathHistory(m, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 || string(hist[2].Content) != "merged" {
+		t.Fatalf("path history = %d versions (%q)", len(hist), hist[len(hist)-1].Content)
+	}
+}
+
+func TestLogCycleSafety(t *testing.T) {
+	// A corrupted ref graph must not hang the walker (seen-set guard).
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("f", []byte("x"))
+	h, _ := w.Commit("c", sigAt(1000))
+	chain, err := r.Log(h)
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("chain = %d, err %v", len(chain), err)
+	}
+}
+
+func TestWorktreeGetAndDir(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Init(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dir() != dir {
+		t.Errorf("Dir() = %q", r.Dir())
+	}
+	w := NewWorktree(r, "master")
+	w.Set("a/b.txt", []byte("content"))
+	if string(w.Get("a/b.txt")) != "content" {
+		t.Error("Get after Set failed")
+	}
+	if w.Get("missing") != nil {
+		t.Error("Get of missing path should be nil")
+	}
+	w.Remove("a/b.txt")
+	if w.Get("a/b.txt") != nil {
+		t.Error("Get after Remove should be nil")
+	}
+}
+
+func TestReadBlobTypeMismatch(t *testing.T) {
+	r := testRepo(t)
+	tree, _ := r.WriteTree(nil)
+	if _, err := r.ReadBlob(tree); err == nil {
+		t.Fatal("reading a tree as a blob should fail")
+	}
+	var missing Hash
+	missing[0] = 0xab
+	if _, err := r.ReadBlob(missing); err == nil {
+		t.Fatal("reading a missing object should fail")
+	}
+}
+
+func TestSignatureNegativeOffset(t *testing.T) {
+	loc := time.FixedZone("EST", -5*3600)
+	sig := Signature{Name: "n", Email: "e@x", When: time.Date(2020, 1, 1, 0, 0, 0, 0, loc)}
+	enc := sig.encode()
+	if !strings.Contains(enc, "-0500") {
+		t.Fatalf("encode = %q, want -0500 offset", enc)
+	}
+	parsed, err := parseSignature(enc)
+	if err != nil || !parsed.When.Equal(sig.When) {
+		t.Fatalf("round trip: %v err %v", parsed.When, err)
+	}
+}
+
+func TestCommitString(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("f", []byte("x"))
+	h, _ := w.Commit("hello world", sigAt(1600000000))
+	c, _ := r.ReadCommit(h)
+	s := c.String()
+	if !strings.Contains(s, "hello world") || !strings.Contains(s, "2020") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestParseSignatureErrors(t *testing.T) {
+	if _, err := parseSignature("no angle brackets"); err == nil {
+		t.Error("malformed signature accepted")
+	}
+	if _, err := parseSignature("name <e@x> notanumber +0000"); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestBranches(t *testing.T) {
+	r := testRepo(t)
+	w := NewWorktree(r, "master")
+	w.Set("f", []byte("x"))
+	w.Commit("c1", sigAt(1000))
+	w2 := NewWorktree(r, "feature/x")
+	w2.Set("f", []byte("y"))
+	w2.Commit("c2", sigAt(2000))
+
+	branches, err := r.Branches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 2 || branches[0] != "feature/x" || branches[1] != "master" {
+		t.Fatalf("branches = %v", branches)
+	}
+}

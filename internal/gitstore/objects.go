@@ -1,0 +1,477 @@
+// Package gitstore is a from-scratch, git-compatible object store: SHA-1
+// addressed loose objects (blob, tree, commit) compressed with zlib, refs,
+// commit-graph walking, and per-path file-history extraction.
+//
+// The study's pipeline mines DDL histories out of project repositories; this
+// package is the substrate that plays the role of the cloned GitHub
+// repositories. Objects are written in the exact on-disk format git uses
+// ("<type> <len>\x00<payload>", zlib-deflated, stored under
+// objects/<2-hex>/<38-hex>), so repositories written here are readable by
+// stock git and vice versa for the object kinds we support.
+package gitstore
+
+import (
+	"bytes"
+	"compress/zlib"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ObjectType is the git object kind.
+type ObjectType string
+
+// Supported object types.
+const (
+	TypeBlob   ObjectType = "blob"
+	TypeTree   ObjectType = "tree"
+	TypeCommit ObjectType = "commit"
+)
+
+// Hash is a 20-byte SHA-1 object id.
+type Hash [20]byte
+
+// ZeroHash is the all-zero id, used as "no parent".
+var ZeroHash Hash
+
+// String returns the 40-hex representation.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether h is the zero id.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+// ParseHash parses a 40-hex object id.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	if len(s) != 40 {
+		return h, fmt.Errorf("gitstore: bad hash length %d", len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("gitstore: bad hash %q: %w", s, err)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// HashObject computes the id git would assign to payload of the given type,
+// without storing it.
+func HashObject(typ ObjectType, payload []byte) Hash {
+	h := sha1.New()
+	fmt.Fprintf(h, "%s %d\x00", typ, len(payload))
+	h.Write(payload)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Repo is an on-disk repository. The directory layout mirrors a bare git
+// repository: objects/ (loose and packed), refs/heads/, HEAD.
+type Repo struct {
+	dir string
+	packState
+}
+
+// Init creates (or reuses) a repository at dir.
+func Init(dir string) (*Repo, error) {
+	for _, sub := range []string{"objects", filepath.Join("refs", "heads")} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("gitstore: init: %w", err)
+		}
+	}
+	head := filepath.Join(dir, "HEAD")
+	if _, err := os.Stat(head); os.IsNotExist(err) {
+		if err := os.WriteFile(head, []byte("ref: refs/heads/master\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("gitstore: init HEAD: %w", err)
+		}
+	}
+	return &Repo{dir: dir}, nil
+}
+
+// Open opens an existing repository at dir.
+func Open(dir string) (*Repo, error) {
+	if _, err := os.Stat(filepath.Join(dir, "objects")); err != nil {
+		return nil, fmt.Errorf("gitstore: %s is not a repository: %w", dir, err)
+	}
+	return &Repo{dir: dir}, nil
+}
+
+// Dir returns the repository directory.
+func (r *Repo) Dir() string { return r.dir }
+
+func (r *Repo) objectPath(h Hash) string {
+	s := h.String()
+	return filepath.Join(r.dir, "objects", s[:2], s[2:])
+}
+
+// WriteObject stores payload as an object of the given type, returning its
+// id. Writing an object that already exists is a no-op (content addressing).
+func (r *Repo) WriteObject(typ ObjectType, payload []byte) (Hash, error) {
+	h := HashObject(typ, payload)
+	path := r.objectPath(h)
+	if _, err := os.Stat(path); err == nil {
+		return h, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return ZeroHash, fmt.Errorf("gitstore: write object: %w", err)
+	}
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	fmt.Fprintf(zw, "%s %d\x00", typ, len(payload))
+	zw.Write(payload)
+	if err := zw.Close(); err != nil {
+		return ZeroHash, fmt.Errorf("gitstore: compress object: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o444); err != nil {
+		return ZeroHash, fmt.Errorf("gitstore: write object: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return ZeroHash, fmt.Errorf("gitstore: write object: %w", err)
+	}
+	return h, nil
+}
+
+// ReadObject loads an object by id — from a loose file when present,
+// otherwise from the repository's packs.
+func (r *Repo) ReadObject(h Hash) (ObjectType, []byte, error) {
+	f, err := os.Open(r.objectPath(h))
+	if err != nil {
+		typ, data, found, perr := r.readPacked(h)
+		if perr != nil {
+			return "", nil, fmt.Errorf("gitstore: object %s: %w", h, perr)
+		}
+		if found {
+			return typ, data, nil
+		}
+		return "", nil, fmt.Errorf("gitstore: object %s: %w", h, err)
+	}
+	defer f.Close()
+	zr, err := zlib.NewReader(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("gitstore: object %s: %w", h, err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return "", nil, fmt.Errorf("gitstore: object %s: %w", h, err)
+	}
+	nul := bytes.IndexByte(raw, 0)
+	if nul < 0 {
+		return "", nil, fmt.Errorf("gitstore: object %s: malformed header", h)
+	}
+	header := string(raw[:nul])
+	sp := strings.IndexByte(header, ' ')
+	if sp < 0 {
+		return "", nil, fmt.Errorf("gitstore: object %s: malformed header %q", h, header)
+	}
+	typ := ObjectType(header[:sp])
+	size, err := strconv.Atoi(header[sp+1:])
+	if err != nil || size != len(raw)-nul-1 {
+		return "", nil, fmt.Errorf("gitstore: object %s: size mismatch", h)
+	}
+	return typ, raw[nul+1:], nil
+}
+
+// WriteBlob stores file content.
+func (r *Repo) WriteBlob(content []byte) (Hash, error) {
+	return r.WriteObject(TypeBlob, content)
+}
+
+// ReadBlob loads blob content by id.
+func (r *Repo) ReadBlob(h Hash) ([]byte, error) {
+	typ, data, err := r.ReadObject(h)
+	if err != nil {
+		return nil, err
+	}
+	if typ != TypeBlob {
+		return nil, fmt.Errorf("gitstore: object %s is a %s, not a blob", h, typ)
+	}
+	return data, nil
+}
+
+// --- trees ------------------------------------------------------------------
+
+// TreeEntry is one row of a tree object.
+type TreeEntry struct {
+	Mode string // "100644" file, "40000" directory
+	Name string
+	Hash Hash
+}
+
+// Tree file modes.
+const (
+	ModeFile = "100644"
+	ModeDir  = "40000"
+)
+
+// WriteTree stores the given entries as a tree object. Entries are sorted in
+// git's canonical order (directories sort as if suffixed with '/').
+func (r *Repo) WriteTree(entries []TreeEntry) (Hash, error) {
+	sorted := append([]TreeEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return treeSortKey(sorted[i]) < treeSortKey(sorted[j])
+	})
+	var buf bytes.Buffer
+	for _, e := range sorted {
+		fmt.Fprintf(&buf, "%s %s\x00", e.Mode, e.Name)
+		buf.Write(e.Hash[:])
+	}
+	return r.WriteObject(TypeTree, buf.Bytes())
+}
+
+func treeSortKey(e TreeEntry) string {
+	if e.Mode == ModeDir {
+		return e.Name + "/"
+	}
+	return e.Name
+}
+
+// ReadTree loads and parses a tree object.
+func (r *Repo) ReadTree(h Hash) ([]TreeEntry, error) {
+	typ, data, err := r.ReadObject(h)
+	if err != nil {
+		return nil, err
+	}
+	if typ != TypeTree {
+		return nil, fmt.Errorf("gitstore: object %s is a %s, not a tree", h, typ)
+	}
+	var entries []TreeEntry
+	for len(data) > 0 {
+		sp := bytes.IndexByte(data, ' ')
+		nul := bytes.IndexByte(data, 0)
+		if sp < 0 || nul < 0 || nul < sp || len(data) < nul+21 {
+			return nil, fmt.Errorf("gitstore: tree %s: malformed entry", h)
+		}
+		var e TreeEntry
+		e.Mode = string(data[:sp])
+		e.Name = string(data[sp+1 : nul])
+		copy(e.Hash[:], data[nul+1:nul+21])
+		entries = append(entries, e)
+		data = data[nul+21:]
+	}
+	return entries, nil
+}
+
+// --- commits ----------------------------------------------------------------
+
+// Signature identifies an author or committer with a timestamp.
+type Signature struct {
+	Name  string
+	Email string
+	When  time.Time
+}
+
+func (s Signature) encode() string {
+	_, offset := s.When.Zone()
+	sign := "+"
+	if offset < 0 {
+		sign = "-"
+		offset = -offset
+	}
+	return fmt.Sprintf("%s <%s> %d %s%02d%02d",
+		s.Name, s.Email, s.When.Unix(), sign, offset/3600, (offset%3600)/60)
+}
+
+func parseSignature(line string) (Signature, error) {
+	var sig Signature
+	lt := strings.IndexByte(line, '<')
+	gt := strings.IndexByte(line, '>')
+	if lt < 0 || gt < lt {
+		return sig, fmt.Errorf("gitstore: malformed signature %q", line)
+	}
+	sig.Name = strings.TrimSpace(line[:lt])
+	sig.Email = line[lt+1 : gt]
+	rest := strings.Fields(strings.TrimSpace(line[gt+1:]))
+	if len(rest) >= 1 {
+		secs, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return sig, fmt.Errorf("gitstore: malformed timestamp in %q", line)
+		}
+		sig.When = time.Unix(secs, 0).UTC()
+	}
+	return sig, nil
+}
+
+// Commit is a parsed commit object.
+type Commit struct {
+	Hash      Hash
+	Tree      Hash
+	Parents   []Hash
+	Author    Signature
+	Committer Signature
+	Message   string
+}
+
+// WriteCommit stores a commit object.
+func (r *Repo) WriteCommit(tree Hash, parents []Hash, author, committer Signature, message string) (Hash, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "tree %s\n", tree)
+	for _, p := range parents {
+		if !p.IsZero() {
+			fmt.Fprintf(&buf, "parent %s\n", p)
+		}
+	}
+	fmt.Fprintf(&buf, "author %s\n", author.encode())
+	fmt.Fprintf(&buf, "committer %s\n", committer.encode())
+	buf.WriteByte('\n')
+	buf.WriteString(message)
+	if !strings.HasSuffix(message, "\n") {
+		buf.WriteByte('\n')
+	}
+	return r.WriteObject(TypeCommit, buf.Bytes())
+}
+
+// ReadCommit loads and parses a commit object.
+func (r *Repo) ReadCommit(h Hash) (*Commit, error) {
+	typ, data, err := r.ReadObject(h)
+	if err != nil {
+		return nil, err
+	}
+	if typ != TypeCommit {
+		return nil, fmt.Errorf("gitstore: object %s is a %s, not a commit", h, typ)
+	}
+	c := &Commit{Hash: h}
+	lines := strings.Split(string(data), "\n")
+	i := 0
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		if line == "" {
+			i++
+			break
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("gitstore: commit %s: malformed line %q", h, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		switch key {
+		case "tree":
+			c.Tree, err = ParseHash(val)
+		case "parent":
+			var p Hash
+			p, err = ParseHash(val)
+			c.Parents = append(c.Parents, p)
+		case "author":
+			c.Author, err = parseSignature(val)
+		case "committer":
+			c.Committer, err = parseSignature(val)
+		default:
+			// gpgsig etc.: skip continuation lines.
+			for i+1 < len(lines) && strings.HasPrefix(lines[i+1], " ") {
+				i++
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gitstore: commit %s: %w", h, err)
+		}
+	}
+	c.Message = strings.Join(lines[i:], "\n")
+	c.Message = strings.TrimSuffix(c.Message, "\n")
+	return c, nil
+}
+
+// --- refs -------------------------------------------------------------------
+
+// UpdateRef points the named ref (e.g. "refs/heads/master") at h.
+func (r *Repo) UpdateRef(name string, h Hash) error {
+	path := filepath.Join(r.dir, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("gitstore: update ref: %w", err)
+	}
+	return os.WriteFile(path, []byte(h.String()+"\n"), 0o644)
+}
+
+// ResolveRef resolves a ref name (or "HEAD") to an object id, consulting
+// the packed-refs file (written by `git gc`/`git pack-refs`) when the loose
+// ref file is absent.
+func (r *Repo) ResolveRef(name string) (Hash, error) {
+	path := filepath.Join(r.dir, filepath.FromSlash(name))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if h, ok := r.packedRef(name); ok {
+			return h, nil
+		}
+		return ZeroHash, fmt.Errorf("gitstore: ref %s: %w", name, err)
+	}
+	content := strings.TrimSpace(string(data))
+	if target, ok := strings.CutPrefix(content, "ref: "); ok {
+		return r.ResolveRef(target)
+	}
+	return ParseHash(content)
+}
+
+// packedRef looks name up in the packed-refs file, reporting success.
+func (r *Repo) packedRef(name string) (Hash, bool) {
+	data, err := os.ReadFile(filepath.Join(r.dir, "packed-refs"))
+	if err != nil {
+		return ZeroHash, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' || line[0] == '^' {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp != 40 {
+			continue
+		}
+		if line[sp+1:] == name {
+			h, err := ParseHash(line[:40])
+			if err != nil {
+				return ZeroHash, false
+			}
+			return h, true
+		}
+	}
+	return ZeroHash, false
+}
+
+// Head resolves HEAD.
+func (r *Repo) Head() (Hash, error) { return r.ResolveRef("HEAD") }
+
+// Branches lists the repository's branch names (loose refs/heads plus
+// packed-refs entries), sorted and de-duplicated.
+func (r *Repo) Branches() ([]string, error) {
+	seen := map[string]bool{}
+	headsDir := filepath.Join(r.dir, "refs", "heads")
+	filepath.WalkDir(headsDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(headsDir, path)
+		if err == nil {
+			seen[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if data, err := os.ReadFile(filepath.Join(r.dir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || line[0] == '#' || line[0] == '^' {
+				continue
+			}
+			sp := strings.IndexByte(line, ' ')
+			if sp != 40 {
+				continue
+			}
+			if name, ok := strings.CutPrefix(line[sp+1:], "refs/heads/"); ok {
+				seen[name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}

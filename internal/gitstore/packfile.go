@@ -1,0 +1,378 @@
+package gitstore
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Packfile support: real-world clones store most objects in packs
+// (objects/pack/pack-*.pack with a v2 .idx). This file implements enough of
+// the format for the miner to read packed repositories: idx v2 lookup,
+// object extraction, and OFS_DELTA / REF_DELTA resolution.
+
+// pack object type codes (pack format, not loose-object strings).
+const (
+	packCommit   = 1
+	packTree     = 2
+	packBlob     = 3
+	packTag      = 4
+	packOfsDelta = 6
+	packRefDelta = 7
+)
+
+func packTypeName(t int) (ObjectType, error) {
+	switch t {
+	case packCommit:
+		return TypeCommit, nil
+	case packTree:
+		return TypeTree, nil
+	case packBlob:
+		return TypeBlob, nil
+	case packTag:
+		return "tag", nil
+	}
+	return "", fmt.Errorf("gitstore: unknown pack object type %d", t)
+}
+
+// pack is one opened pack: its data and its idx-derived offset table.
+type pack struct {
+	data    []byte
+	offsets map[Hash]int64
+}
+
+// loadPacks lazily opens every pack under objects/pack (cached on the Repo).
+func (r *Repo) loadPacks() ([]*pack, error) {
+	r.packOnce.Do(func() {
+		dir := filepath.Join(r.dir, "objects", "pack")
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return // no packs: perfectly normal
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".idx") {
+				continue
+			}
+			idxPath := filepath.Join(dir, e.Name())
+			packPath := strings.TrimSuffix(idxPath, ".idx") + ".pack"
+			p, err := openPack(packPath, idxPath)
+			if err != nil {
+				r.packErr = err
+				return
+			}
+			r.packs = append(r.packs, p)
+		}
+	})
+	return r.packs, r.packErr
+}
+
+// openPack reads a pack and its v2 index into memory. The study's packs are
+// repository-sized (megabytes), so whole-file reads keep the code simple.
+func openPack(packPath, idxPath string) (*pack, error) {
+	data, err := os.ReadFile(packPath)
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: %w", err)
+	}
+	if len(data) < 12 || string(data[:4]) != "PACK" {
+		return nil, fmt.Errorf("gitstore: %s: not a pack file", packPath)
+	}
+	idx, err := os.ReadFile(idxPath)
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: %w", err)
+	}
+	offsets, err := parseIdxV2(idx)
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: %s: %w", idxPath, err)
+	}
+	return &pack{data: data, offsets: offsets}, nil
+}
+
+// parseIdxV2 parses a version-2 pack index into hash → pack offset.
+func parseIdxV2(idx []byte) (map[Hash]int64, error) {
+	const magicLen = 8
+	if len(idx) < magicLen+256*4 {
+		return nil, fmt.Errorf("idx too short")
+	}
+	if !bytes.Equal(idx[:4], []byte{0xff, 0x74, 0x4f, 0x63}) {
+		return nil, fmt.Errorf("bad idx magic (v1 indexes unsupported)")
+	}
+	if binary.BigEndian.Uint32(idx[4:8]) != 2 {
+		return nil, fmt.Errorf("unsupported idx version")
+	}
+	fanout := idx[magicLen : magicLen+256*4]
+	n := int(binary.BigEndian.Uint32(fanout[255*4:]))
+
+	shaBase := magicLen + 256*4
+	crcBase := shaBase + n*20
+	offBase := crcBase + n*4
+	largeBase := offBase + n*4
+	if len(idx) < largeBase {
+		return nil, fmt.Errorf("idx truncated")
+	}
+
+	out := make(map[Hash]int64, n)
+	for i := 0; i < n; i++ {
+		var h Hash
+		copy(h[:], idx[shaBase+i*20:])
+		raw := binary.BigEndian.Uint32(idx[offBase+i*4:])
+		var off int64
+		if raw&0x8000_0000 != 0 {
+			li := int(raw &^ 0x8000_0000)
+			pos := largeBase + li*8
+			if len(idx) < pos+8 {
+				return nil, fmt.Errorf("idx large-offset table truncated")
+			}
+			off = int64(binary.BigEndian.Uint64(idx[pos:]))
+		} else {
+			off = int64(raw)
+		}
+		out[h] = off
+	}
+	return out, nil
+}
+
+// object resolves the object at the given pack offset, following delta
+// chains.
+func (p *pack) object(offset int64) (ObjectType, []byte, error) {
+	typ, payload, err := p.raw(offset)
+	if err != nil {
+		return "", nil, err
+	}
+	return typ, payload, nil
+}
+
+// raw reads the entry at offset, resolving deltas recursively.
+func (p *pack) raw(offset int64) (ObjectType, []byte, error) {
+	if offset < 0 || offset >= int64(len(p.data)) {
+		return "", nil, fmt.Errorf("gitstore: pack offset %d out of range", offset)
+	}
+	pos := offset
+	b := p.data[pos]
+	pos++
+	objType := int(b >> 4 & 7)
+	size := int64(b & 0x0f)
+	shift := uint(4)
+	for b&0x80 != 0 {
+		b = p.data[pos]
+		pos++
+		size |= int64(b&0x7f) << shift
+		shift += 7
+	}
+
+	switch objType {
+	case packOfsDelta:
+		// Negative base offset, base-128 with +1 folding.
+		b = p.data[pos]
+		pos++
+		rel := int64(b & 0x7f)
+		for b&0x80 != 0 {
+			b = p.data[pos]
+			pos++
+			rel = ((rel + 1) << 7) | int64(b&0x7f)
+		}
+		baseType, base, err := p.raw(offset - rel)
+		if err != nil {
+			return "", nil, err
+		}
+		delta, err := inflate(p.data[pos:], size)
+		if err != nil {
+			return "", nil, err
+		}
+		out, err := applyDelta(base, delta)
+		return baseType, out, err
+	case packRefDelta:
+		var baseHash Hash
+		copy(baseHash[:], p.data[pos:pos+20])
+		pos += 20
+		baseOff, ok := p.offsets[baseHash]
+		if !ok {
+			return "", nil, fmt.Errorf("gitstore: delta base %s not in pack", baseHash)
+		}
+		baseType, base, err := p.raw(baseOff)
+		if err != nil {
+			return "", nil, err
+		}
+		delta, err := inflate(p.data[pos:], size)
+		if err != nil {
+			return "", nil, err
+		}
+		out, err := applyDelta(base, delta)
+		return baseType, out, err
+	default:
+		typ, err := packTypeName(objType)
+		if err != nil {
+			return "", nil, err
+		}
+		payload, err := inflate(p.data[pos:], size)
+		if err != nil {
+			return "", nil, err
+		}
+		return typ, payload, nil
+	}
+}
+
+// inflate decompresses a zlib stream expected to yield size bytes.
+func inflate(data []byte, size int64) ([]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: pack entry: %w", err)
+	}
+	defer zr.Close()
+	out := make([]byte, 0, size)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := zr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gitstore: pack entry: %w", err)
+		}
+	}
+	if int64(len(out)) != size {
+		return nil, fmt.Errorf("gitstore: pack entry: inflated %d bytes, header says %d", len(out), size)
+	}
+	return out, nil
+}
+
+// applyDelta reconstructs an object from its base and a delta buffer.
+func applyDelta(base, delta []byte) ([]byte, error) {
+	pos := 0
+	readVarint := func() (int64, error) {
+		var v int64
+		var shift uint
+		for {
+			if pos >= len(delta) {
+				return 0, fmt.Errorf("gitstore: delta header truncated")
+			}
+			b := delta[pos]
+			pos++
+			v |= int64(b&0x7f) << shift
+			shift += 7
+			if b&0x80 == 0 {
+				return v, nil
+			}
+		}
+	}
+	baseSize, err := readVarint()
+	if err != nil {
+		return nil, err
+	}
+	if baseSize != int64(len(base)) {
+		return nil, fmt.Errorf("gitstore: delta base size %d, have %d", baseSize, len(base))
+	}
+	resultSize, err := readVarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, resultSize)
+	for pos < len(delta) {
+		op := delta[pos]
+		pos++
+		if op&0x80 != 0 {
+			// Copy from base: offset/size bytes selected by low bits.
+			var off, size int64
+			for i := 0; i < 4; i++ {
+				if op&(1<<i) != 0 {
+					if pos >= len(delta) {
+						return nil, fmt.Errorf("gitstore: delta copy truncated")
+					}
+					off |= int64(delta[pos]) << (8 * i)
+					pos++
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if op&(1<<(4+i)) != 0 {
+					if pos >= len(delta) {
+						return nil, fmt.Errorf("gitstore: delta copy truncated")
+					}
+					size |= int64(delta[pos]) << (8 * i)
+					pos++
+				}
+			}
+			if size == 0 {
+				size = 0x10000
+			}
+			if off < 0 || off+size > int64(len(base)) {
+				return nil, fmt.Errorf("gitstore: delta copy out of range")
+			}
+			out = append(out, base[off:off+size]...)
+		} else if op > 0 {
+			// Insert literal bytes.
+			n := int(op)
+			if pos+n > len(delta) {
+				return nil, fmt.Errorf("gitstore: delta insert truncated")
+			}
+			out = append(out, delta[pos:pos+n]...)
+			pos += n
+		} else {
+			return nil, fmt.Errorf("gitstore: delta opcode 0 is reserved")
+		}
+	}
+	if int64(len(out)) != resultSize {
+		return nil, fmt.Errorf("gitstore: delta produced %d bytes, header says %d", len(out), resultSize)
+	}
+	return out, nil
+}
+
+// readPacked looks h up in every pack of the repository.
+func (r *Repo) readPacked(h Hash) (ObjectType, []byte, bool, error) {
+	packs, err := r.loadPacks()
+	if err != nil {
+		return "", nil, false, err
+	}
+	for _, p := range packs {
+		if off, ok := p.offsets[h]; ok {
+			typ, data, err := p.object(off)
+			return typ, data, true, err
+		}
+	}
+	return "", nil, false, nil
+}
+
+// PackedObjectCount reports how many distinct objects the repository's packs
+// hold (diagnostics and tests).
+func (r *Repo) PackedObjectCount() (int, error) {
+	packs, err := r.loadPacks()
+	if err != nil {
+		return 0, err
+	}
+	seen := map[Hash]bool{}
+	for _, p := range packs {
+		for h := range p.offsets {
+			seen[h] = true
+		}
+	}
+	return len(seen), nil
+}
+
+// packState carries the lazily opened packs; embedded in Repo.
+type packState struct {
+	packOnce sync.Once
+	packs    []*pack
+	packErr  error
+}
+
+// sortedPackHashes lists all packed object ids, for deterministic tests.
+func (r *Repo) sortedPackHashes() ([]Hash, error) {
+	packs, err := r.loadPacks()
+	if err != nil {
+		return nil, err
+	}
+	var out []Hash
+	for _, p := range packs {
+		for h := range p.offsets {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package gitstore
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Worktree is a minimal staging area over a Repo: a full snapshot of file
+// paths to contents, committed as nested trees. It mirrors how the corpus
+// generator produces project histories: set files, commit, repeat.
+type Worktree struct {
+	repo   *Repo
+	branch string
+	files  map[string][]byte
+}
+
+// NewWorktree returns a worktree committing to refs/heads/<branch>.
+func NewWorktree(repo *Repo, branch string) *Worktree {
+	return &Worktree{repo: repo, branch: branch, files: make(map[string][]byte)}
+}
+
+// Set stages content at the slash-separated path.
+func (w *Worktree) Set(p string, content []byte) {
+	w.files[path.Clean(p)] = append([]byte(nil), content...)
+}
+
+// Remove unstages the path.
+func (w *Worktree) Remove(p string) { delete(w.files, path.Clean(p)) }
+
+// Get returns the staged content at path, or nil.
+func (w *Worktree) Get(p string) []byte { return w.files[path.Clean(p)] }
+
+// Commit writes the staged snapshot as a commit on the branch and returns
+// its id. The same signature is used for author and committer.
+func (w *Worktree) Commit(message string, sig Signature) (Hash, error) {
+	tree, err := w.writeTree("")
+	if err != nil {
+		return ZeroHash, err
+	}
+	var parents []Hash
+	ref := "refs/heads/" + w.branch
+	if head, err := w.repo.ResolveRef(ref); err == nil {
+		parents = append(parents, head)
+	}
+	c, err := w.repo.WriteCommit(tree, parents, sig, sig, message)
+	if err != nil {
+		return ZeroHash, err
+	}
+	if err := w.repo.UpdateRef(ref, c); err != nil {
+		return ZeroHash, err
+	}
+	return c, nil
+}
+
+// writeTree recursively writes the tree for the directory prefix (""=root).
+func (w *Worktree) writeTree(prefix string) (Hash, error) {
+	type dirEntry struct {
+		name  string
+		isDir bool
+	}
+	seen := map[string]dirEntry{}
+	for p := range w.files {
+		if prefix != "" && !strings.HasPrefix(p, prefix+"/") {
+			continue
+		}
+		rest := p
+		if prefix != "" {
+			rest = strings.TrimPrefix(p, prefix+"/")
+		}
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			seen[rest] = dirEntry{name: rest}
+		} else {
+			d := rest[:slash]
+			seen[d] = dirEntry{name: d, isDir: true}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	entries := make([]TreeEntry, 0, len(names))
+	for _, n := range names {
+		e := seen[n]
+		if e.isDir {
+			sub := n
+			if prefix != "" {
+				sub = prefix + "/" + n
+			}
+			h, err := w.writeTree(sub)
+			if err != nil {
+				return ZeroHash, err
+			}
+			entries = append(entries, TreeEntry{Mode: ModeDir, Name: n, Hash: h})
+		} else {
+			full := n
+			if prefix != "" {
+				full = prefix + "/" + n
+			}
+			h, err := w.repo.WriteBlob(w.files[full])
+			if err != nil {
+				return ZeroHash, err
+			}
+			entries = append(entries, TreeEntry{Mode: ModeFile, Name: n, Hash: h})
+		}
+	}
+	return w.repo.WriteTree(entries)
+}
+
+// Log walks the first-parent chain from the given commit and returns the
+// commits ordered oldest first. The paper's extraction investigates the
+// entire linearised history of the DDL file; first-parent order matches how
+// `git log --first-parent --reverse` reads a project's mainline (see the
+// threats-to-validity discussion of non-linear git histories).
+func (r *Repo) Log(from Hash) ([]*Commit, error) {
+	var chain []*Commit
+	seen := make(map[Hash]bool)
+	for h := from; !h.IsZero() && !seen[h]; {
+		seen[h] = true
+		c, err := r.ReadCommit(h)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, c)
+		if len(c.Parents) == 0 {
+			break
+		}
+		h = c.Parents[0]
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// LookupPath resolves the blob id at a slash-separated path inside the
+// commit's tree, reporting whether the path exists.
+func (r *Repo) LookupPath(c *Commit, p string) (Hash, bool, error) {
+	parts := strings.Split(path.Clean(p), "/")
+	cur := c.Tree
+	for i, part := range parts {
+		entries, err := r.ReadTree(cur)
+		if err != nil {
+			return ZeroHash, false, err
+		}
+		var found *TreeEntry
+		for k := range entries {
+			if entries[k].Name == part {
+				found = &entries[k]
+				break
+			}
+		}
+		if found == nil {
+			return ZeroHash, false, nil
+		}
+		if i == len(parts)-1 {
+			if found.Mode == ModeDir {
+				return ZeroHash, false, nil
+			}
+			return found.Hash, true, nil
+		}
+		if found.Mode != ModeDir {
+			return ZeroHash, false, nil
+		}
+		cur = found.Hash
+	}
+	return ZeroHash, false, nil
+}
+
+// FileVersion is one version of a tracked file: the commit that changed it
+// and the content after the change.
+type FileVersion struct {
+	Commit  Hash
+	When    time.Time
+	Message string
+	Content []byte
+}
+
+// PathHistory extracts the version history of the file at path, oldest
+// first, keeping only commits where the blob actually changed (matching
+// `git log --follow`-less behaviour: renames are not tracked, as in the
+// study). A commit that deletes the file contributes no version; if the file
+// reappears later with different content, that is a new version.
+func (r *Repo) PathHistory(from Hash, p string) ([]FileVersion, error) {
+	chain, err := r.Log(from)
+	if err != nil {
+		return nil, err
+	}
+	var out []FileVersion
+	var prev Hash
+	havePrev := false
+	for _, c := range chain {
+		blob, ok, err := r.LookupPath(c, p)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			havePrev = false
+			continue
+		}
+		if havePrev && blob == prev {
+			continue
+		}
+		content, err := r.ReadBlob(blob)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FileVersion{
+			Commit:  c.Hash,
+			When:    c.Committer.When,
+			Message: c.Message,
+			Content: content,
+		})
+		prev, havePrev = blob, true
+	}
+	return out, nil
+}
+
+// CountCommits returns the total number of commits reachable first-parent
+// from the given head — the study's "project commits" denominator for the
+// DDL-commit share measure.
+func (r *Repo) CountCommits(from Hash) (int, error) {
+	chain, err := r.Log(from)
+	if err != nil {
+		return 0, err
+	}
+	return len(chain), nil
+}
+
+// String renders a short description for diagnostics.
+func (c *Commit) String() string {
+	return fmt.Sprintf("%s %s %q", c.Hash.String()[:8], c.Committer.When.Format("2006-01-02"), c.Message)
+}

@@ -1,0 +1,310 @@
+// Package history models schema histories — the ordered list of versions of
+// one DDL file — and computes their transitions: parsed schema pairs plus
+// the quantified delta between them.
+//
+// This is the bridge between the repository substrate (gitstore) and the
+// measurement layer (core): it applies the paper's version-level filters
+// (empty files and versions without CREATE TABLE statements are dropped) and
+// produces, for every surviving transition, timing information, schema sizes
+// and the attribute-level delta.
+package history
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/diff"
+	"github.com/schemaevo/schemaevo/internal/gitstore"
+	"github.com/schemaevo/schemaevo/internal/schema"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+)
+
+// Version is one commit of the DDL file.
+type Version struct {
+	// ID is the sequential index in the extracted history (0 = V0).
+	ID int
+	// When is the commit timestamp.
+	When time.Time
+	// SQL is the full text of the DDL file at this version.
+	SQL string
+	// Commit and Message identify the originating commit, when extracted
+	// from a repository.
+	Commit  string
+	Message string
+}
+
+// History is a schema history plus the project-level context needed for the
+// study's duration and commit-share measures.
+type History struct {
+	Project  string
+	Path     string
+	Versions []Version
+
+	// ProjectCommits is the total number of commits in the whole project
+	// (the denominator of the DDL-commit-share measure).
+	ProjectCommits int
+	// ProjectStart / ProjectEnd delimit the Project Update Period (PUP).
+	ProjectStart time.Time
+	ProjectEnd   time.Time
+}
+
+// FromRepo extracts the history of the DDL file at path from a repository,
+// reading the full first-parent log from HEAD. Project-level measures are
+// derived from the same walk.
+func FromRepo(repo *gitstore.Repo, project, path string) (*History, error) {
+	head, err := repo.Head()
+	if err != nil {
+		return nil, fmt.Errorf("history: %s: %w", project, err)
+	}
+	return fromCommit(repo, project, path, head)
+}
+
+// FromRepoBranch extracts the history from a specific branch instead of
+// HEAD — the single-branch alternative the paper's threats-to-validity
+// section discusses for non-linear git histories.
+func FromRepoBranch(repo *gitstore.Repo, project, branch, path string) (*History, error) {
+	head, err := repo.ResolveRef("refs/heads/" + branch)
+	if err != nil {
+		return nil, fmt.Errorf("history: %s: branch %s: %w", project, branch, err)
+	}
+	return fromCommit(repo, project, path, head)
+}
+
+func fromCommit(repo *gitstore.Repo, project, path string, head gitstore.Hash) (*History, error) {
+	chain, err := repo.Log(head)
+	if err != nil {
+		return nil, fmt.Errorf("history: %s: %w", project, err)
+	}
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("history: %s: empty repository", project)
+	}
+	files, err := repo.PathHistory(head, path)
+	if err != nil {
+		return nil, fmt.Errorf("history: %s: %w", project, err)
+	}
+	h := &History{
+		Project:        project,
+		Path:           path,
+		ProjectCommits: len(chain),
+		ProjectStart:   chain[0].Committer.When,
+		ProjectEnd:     chain[len(chain)-1].Committer.When,
+	}
+	for i, fv := range files {
+		h.Versions = append(h.Versions, Version{
+			ID:      i,
+			When:    fv.When,
+			SQL:     string(fv.Content),
+			Commit:  fv.Commit.String(),
+			Message: fv.Message,
+		})
+	}
+	return h, nil
+}
+
+// Filter applies the paper's version-level cleaning: empty versions and
+// versions whose SQL contains no CREATE TABLE statement are removed, and IDs
+// are renumbered. It returns the number of versions dropped.
+func (h *History) Filter() int {
+	kept := h.Versions[:0]
+	dropped := 0
+	for _, v := range h.Versions {
+		if len(v.SQL) == 0 || !sqlparse.Parse(v.SQL).HasCreateTable() {
+			dropped++
+			continue
+		}
+		kept = append(kept, v)
+	}
+	for i := range kept {
+		kept[i].ID = i
+	}
+	h.Versions = kept
+	return dropped
+}
+
+// IsHistoryLess reports whether the history has at most one version — the
+// paper's "rigid" projects, excluded from the 195-project study set.
+func (h *History) IsHistoryLess() bool { return len(h.Versions) <= 1 }
+
+// SchemaUpdatePeriod returns the time span between the first and last commit
+// of the schema file.
+func (h *History) SchemaUpdatePeriod() time.Duration {
+	if len(h.Versions) < 2 {
+		return 0
+	}
+	return h.Versions[len(h.Versions)-1].When.Sub(h.Versions[0].When)
+}
+
+// ProjectUpdatePeriod returns the time span of the whole project history.
+func (h *History) ProjectUpdatePeriod() time.Duration {
+	return h.ProjectEnd.Sub(h.ProjectStart)
+}
+
+// Prefix returns a copy of the history truncated to its first n versions —
+// the "what was observable after k commits" view used by the forecasting
+// experiment. n is clamped to [0, len(Versions)].
+func (h *History) Prefix(n int) *History {
+	if n > len(h.Versions) {
+		n = len(h.Versions)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := &History{
+		Project:        h.Project,
+		Path:           h.Path,
+		ProjectCommits: h.ProjectCommits,
+		ProjectStart:   h.ProjectStart,
+		ProjectEnd:     h.ProjectEnd,
+	}
+	out.Versions = append(out.Versions, h.Versions[:n]...)
+	return out
+}
+
+// Squash returns a copy of the history where runs of commits closer than
+// window collapse into their final state. This models teams that batch
+// changes into larger commits; the paper's threats-to-validity section
+// argues commit habits do not change a project's aggregate profile, and the
+// E21 experiment uses Squash to test that claim. A zero window returns an
+// unmodified copy.
+func (h *History) Squash(window time.Duration) *History {
+	out := &History{
+		Project:        h.Project,
+		Path:           h.Path,
+		ProjectCommits: h.ProjectCommits,
+		ProjectStart:   h.ProjectStart,
+		ProjectEnd:     h.ProjectEnd,
+	}
+	for _, v := range h.Versions {
+		if n := len(out.Versions); n > 0 && window > 0 &&
+			v.When.Sub(out.Versions[n-1].When) < window {
+			// Collapse onto the cluster's final state, keeping its time at
+			// the last member so the SUP end stays put.
+			out.Versions[n-1] = v
+			continue
+		}
+		out.Versions = append(out.Versions, v)
+	}
+	for i := range out.Versions {
+		out.Versions[i].ID = i
+	}
+	return out
+}
+
+// Transition is the evolution step from version FromID to version ToID.
+type Transition struct {
+	FromID int
+	ToID   int
+	// When is the commit time of the destination version.
+	When time.Time
+	// DaysSinceV0 is the distance of the destination commit from V0.
+	DaysSinceV0 float64
+	// Delta quantifies the attribute-level changes.
+	Delta *diff.Delta
+	// Schema sizes on both sides of the transition.
+	TablesBefore, TablesAfter int
+	AttrsBefore, AttrsAfter   int
+}
+
+// Analysis is a fully processed schema history: the parsed schema of every
+// version and the transition chain.
+type Analysis struct {
+	History     *History
+	Schemas     []*schema.Schema
+	Transitions []Transition
+	// ParseErrors counts statements skipped by the tolerant parser over the
+	// whole history, a data-quality signal surfaced by the CLI tools.
+	ParseErrors int
+}
+
+// Analyze parses every version and computes all transitions. The history
+// should already be filtered; Analyze does not mutate it.
+func Analyze(h *History) (*Analysis, error) {
+	if len(h.Versions) == 0 {
+		return nil, fmt.Errorf("history: %s: no versions to analyze", h.Project)
+	}
+	a := &Analysis{History: h}
+	for _, v := range h.Versions {
+		res := sqlparse.Parse(v.SQL)
+		a.ParseErrors += len(res.Errors)
+		a.Schemas = append(a.Schemas, res.Schema)
+	}
+	v0 := h.Versions[0].When
+	for i := 1; i < len(a.Schemas); i++ {
+		old, new := a.Schemas[i-1], a.Schemas[i]
+		t := Transition{
+			FromID:       i - 1,
+			ToID:         i,
+			When:         h.Versions[i].When,
+			DaysSinceV0:  h.Versions[i].When.Sub(v0).Hours() / 24,
+			Delta:        diff.Compute(old, new),
+			TablesBefore: old.NumTables(),
+			TablesAfter:  new.NumTables(),
+			AttrsBefore:  old.NumColumns(),
+			AttrsAfter:   new.NumColumns(),
+		}
+		a.Transitions = append(a.Transitions, t)
+	}
+	return a, nil
+}
+
+// SizeSeries returns (time, #tables, #attributes) for every version —
+// the "schema size over human time" line of the paper's figures.
+func (a *Analysis) SizeSeries() []SizePoint {
+	out := make([]SizePoint, len(a.Schemas))
+	for i, s := range a.Schemas {
+		out[i] = SizePoint{
+			When:   a.History.Versions[i].When,
+			Tables: s.NumTables(),
+			Attrs:  s.NumColumns(),
+		}
+	}
+	return out
+}
+
+// SizePoint is one point of the schema-size chart.
+type SizePoint struct {
+	When   time.Time
+	Tables int
+	Attrs  int
+}
+
+// MonthlyActivity aggregates expansion and maintenance per calendar month —
+// the paper's Fig. 1/9 presentation for active projects. Months with no
+// transitions are included (zero-filled) between the first and last commit.
+func (a *Analysis) MonthlyActivity() []MonthBucket {
+	if len(a.Transitions) == 0 {
+		return nil
+	}
+	type key struct{ y, m int }
+	buckets := map[key]*MonthBucket{}
+	first := a.History.Versions[0].When
+	last := a.History.Versions[len(a.History.Versions)-1].When
+	for cur := time.Date(first.Year(), first.Month(), 1, 0, 0, 0, 0, time.UTC); !cur.After(last); cur = cur.AddDate(0, 1, 0) {
+		buckets[key{cur.Year(), int(cur.Month())}] = &MonthBucket{Year: cur.Year(), Month: int(cur.Month())}
+	}
+	for _, t := range a.Transitions {
+		k := key{t.When.Year(), int(t.When.Month())}
+		b, ok := buckets[k]
+		if !ok {
+			b = &MonthBucket{Year: k.y, Month: k.m}
+			buckets[k] = b
+		}
+		b.Expansion += t.Delta.Expansion()
+		b.Maintenance += t.Delta.Maintenance()
+		b.Commits++
+	}
+	var out []MonthBucket
+	for cur := time.Date(first.Year(), first.Month(), 1, 0, 0, 0, 0, time.UTC); !cur.After(last); cur = cur.AddDate(0, 1, 0) {
+		out = append(out, *buckets[key{cur.Year(), int(cur.Month())}])
+	}
+	return out
+}
+
+// MonthBucket is one month of aggregated activity.
+type MonthBucket struct {
+	Year        int
+	Month       int
+	Expansion   int
+	Maintenance int
+	Commits     int
+}

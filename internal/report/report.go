@@ -1,0 +1,302 @@
+// Package report renders the study's tables and figures as text: aligned
+// ASCII tables, CSV series for external plotting, heartbeat bar charts
+// (expansion above the axis, maintenance below — the paper's signature
+// visualisation), schema-size step charts, box-plot summaries and scatter
+// grids.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with a header rule and right-aligned numeric
+// columns (a column is numeric when every non-empty cell parses as number).
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	numeric := make([]bool, ncol)
+	for i := range numeric {
+		numeric[i] = true
+	}
+	consider := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	consider(t.Headers)
+	for _, r := range t.Rows {
+		consider(r)
+		for i, c := range r {
+			if c == "" {
+				continue
+			}
+			if _, err := fmt.Sscanf(c, "%f", new(float64)); err != nil {
+				numeric[i] = false
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string, header bool) {
+		for i := 0; i < ncol; i++ {
+			var c string
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if numeric[i] && !header {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers, true)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r, false)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (headers first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Headers)
+	for _, r := range t.Rows {
+		w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatNum renders a float compactly: integers without decimals, otherwise
+// two decimals (matching the paper's tables).
+func FormatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+// Heartbeat renders the paper's heartbeat chart: one column per transition,
+// expansion bars above the axis and maintenance bars below, scaled to
+// height rows each side.
+func Heartbeat(expansion, maintenance []int, height int) string {
+	n := len(expansion)
+	if len(maintenance) != n {
+		panic("report: heartbeat series length mismatch")
+	}
+	if n == 0 {
+		return "(no transitions)\n"
+	}
+	max := 1
+	for i := 0; i < n; i++ {
+		if expansion[i] > max {
+			max = expansion[i]
+		}
+		if maintenance[i] > max {
+			max = maintenance[i]
+		}
+	}
+	scale := func(v int) int {
+		if v == 0 {
+			return 0
+		}
+		s := int(math.Ceil(float64(v) / float64(max) * float64(height)))
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "expansion ↑ (max %d)\n", max)
+	for row := height; row >= 1; row-- {
+		for i := 0; i < n; i++ {
+			if scale(expansion[i]) >= row {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat("=", n))
+	b.WriteByte('\n')
+	for row := 1; row <= height; row++ {
+		for i := 0; i < n; i++ {
+			if scale(maintenance[i]) >= row {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("maintenance ↓\n")
+	return b.String()
+}
+
+// StepChart renders a y-over-x line as an ASCII grid (rows × cols), for the
+// schema-size-over-time figures. xs must be non-decreasing.
+func StepChart(xs, ys []float64, rows, cols int, label string) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return "(no data)\n"
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(cols-1))
+		return c
+	}
+	rowOf := func(y float64) int {
+		r := int((y - minY) / (maxY - minY) * float64(rows-1))
+		return rows - 1 - r
+	}
+	// Step interpolation between points.
+	for i := 0; i < len(xs); i++ {
+		c := col(xs[i])
+		r := rowOf(ys[i])
+		grid[r][c] = '*'
+		if i > 0 {
+			prevR := rowOf(ys[i-1])
+			for cc := col(xs[i-1]) + 1; cc < c; cc++ {
+				grid[prevR][cc] = '-'
+			}
+			lo, hi := prevR, r
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for rr := lo + 1; rr < hi; rr++ {
+				grid[rr][c] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [y: %s..%s]\n", label, FormatNum(minY), FormatNum(maxY))
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat("-", cols))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// BoxStats is the five-number summary of one dimension of a box plot.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// FormatBox renders "min [Q1 | med | Q3] max".
+func (s BoxStats) String() string {
+	return fmt.Sprintf("%s [%s | %s | %s] %s",
+		FormatNum(s.Min), FormatNum(s.Q1), FormatNum(s.Median), FormatNum(s.Q3), FormatNum(s.Max))
+}
+
+// ScatterLogLog renders points on a log-log ASCII grid with one rune per
+// series — the Fig. 10 projection of projects onto (activity, active
+// commits). Points at zero are clamped to the axis minimum.
+func ScatterLogLog(series map[rune][][2]float64, rows, cols int) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pts := range series {
+		for _, p := range pts {
+			x, y := math.Max(p[0], 1), math.Max(p[1], 1)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX * 10
+	}
+	if maxY == minY {
+		maxY = minY * 10
+	}
+	lminX, lmaxX := math.Log(minX), math.Log(maxX)
+	lminY, lmaxY := math.Log(minY), math.Log(maxY)
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	for marker, pts := range series {
+		for _, p := range pts {
+			x, y := math.Max(p[0], 1), math.Max(p[1], 1)
+			c := int((math.Log(x) - lminX) / (lmaxX - lminX) * float64(cols-1))
+			r := rows - 1 - int((math.Log(y)-lminY)/(lmaxY-lminY)*float64(rows-1))
+			grid[r][c] = byte(marker)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: active commits (log, %s..%s)   x: total activity (log, %s..%s)\n",
+		FormatNum(minY), FormatNum(maxY), FormatNum(minX), FormatNum(maxX))
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Counts", "taxon", "n")
+	tb.AddRow("Frozen", "34")
+	tb.AddRow("Almost Frozen", "65")
+	s := tb.String()
+	if !strings.Contains(s, "Counts\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	// Numeric column right-aligned: "34" should end at same column as "65".
+	if !strings.HasSuffix(lines[3], "34") || !strings.HasSuffix(lines[4], "65") {
+		t.Errorf("numeric alignment off:\n%s", s)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("row widths differ:\n%s", s)
+	}
+}
+
+func TestTablePadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,with comma", "1")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,with comma",1`) {
+		t.Errorf("CSV = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV headers = %q", csv)
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {3.5, "3.5"}, {3.25, "3.25"}, {546.14, "546.14"}, {0, "0"}, {-2, "-2"},
+	}
+	for _, c := range cases {
+		if got := FormatNum(c.in); got != c.want {
+			t.Errorf("FormatNum(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHeartbeatShape(t *testing.T) {
+	s := Heartbeat([]int{5, 0, 2}, []int{0, 3, 1}, 4)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// 1 header + 4 up + axis + 4 down + 1 footer = 11 lines.
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	axis := lines[5]
+	if axis != "===" {
+		t.Errorf("axis = %q", axis)
+	}
+	// Column 0 has expansion only: top row directly above axis must be '#'.
+	if lines[4][0] != '#' {
+		t.Errorf("expansion bar missing:\n%s", s)
+	}
+	if lines[6][1] != '#' {
+		t.Errorf("maintenance bar missing:\n%s", s)
+	}
+	// Column 1 has no expansion.
+	if lines[4][1] != ' ' {
+		t.Errorf("phantom expansion:\n%s", s)
+	}
+}
+
+func TestHeartbeatEmpty(t *testing.T) {
+	if s := Heartbeat(nil, nil, 3); !strings.Contains(s, "no transitions") {
+		t.Errorf("empty heartbeat = %q", s)
+	}
+}
+
+func TestHeartbeatLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched series")
+		}
+	}()
+	Heartbeat([]int{1}, []int{1, 2}, 3)
+}
+
+func TestStepChart(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 1, 5, 5}
+	s := StepChart(xs, ys, 6, 20, "tables")
+	if !strings.Contains(s, "tables") || !strings.Contains(s, "[y: 1..5]") {
+		t.Errorf("labels missing:\n%s", s)
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("no points plotted")
+	}
+	if got := StepChart(nil, nil, 4, 10, "x"); !strings.Contains(got, "no data") {
+		t.Error("empty chart not handled")
+	}
+	// Flat series must not divide by zero.
+	flat := StepChart([]float64{0, 1}, []float64{2, 2}, 4, 10, "flat")
+	if !strings.Contains(flat, "*") {
+		t.Error("flat series lost")
+	}
+}
+
+func TestBoxStatsString(t *testing.T) {
+	b := BoxStats{Min: 11, Q1: 15, Median: 23, Q3: 37.5, Max: 88}
+	if got := b.String(); got != "11 [15 | 23 | 37.5] 88" {
+		t.Errorf("BoxStats = %q", got)
+	}
+}
+
+func TestScatterLogLog(t *testing.T) {
+	series := map[rune][][2]float64{
+		'o': {{1, 1}, {10, 2}},
+		'x': {{1000, 100}},
+	}
+	s := ScatterLogLog(series, 8, 40)
+	if !strings.Contains(s, "o") || !strings.Contains(s, "x") {
+		t.Errorf("markers missing:\n%s", s)
+	}
+	if got := ScatterLogLog(nil, 4, 10); !strings.Contains(got, "no data") {
+		t.Error("empty scatter not handled")
+	}
+	// Zero values clamp instead of -Inf.
+	z := ScatterLogLog(map[rune][][2]float64{'z': {{0, 0}, {50, 5}}}, 6, 20)
+	if !strings.Contains(z, "z") {
+		t.Errorf("zero point lost:\n%s", z)
+	}
+}

@@ -1,0 +1,286 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file renders the paper's figure types as standalone SVG documents:
+// schema-size line charts (Figs. 1, 2, 5–9 left panels), heartbeat bar
+// charts (right panels), the log-log scatter of Fig. 10, and the double box
+// plot of Fig. 13. Everything is plain stdlib string building; the output is
+// valid XML (tested by parsing it back).
+
+// svgDoc accumulates SVG elements.
+type svgDoc struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgDoc {
+	d := &svgDoc{w: w, h: h}
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	d.b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	return d
+}
+
+func (d *svgDoc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (d *svgDoc) rect(x, y, w, h float64, fill string) {
+	if h < 0 {
+		y, h = y+h, -h
+	}
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (d *svgDoc) rectOutline(x, y, w, h float64, stroke string) {
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		x, y, w, h, stroke)
+}
+
+func (d *svgDoc) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&d.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (d *svgDoc) text(x, y float64, size int, s string) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="%d">%s</text>`+"\n",
+		x, y, size, escapeXML(s))
+}
+
+func (d *svgDoc) close() string {
+	d.b.WriteString("</svg>\n")
+	return d.b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// chart margins.
+const (
+	svgMarginL = 50.0
+	svgMarginR = 15.0
+	svgMarginT = 30.0
+	svgMarginB = 35.0
+)
+
+// SVGLineChart renders a step line of ys over xs (e.g. #tables over days
+// since V0), the left panel of the paper's project figures.
+func SVGLineChart(xs, ys []float64, title, xlabel, ylabel string, w, h int) string {
+	d := newSVG(w, h)
+	d.text(10, 18, 13, title)
+	if len(xs) == 0 || len(xs) != len(ys) {
+		d.text(float64(w)/2-30, float64(h)/2, 12, "(no data)")
+		return d.close()
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(w) - svgMarginL - svgMarginR
+	plotH := float64(h) - svgMarginT - svgMarginB
+	px := func(x float64) float64 { return svgMarginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return svgMarginT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// Axes.
+	d.line(svgMarginL, svgMarginT, svgMarginL, svgMarginT+plotH, "#333", 1)
+	d.line(svgMarginL, svgMarginT+plotH, svgMarginL+plotW, svgMarginT+plotH, "#333", 1)
+	d.text(svgMarginL-40, svgMarginT+8, 10, FormatNum(maxY))
+	d.text(svgMarginL-40, svgMarginT+plotH, 10, FormatNum(minY))
+	d.text(svgMarginL+plotW-40, svgMarginT+plotH+25, 10, xlabel)
+	d.text(5, svgMarginT-8, 10, ylabel)
+
+	// Step polyline with point markers.
+	for i := range xs {
+		if i > 0 {
+			d.line(px(xs[i-1]), py(ys[i-1]), px(xs[i]), py(ys[i-1]), "#1f6fb2", 1.6)
+			d.line(px(xs[i]), py(ys[i-1]), px(xs[i]), py(ys[i]), "#1f6fb2", 1.6)
+		}
+		d.circle(px(xs[i]), py(ys[i]), 2.4, "#1f6fb2")
+	}
+	return d.close()
+}
+
+// SVGHeartbeat renders the two-sided heartbeat bar chart: expansion above
+// the axis (blue), maintenance below (red), per transition id.
+func SVGHeartbeat(expansion, maintenance []int, title string, w, h int) string {
+	d := newSVG(w, h)
+	d.text(10, 18, 13, title)
+	n := len(expansion)
+	if n == 0 || n != len(maintenance) {
+		d.text(float64(w)/2-30, float64(h)/2, 12, "(no transitions)")
+		return d.close()
+	}
+	max := 1
+	for i := 0; i < n; i++ {
+		if expansion[i] > max {
+			max = expansion[i]
+		}
+		if maintenance[i] > max {
+			max = maintenance[i]
+		}
+	}
+	plotW := float64(w) - svgMarginL - svgMarginR
+	plotH := float64(h) - svgMarginT - svgMarginB
+	mid := svgMarginT + plotH/2
+	barW := plotW / float64(n)
+	if barW > 20 {
+		barW = 20
+	}
+	scale := (plotH / 2) / float64(max)
+
+	d.line(svgMarginL, mid, svgMarginL+plotW, mid, "#333", 1)
+	d.text(svgMarginL-40, svgMarginT+8, 10, fmt.Sprint(max))
+	d.text(svgMarginL-40, svgMarginT+plotH, 10, fmt.Sprint(-max))
+	d.text(5, svgMarginT-8, 10, "expansion ↑ / maintenance ↓ (attributes)")
+
+	for i := 0; i < n; i++ {
+		x := svgMarginL + float64(i)/float64(n)*plotW
+		if expansion[i] > 0 {
+			d.rect(x, mid-float64(expansion[i])*scale, barW*0.8, float64(expansion[i])*scale, "#1f6fb2")
+		}
+		if maintenance[i] > 0 {
+			d.rect(x, mid, barW*0.8, float64(maintenance[i])*scale, "#c23b3b")
+		}
+	}
+	return d.close()
+}
+
+// SVGSeries is one named point set of a scatter plot.
+type SVGSeries struct {
+	Name   string
+	Color  string
+	Points [][2]float64
+}
+
+// SVGScatterLogLog renders the Fig. 10 projection: total activity (x) vs
+// active commits (y) on log axes, one colour per taxon.
+func SVGScatterLogLog(series []SVGSeries, title string, w, h int) string {
+	d := newSVG(w, h)
+	d.text(10, 18, 13, title)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			x, y := math.Max(p[0], 1), math.Max(p[1], 1)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		d.text(float64(w)/2-30, float64(h)/2, 12, "(no data)")
+		return d.close()
+	}
+	if maxX == minX {
+		maxX = minX * 10
+	}
+	if maxY == minY {
+		maxY = minY * 10
+	}
+	plotW := float64(w) - svgMarginL - svgMarginR
+	plotH := float64(h) - svgMarginT - svgMarginB
+	px := func(x float64) float64 {
+		return svgMarginL + (math.Log(math.Max(x, 1))-math.Log(minX))/(math.Log(maxX)-math.Log(minX))*plotW
+	}
+	py := func(y float64) float64 {
+		return svgMarginT + plotH - (math.Log(math.Max(y, 1))-math.Log(minY))/(math.Log(maxY)-math.Log(minY))*plotH
+	}
+	d.line(svgMarginL, svgMarginT, svgMarginL, svgMarginT+plotH, "#333", 1)
+	d.line(svgMarginL, svgMarginT+plotH, svgMarginL+plotW, svgMarginT+plotH, "#333", 1)
+	d.text(svgMarginL+plotW-120, svgMarginT+plotH+25, 10, "total activity (log)")
+	d.text(5, svgMarginT-8, 10, "active commits (log)")
+
+	// Decade grid lines.
+	for e := math.Ceil(math.Log10(minX)); e <= math.Floor(math.Log10(maxX)); e++ {
+		x := math.Pow(10, e)
+		d.line(px(x), svgMarginT, px(x), svgMarginT+plotH, "#ddd", 0.5)
+		d.text(px(x)-5, svgMarginT+plotH+14, 9, FormatNum(x))
+	}
+	for e := math.Ceil(math.Log10(minY)); e <= math.Floor(math.Log10(maxY)); e++ {
+		y := math.Pow(10, e)
+		d.line(svgMarginL, py(y), svgMarginL+plotW, py(y), "#ddd", 0.5)
+		d.text(svgMarginL-25, py(y)+3, 9, FormatNum(y))
+	}
+
+	legendY := svgMarginT + 6.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			d.circle(px(p[0]), py(p[1]), 3, s.Color)
+		}
+		d.circle(svgMarginL+plotW-110, legendY, 4, s.Color)
+		d.text(svgMarginL+plotW-100, legendY+4, 10, s.Name)
+		legendY += 14
+	}
+	return d.close()
+}
+
+// SVGBox is one taxon's box on the double box plot: the Q1–Q3 rectangle on
+// both dimensions with a median cross, as in Fig. 13.
+type SVGBox struct {
+	Name  string
+	Color string
+	X     BoxStats // activity dimension
+	Y     BoxStats // active-commit dimension
+}
+
+// SVGDoubleBoxPlot renders the Fig. 13 double box plot on log-log axes.
+func SVGDoubleBoxPlot(boxes []SVGBox, title string, w, h int) string {
+	d := newSVG(w, h)
+	d.text(10, 18, 13, title)
+	if len(boxes) == 0 {
+		d.text(float64(w)/2-30, float64(h)/2, 12, "(no data)")
+		return d.close()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		minX = math.Min(minX, math.Max(b.X.Min, 1))
+		maxX = math.Max(maxX, math.Max(b.X.Max, 1))
+		minY = math.Min(minY, math.Max(b.Y.Min, 1))
+		maxY = math.Max(maxY, math.Max(b.Y.Max, 1))
+	}
+	if maxX == minX {
+		maxX = minX * 10
+	}
+	if maxY == minY {
+		maxY = minY * 10
+	}
+	plotW := float64(w) - svgMarginL - svgMarginR
+	plotH := float64(h) - svgMarginT - svgMarginB
+	px := func(x float64) float64 {
+		return svgMarginL + (math.Log(math.Max(x, 1))-math.Log(minX))/(math.Log(maxX)-math.Log(minX))*plotW
+	}
+	py := func(y float64) float64 {
+		return svgMarginT + plotH - (math.Log(math.Max(y, 1))-math.Log(minY))/(math.Log(maxY)-math.Log(minY))*plotH
+	}
+	d.line(svgMarginL, svgMarginT, svgMarginL, svgMarginT+plotH, "#333", 1)
+	d.line(svgMarginL, svgMarginT+plotH, svgMarginL+plotW, svgMarginT+plotH, "#333", 1)
+	d.text(svgMarginL+plotW-140, svgMarginT+plotH+25, 10, "total activity (log)")
+	d.text(5, svgMarginT-8, 10, "active commits (log)")
+
+	legendY := svgMarginT + 6.0
+	for _, b := range boxes {
+		x1, x2 := px(b.X.Q1), px(b.X.Q3)
+		y1, y2 := py(b.Y.Q3), py(b.Y.Q1)
+		d.rectOutline(x1, y1, x2-x1, y2-y1, b.Color)
+		// Median cross spanning min..max on each dimension.
+		d.line(px(b.X.Min), py(b.Y.Median), px(b.X.Max), py(b.Y.Median), b.Color, 1)
+		d.line(px(b.X.Median), py(b.Y.Min), px(b.X.Median), py(b.Y.Max), b.Color, 1)
+		d.circle(svgMarginL+plotW-130, legendY, 4, b.Color)
+		d.text(svgMarginL+plotW-120, legendY+4, 10, b.Name)
+		legendY += 14
+	}
+	return d.close()
+}

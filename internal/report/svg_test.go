@@ -1,0 +1,114 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the SVG parses as XML and counts elements by name.
+func wellFormed(t *testing.T, svg string) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	if counts["svg"] != 1 {
+		t.Fatalf("svg roots = %d", counts["svg"])
+	}
+	return counts
+}
+
+func TestSVGLineChart(t *testing.T) {
+	svg := SVGLineChart([]float64{0, 10, 20, 30}, []float64{2, 2, 5, 6},
+		"schema size", "days", "#tables", 600, 300)
+	counts := wellFormed(t, svg)
+	if counts["circle"] != 4 {
+		t.Errorf("point markers = %d, want 4", counts["circle"])
+	}
+	if counts["line"] < 2+3 { // axes + steps
+		t.Errorf("lines = %d", counts["line"])
+	}
+	if !strings.Contains(svg, "schema size") {
+		t.Error("title missing")
+	}
+}
+
+func TestSVGLineChartEmpty(t *testing.T) {
+	svg := SVGLineChart(nil, nil, "t", "x", "y", 300, 200)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart placeholder missing")
+	}
+}
+
+func TestSVGLineChartFlatSeries(t *testing.T) {
+	svg := SVGLineChart([]float64{0, 1}, []float64{3, 3}, "flat", "x", "y", 300, 200)
+	wellFormed(t, svg) // must not divide by zero / emit NaN
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestSVGHeartbeat(t *testing.T) {
+	svg := SVGHeartbeat([]int{5, 0, 2}, []int{0, 3, 1}, "heartbeat", 600, 300)
+	counts := wellFormed(t, svg)
+	// Bars: expansion at 0,2 and maintenance at 1,2 → 4 bars + background.
+	if counts["rect"] != 1+4 {
+		t.Errorf("rects = %d, want 5", counts["rect"])
+	}
+}
+
+func TestSVGHeartbeatEscapesTitle(t *testing.T) {
+	svg := SVGHeartbeat([]int{1}, []int{0}, `a <b> & "c"`, 300, 200)
+	wellFormed(t, svg)
+}
+
+func TestSVGScatterLogLog(t *testing.T) {
+	series := []SVGSeries{
+		{Name: "Moderate", Color: "#2a9d2a", Points: [][2]float64{{23, 7}, {40, 9}}},
+		{Name: "Active", Color: "#c23b3b", Points: [][2]float64{{254, 22}, {3485, 232}}},
+	}
+	svg := SVGScatterLogLog(series, "Fig. 10", 600, 400)
+	counts := wellFormed(t, svg)
+	// 4 data points + 2 legend dots.
+	if counts["circle"] != 6 {
+		t.Errorf("circles = %d, want 6", counts["circle"])
+	}
+	if !strings.Contains(svg, "Moderate") || !strings.Contains(svg, "Active") {
+		t.Error("legend missing")
+	}
+	if got := SVGScatterLogLog(nil, "t", 300, 200); !strings.Contains(got, "no data") {
+		t.Error("empty scatter placeholder missing")
+	}
+}
+
+func TestSVGDoubleBoxPlot(t *testing.T) {
+	boxes := []SVGBox{
+		{Name: "Moderate", Color: "#2a9d2a",
+			X: BoxStats{Min: 11, Q1: 15, Median: 23, Q3: 37.5, Max: 88},
+			Y: BoxStats{Min: 4, Q1: 5, Median: 7, Q3: 10, Max: 22}},
+		{Name: "Active", Color: "#c23b3b",
+			X: BoxStats{Min: 112, Q1: 177, Median: 254, Q3: 558.5, Max: 3485},
+			Y: BoxStats{Min: 7, Q1: 15, Median: 22, Q3: 50.5, Max: 232}},
+	}
+	svg := SVGDoubleBoxPlot(boxes, "Fig. 13", 700, 500)
+	counts := wellFormed(t, svg)
+	// One outlined rect per box + the background rect.
+	if counts["rect"] != 1+2 {
+		t.Errorf("rects = %d, want 3", counts["rect"])
+	}
+	if got := SVGDoubleBoxPlot(nil, "t", 300, 200); !strings.Contains(got, "no data") {
+		t.Error("empty box plot placeholder missing")
+	}
+}

@@ -1,0 +1,384 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"`users`", "users"},
+		{"Users", "users"},
+		{"  \"Order_Items\" ", "order_items"},
+		{"[dbo_table]", "dbo_table"},
+		{"plain", "plain"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddAndLookupTable(t *testing.T) {
+	s := New()
+	u := NewTable("Users")
+	s.AddTable(u)
+	if s.Table("`users`") != u {
+		t.Fatal("case/quote-insensitive lookup failed")
+	}
+	if s.NumTables() != 1 {
+		t.Fatalf("NumTables = %d, want 1", s.NumTables())
+	}
+}
+
+func TestAddTableReplacesOnRedeclaration(t *testing.T) {
+	s := New()
+	s.AddTable(NewTable("t"))
+	t2 := NewTable("T")
+	t2.AddColumn(&Column{Name: "id", Type: DataType{Name: "int"}})
+	s.AddTable(t2)
+	if s.NumTables() != 1 {
+		t.Fatalf("NumTables = %d, want 1 after redeclaration", s.NumTables())
+	}
+	if got := s.Table("t"); got != t2 || len(got.Columns) != 1 {
+		t.Fatal("redeclared table did not replace original")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := New()
+	s.AddTable(NewTable("a"))
+	s.AddTable(NewTable("b"))
+	if !s.DropTable("A") {
+		t.Fatal("DropTable returned false for existing table")
+	}
+	if s.DropTable("a") {
+		t.Fatal("DropTable returned true for missing table")
+	}
+	if s.NumTables() != 1 || s.Table("b") == nil {
+		t.Fatal("wrong tables remain after drop")
+	}
+}
+
+func TestColumnOperations(t *testing.T) {
+	tb := NewTable("t")
+	tb.AddColumn(&Column{Name: "ID", Type: DataType{Name: "int", Args: []string{"11"}}})
+	tb.AddColumn(&Column{Name: "name", Type: DataType{Name: "varchar", Args: []string{"255"}}})
+	if tb.Column("id") == nil {
+		t.Fatal("case-insensitive column lookup failed")
+	}
+	// Redeclaration replaces.
+	tb.AddColumn(&Column{Name: "id", Type: DataType{Name: "bigint"}})
+	if len(tb.Columns) != 2 {
+		t.Fatalf("len(Columns) = %d, want 2", len(tb.Columns))
+	}
+	if tb.Column("id").Type.Name != "bigint" {
+		t.Fatal("column redeclaration did not replace")
+	}
+	if !tb.DropColumn("NAME") {
+		t.Fatal("DropColumn failed")
+	}
+	if len(tb.Columns) != 1 {
+		t.Fatalf("len(Columns) = %d, want 1 after drop", len(tb.Columns))
+	}
+}
+
+func TestDropColumnRemovesFromPK(t *testing.T) {
+	tb := NewTable("t")
+	tb.AddColumn(&Column{Name: "a"})
+	tb.AddColumn(&Column{Name: "b"})
+	tb.SetPrimaryKey([]string{"A", "B"})
+	tb.DropColumn("a")
+	if len(tb.PrimaryKey) != 1 || tb.PrimaryKey[0] != "b" {
+		t.Fatalf("PK after drop = %v, want [b]", tb.PrimaryKey)
+	}
+}
+
+func TestHasPKColumn(t *testing.T) {
+	tb := NewTable("t")
+	tb.SetPrimaryKey([]string{"`Id`"})
+	if !tb.HasPKColumn("ID") {
+		t.Fatal("HasPKColumn should normalize")
+	}
+	if tb.HasPKColumn("other") {
+		t.Fatal("HasPKColumn false positive")
+	}
+}
+
+func TestDataTypeEqual(t *testing.T) {
+	a := DataType{Name: "int", Args: []string{"11"}}
+	b := DataType{Name: "int", Args: []string{"11"}}
+	if !a.Equal(b) {
+		t.Fatal("identical types not equal")
+	}
+	if a.Equal(DataType{Name: "int", Args: []string{"10"}}) {
+		t.Fatal("different args equal")
+	}
+	if a.Equal(DataType{Name: "bigint", Args: []string{"11"}}) {
+		t.Fatal("different names equal")
+	}
+	if a.Equal(DataType{Name: "int", Args: []string{"11"}, Unsigned: true}) {
+		t.Fatal("unsigned flag ignored")
+	}
+}
+
+func TestDataTypeString(t *testing.T) {
+	d := DataType{Name: "decimal", Args: []string{"10", "2"}, Unsigned: true}
+	if got := d.String(); got != "decimal(10,2) unsigned" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (DataType{Name: "text"}).String(); got != "text" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := New()
+	tb := NewTable("t")
+	tb.AddColumn(&Column{Name: "id", Type: DataType{Name: "int"}})
+	tb.SetPrimaryKey([]string{"id"})
+	s.AddTable(tb)
+
+	c := s.Clone()
+	c.Table("t").AddColumn(&Column{Name: "x"})
+	c.Table("t").Column("id").Type.Name = "bigint"
+	if len(s.Table("t").Columns) != 1 {
+		t.Fatal("clone shares column slice with original")
+	}
+	if s.Table("t").Column("id").Type.Name != "int" {
+		t.Fatal("clone shares column structs with original")
+	}
+}
+
+func TestNumColumns(t *testing.T) {
+	s := New()
+	a := NewTable("a")
+	a.AddColumn(&Column{Name: "x"})
+	a.AddColumn(&Column{Name: "y"})
+	b := NewTable("b")
+	b.AddColumn(&Column{Name: "z"})
+	s.AddTable(a)
+	s.AddTable(b)
+	if got := s.NumColumns(); got != 3 {
+		t.Fatalf("NumColumns = %d, want 3", got)
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	s := New()
+	s.AddTable(NewTable("zeta"))
+	s.AddTable(NewTable("Alpha"))
+	got := s.TableNames()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("TableNames = %v", got)
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		return Normalize(Normalize(s)) == Normalize(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after AddColumn of n distinct names, all are retrievable and the
+// count matches.
+func TestAddColumnsProperty(t *testing.T) {
+	f := func(names []string) bool {
+		tb := NewTable("t")
+		seen := map[string]bool{}
+		for _, n := range names {
+			if Normalize(n) == "" {
+				continue
+			}
+			tb.AddColumn(&Column{Name: n})
+			seen[Normalize(n)] = true
+		}
+		if len(tb.Columns) != len(seen) {
+			return false
+		}
+		for n := range seen {
+			if tb.Column(n) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForeignKeyHelpers(t *testing.T) {
+	s := New()
+	p := NewTable("p")
+	p.AddColumn(&Column{Name: "id"})
+	p.SetPrimaryKey([]string{"id"})
+	c := NewTable("c")
+	c.AddColumn(&Column{Name: "pid"})
+	c.AddForeignKey(&ForeignKey{Name: "FK1", Columns: []string{"PID"}, RefTable: "`P`", RefColumns: []string{"ID"}})
+	s.AddTable(p)
+	s.AddTable(c)
+
+	fk := c.ForeignKeys[0]
+	if fk.Columns[0] != "pid" || fk.RefTable != "p" || fk.RefColumns[0] != "id" {
+		t.Fatalf("AddForeignKey did not normalize: %+v", fk)
+	}
+	if got := fk.Key(); got != "pid->p(id)" {
+		t.Errorf("Key() = %q", got)
+	}
+	if s.NumForeignKeys() != 1 {
+		t.Errorf("NumForeignKeys = %d", s.NumForeignKeys())
+	}
+
+	// Dropping the referenced table clears incoming constraints.
+	s.DropForeignKeysTo("p")
+	if len(c.ForeignKeys) != 0 {
+		t.Fatal("DropForeignKeysTo left constraints")
+	}
+
+	// Dropping the referenced column clears matching constraints.
+	c.AddForeignKey(&ForeignKey{Columns: []string{"pid"}, RefTable: "p", RefColumns: []string{"id"}})
+	s.DropForeignKeysToColumn("p", "other")
+	if len(c.ForeignKeys) != 1 {
+		t.Fatal("unrelated column drop removed constraint")
+	}
+	s.DropForeignKeysToColumn("p", "id")
+	if len(c.ForeignKeys) != 0 {
+		t.Fatal("DropForeignKeysToColumn left constraints")
+	}
+
+	// Dropping the child column clears its own constraint.
+	c.AddForeignKey(&ForeignKey{Columns: []string{"pid"}, RefTable: "p", RefColumns: []string{"id"}})
+	c.DropColumn("pid")
+	if len(c.ForeignKeys) != 0 {
+		t.Fatal("DropColumn left its foreign key")
+	}
+}
+
+func TestCloneCopiesForeignKeys(t *testing.T) {
+	tb := NewTable("c")
+	tb.AddColumn(&Column{Name: "a"})
+	tb.AddForeignKey(&ForeignKey{Columns: []string{"a"}, RefTable: "p", RefColumns: []string{"id"}})
+	cp := tb.Clone()
+	cp.ForeignKeys[0].RefTable = "changed"
+	if tb.ForeignKeys[0].RefTable != "p" {
+		t.Fatal("Clone shares foreign keys")
+	}
+}
+
+func TestRenameTable(t *testing.T) {
+	s := New()
+	a := NewTable("a")
+	a.AddColumn(&Column{Name: "x"})
+	s.AddTable(a)
+	s.AddTable(NewTable("b"))
+
+	if s.RenameTable("missing", "y") {
+		t.Error("rename of missing table succeeded")
+	}
+	if !s.RenameTable("a", "c") {
+		t.Fatal("rename failed")
+	}
+	if s.Table("a") != nil || s.Table("c") == nil {
+		t.Fatal("rename did not re-register")
+	}
+	if s.Table("c").Name != "c" {
+		t.Errorf("Name = %q", s.Table("c").Name)
+	}
+	// Renaming onto an existing name replaces the victim.
+	if !s.RenameTable("c", "b") {
+		t.Fatal("rename-over failed")
+	}
+	if s.NumTables() != 1 || s.Table("b").Column("x") == nil {
+		t.Fatalf("rename-over left %d tables", s.NumTables())
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	mk := func() *Schema {
+		s := New()
+		tb := NewTable("t")
+		tb.AddColumn(&Column{Name: "a", Type: DataType{Name: "int"}})
+		tb.AddColumn(&Column{Name: "b", Type: DataType{Name: "text"}})
+		tb.SetPrimaryKey([]string{"a"})
+		tb.AddForeignKey(&ForeignKey{Columns: []string{"b"}, RefTable: "p", RefColumns: []string{"id"}})
+		s.AddTable(tb)
+		return s
+	}
+	a, b := mk(), mk()
+	if !Equal(a, b) {
+		t.Fatal("identical schemas unequal")
+	}
+	// Column order is irrelevant.
+	c := mk()
+	cols := c.Table("t").Columns
+	cols[0], cols[1] = cols[1], cols[0]
+	if !Equal(a, c) {
+		t.Fatal("column order should not matter")
+	}
+	// Each kind of difference breaks equality.
+	d := mk()
+	d.Table("t").AddColumn(&Column{Name: "extra"})
+	if Equal(a, d) {
+		t.Error("extra column undetected")
+	}
+	e := mk()
+	e.Table("t").Column("a").Type = DataType{Name: "bigint"}
+	if Equal(a, e) {
+		t.Error("type change undetected")
+	}
+	f := mk()
+	f.Table("t").SetPrimaryKey([]string{"b"})
+	if Equal(a, f) {
+		t.Error("PK change undetected")
+	}
+	g := mk()
+	g.Table("t").ForeignKeys = nil
+	if Equal(a, g) {
+		t.Error("FK removal undetected")
+	}
+	h := mk()
+	h.AddTable(NewTable("other"))
+	if Equal(a, h) {
+		t.Error("extra table undetected")
+	}
+	i := mk()
+	i.RenameTable("t", "renamed")
+	if Equal(a, i) {
+		t.Error("table rename undetected")
+	}
+	// PK as a set: order-insensitive.
+	j, k := mk(), mk()
+	j.Table("t").SetPrimaryKey([]string{"a", "b"})
+	k.Table("t").SetPrimaryKey([]string{"b", "a"})
+	if !Equal(j, k) {
+		t.Error("PK order should not matter")
+	}
+}
+
+func TestColumnString(t *testing.T) {
+	c := &Column{Name: "Total", Type: DataType{Name: "decimal", Args: []string{"10", "2"}}, AutoInc: true}
+	if got := c.String(); got != "total decimal(10,2) not null auto_increment" {
+		t.Errorf("String() = %q", got)
+	}
+	n := &Column{Name: "x", Type: DataType{Name: "int"}, Nullable: true}
+	if got := n.String(); got != "x int" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNilIndexLookups(t *testing.T) {
+	var s Schema // zero value, no index map
+	if s.Table("x") != nil {
+		t.Error("zero-value schema lookup should be nil")
+	}
+	var tb Table
+	if tb.Column("x") != nil {
+		t.Error("zero-value table lookup should be nil")
+	}
+}

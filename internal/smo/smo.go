@@ -1,0 +1,425 @@
+// Package smo derives Schema Modification Operators — the algebraic view of
+// schema evolution pioneered by the PRISM line of work the paper cites
+// ([3]–[5]) — from a pair of schema versions. A transition's delta becomes
+// an ordered operator sequence that (a) renders to an executable MySQL
+// migration script and (b) replays onto the old schema to reproduce the new
+// one exactly. The replay property is the package's contract and is
+// enforced by property tests against the corpus generator.
+package smo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+)
+
+// Op is one schema modification operator.
+type Op interface {
+	// SQL renders the operator as one executable MySQL statement.
+	SQL() string
+	// Apply mutates s in place. It returns an error when the operator does
+	// not fit the schema (unknown table/column), signalling a derivation or
+	// replay-order bug.
+	Apply(s *schema.Schema) error
+}
+
+// CreateTable introduces a table (with columns, PK and FKs).
+type CreateTable struct{ Table *schema.Table }
+
+// DropTable removes a table.
+type DropTable struct{ Name string }
+
+// AddColumn injects a column into an existing table.
+type AddColumn struct {
+	Table  string
+	Column *schema.Column
+}
+
+// DropColumn ejects a column from an existing table.
+type DropColumn struct{ Table, Column string }
+
+// ChangeType alters a column's data type.
+type ChangeType struct {
+	Table  string
+	Column string
+	Type   schema.DataType
+}
+
+// SetPrimaryKey replaces a table's primary key ("" members impossible; an
+// empty Columns drops the key).
+type SetPrimaryKey struct {
+	Table   string
+	Columns []string
+}
+
+// AddForeignKey attaches a referential constraint.
+type AddForeignKey struct {
+	Table string
+	FK    *schema.ForeignKey
+}
+
+// DropForeignKey removes the constraint with the given identity Key().
+type DropForeignKey struct {
+	Table string
+	Key   string
+}
+
+// --- rendering -----------------------------------------------------------------
+
+func typeSQL(t schema.DataType) string {
+	var b strings.Builder
+	b.WriteString(strings.ToUpper(t.Name))
+	if len(t.Args) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(t.Args, ","))
+	}
+	if t.Unsigned {
+		b.WriteString(" UNSIGNED")
+	}
+	if t.Zerofill {
+		b.WriteString(" ZEROFILL")
+	}
+	return b.String()
+}
+
+func columnSQL(c *schema.Column) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "`%s` %s", c.Name, typeSQL(c.Type))
+	if !c.Nullable {
+		b.WriteString(" NOT NULL")
+	}
+	if c.AutoInc {
+		b.WriteString(" AUTO_INCREMENT")
+	}
+	return b.String()
+}
+
+func fkSQL(fk *schema.ForeignKey) string {
+	var b strings.Builder
+	if fk.Name != "" {
+		fmt.Fprintf(&b, "CONSTRAINT `%s` ", fk.Name)
+	}
+	fmt.Fprintf(&b, "FOREIGN KEY (`%s`) REFERENCES `%s` (`%s`)",
+		strings.Join(fk.Columns, "`,`"), fk.RefTable, strings.Join(fk.RefColumns, "`,`"))
+	if fk.OnDelete != "" {
+		fmt.Fprintf(&b, " ON DELETE %s", strings.ToUpper(fk.OnDelete))
+	}
+	if fk.OnUpdate != "" {
+		fmt.Fprintf(&b, " ON UPDATE %s", strings.ToUpper(fk.OnUpdate))
+	}
+	return b.String()
+}
+
+// SQL renders a full CREATE TABLE statement.
+func (op CreateTable) SQL() string {
+	t := op.Table
+	var lines []string
+	for _, c := range t.Columns {
+		lines = append(lines, "  "+columnSQL(c))
+	}
+	if len(t.PrimaryKey) > 0 {
+		lines = append(lines, fmt.Sprintf("  PRIMARY KEY (`%s`)", strings.Join(t.PrimaryKey, "`,`")))
+	}
+	for _, fk := range t.ForeignKeys {
+		lines = append(lines, "  "+fkSQL(fk))
+	}
+	return fmt.Sprintf("CREATE TABLE `%s` (\n%s\n);", t.Name, strings.Join(lines, ",\n"))
+}
+
+// SQL renders DROP TABLE.
+func (op DropTable) SQL() string { return fmt.Sprintf("DROP TABLE `%s`;", op.Name) }
+
+// SQL renders ALTER TABLE ... ADD COLUMN.
+func (op AddColumn) SQL() string {
+	return fmt.Sprintf("ALTER TABLE `%s` ADD COLUMN %s;", op.Table, columnSQL(op.Column))
+}
+
+// SQL renders ALTER TABLE ... DROP COLUMN.
+func (op DropColumn) SQL() string {
+	return fmt.Sprintf("ALTER TABLE `%s` DROP COLUMN `%s`;", op.Table, op.Column)
+}
+
+// SQL renders ALTER TABLE ... MODIFY COLUMN.
+func (op ChangeType) SQL() string {
+	return fmt.Sprintf("ALTER TABLE `%s` MODIFY COLUMN `%s` %s;", op.Table, op.Column, typeSQL(op.Type))
+}
+
+// SQL renders the PK replacement (drop + add when non-empty).
+func (op SetPrimaryKey) SQL() string {
+	if len(op.Columns) == 0 {
+		return fmt.Sprintf("ALTER TABLE `%s` DROP PRIMARY KEY;", op.Table)
+	}
+	return fmt.Sprintf("ALTER TABLE `%s` DROP PRIMARY KEY, ADD PRIMARY KEY (`%s`);",
+		op.Table, strings.Join(op.Columns, "`,`"))
+}
+
+// SQL renders ALTER TABLE ... ADD CONSTRAINT FOREIGN KEY.
+func (op AddForeignKey) SQL() string {
+	return fmt.Sprintf("ALTER TABLE `%s` ADD %s;", op.Table, fkSQL(op.FK))
+}
+
+// SQL renders ALTER TABLE ... DROP FOREIGN KEY. Anonymous constraints render
+// as a comment, since MySQL needs a name to drop (the Apply path handles
+// them by identity regardless).
+func (op DropForeignKey) SQL() string {
+	return fmt.Sprintf("-- DROP FOREIGN KEY %s on `%s` (by identity)", op.Key, op.Table)
+}
+
+// --- application -----------------------------------------------------------------
+
+// Apply adds the table (replacing any previous definition, matching dump
+// semantics).
+func (op CreateTable) Apply(s *schema.Schema) error {
+	s.AddTable(op.Table.Clone())
+	return nil
+}
+
+// Apply removes the table.
+func (op DropTable) Apply(s *schema.Schema) error {
+	if !s.DropTable(op.Name) {
+		return fmt.Errorf("smo: DROP TABLE %s: no such table", op.Name)
+	}
+	return nil
+}
+
+// Apply injects the column.
+func (op AddColumn) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: ADD COLUMN: no table %s", op.Table)
+	}
+	c := *op.Column
+	t.AddColumn(&c)
+	return nil
+}
+
+// Apply ejects the column.
+func (op DropColumn) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: DROP COLUMN: no table %s", op.Table)
+	}
+	if !t.DropColumn(op.Column) {
+		return fmt.Errorf("smo: DROP COLUMN: no column %s.%s", op.Table, op.Column)
+	}
+	return nil
+}
+
+// Apply alters the column's type.
+func (op ChangeType) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: MODIFY: no table %s", op.Table)
+	}
+	c := t.Column(op.Column)
+	if c == nil {
+		return fmt.Errorf("smo: MODIFY: no column %s.%s", op.Table, op.Column)
+	}
+	c.Type = op.Type
+	return nil
+}
+
+// Apply replaces the primary key.
+func (op SetPrimaryKey) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: PRIMARY KEY: no table %s", op.Table)
+	}
+	t.SetPrimaryKey(op.Columns)
+	return nil
+}
+
+// Apply attaches the constraint.
+func (op AddForeignKey) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: ADD FOREIGN KEY: no table %s", op.Table)
+	}
+	fk := *op.FK
+	fk.Columns = append([]string(nil), op.FK.Columns...)
+	fk.RefColumns = append([]string(nil), op.FK.RefColumns...)
+	t.AddForeignKey(&fk)
+	return nil
+}
+
+// Apply removes the constraint by identity.
+func (op DropForeignKey) Apply(s *schema.Schema) error {
+	t := s.Table(op.Table)
+	if t == nil {
+		return fmt.Errorf("smo: DROP FOREIGN KEY: no table %s", op.Table)
+	}
+	for i, fk := range t.ForeignKeys {
+		if fk.Key() == op.Key {
+			t.ForeignKeys = append(t.ForeignKeys[:i], t.ForeignKeys[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("smo: DROP FOREIGN KEY: no constraint %s on %s", op.Key, op.Table)
+}
+
+// --- derivation ------------------------------------------------------------------
+
+// Derive computes an operator sequence transforming old into new. The order
+// is: dropped FKs, dropped tables, dropped columns, type changes, added
+// columns, PK changes, created tables, added FKs — a safe order for real
+// engines (references go away before their targets, and appear after them).
+func Derive(old, new *schema.Schema) []Op {
+	if old == nil {
+		old = schema.New()
+	}
+	if new == nil {
+		new = schema.New()
+	}
+	var drops, colDrops, typeChanges, colAdds, pkOps, creates, fkAdds, fkDrops []Op
+
+	oldNames := map[string]bool{}
+	for _, t := range old.Tables {
+		oldNames[schema.Normalize(t.Name)] = true
+	}
+	newNames := map[string]bool{}
+	for _, t := range new.Tables {
+		newNames[schema.Normalize(t.Name)] = true
+	}
+
+	for _, name := range sortedSet(oldNames) {
+		if !newNames[name] {
+			drops = append(drops, DropTable{Name: name})
+		}
+	}
+	for _, name := range sortedSet(newNames) {
+		if !oldNames[name] {
+			creates = append(creates, CreateTable{Table: new.Table(name).Clone()})
+		}
+	}
+
+	for _, name := range sortedSet(oldNames) {
+		if !newNames[name] {
+			continue
+		}
+		to, tn := old.Table(name), new.Table(name)
+
+		oldCols := map[string]*schema.Column{}
+		for _, c := range to.Columns {
+			oldCols[schema.Normalize(c.Name)] = c
+		}
+		newCols := map[string]*schema.Column{}
+		for _, c := range tn.Columns {
+			newCols[schema.Normalize(c.Name)] = c
+		}
+		for _, cname := range sortedColSet(oldCols) {
+			if _, ok := newCols[cname]; !ok {
+				colDrops = append(colDrops, DropColumn{Table: name, Column: cname})
+			}
+		}
+		for _, cname := range sortedColSet(newCols) {
+			nc := newCols[cname]
+			oc, ok := oldCols[cname]
+			if !ok {
+				cp := *nc
+				colAdds = append(colAdds, AddColumn{Table: name, Column: &cp})
+			} else if !oc.Type.Equal(nc.Type) {
+				typeChanges = append(typeChanges, ChangeType{Table: name, Column: cname, Type: nc.Type})
+			}
+		}
+		if !sameKey(to.PrimaryKey, tn.PrimaryKey) {
+			pkOps = append(pkOps, SetPrimaryKey{Table: name, Columns: append([]string(nil), tn.PrimaryKey...)})
+		}
+
+		oldFKs := map[string]*schema.ForeignKey{}
+		for _, fk := range to.ForeignKeys {
+			oldFKs[fk.Key()] = fk
+		}
+		newFKs := map[string]*schema.ForeignKey{}
+		for _, fk := range tn.ForeignKeys {
+			newFKs[fk.Key()] = fk
+		}
+		for _, key := range sortedFKSet(oldFKs) {
+			if _, ok := newFKs[key]; !ok {
+				fkDrops = append(fkDrops, DropForeignKey{Table: name, Key: key})
+			}
+		}
+		for _, key := range sortedFKSet(newFKs) {
+			if _, ok := oldFKs[key]; !ok {
+				fk := newFKs[key]
+				cp := *fk
+				fkAdds = append(fkAdds, AddForeignKey{Table: name, FK: &cp})
+			}
+		}
+	}
+
+	var ops []Op
+	ops = append(ops, fkDrops...)
+	ops = append(ops, drops...)
+	ops = append(ops, colDrops...)
+	ops = append(ops, typeChanges...)
+	ops = append(ops, colAdds...)
+	ops = append(ops, pkOps...)
+	ops = append(ops, creates...)
+	ops = append(ops, fkAdds...)
+	return ops
+}
+
+// Apply replays ops onto s in order.
+func Apply(s *schema.Schema, ops []Op) error {
+	for i, op := range ops {
+		if err := op.Apply(s); err != nil {
+			return fmt.Errorf("smo: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Render emits the migration script for ops.
+func Render(ops []Op) string {
+	var b strings.Builder
+	b.WriteString("-- migration generated by schemaevo/smo\n")
+	for _, op := range ops {
+		b.WriteString(op.SQL())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sameKey(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedColSet(m map[string]*schema.Column) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedFKSet(m map[string]*schema.ForeignKey) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

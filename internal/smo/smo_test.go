@@ -1,0 +1,291 @@
+package smo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/corpus"
+	"github.com/schemaevo/schemaevo/internal/schema"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+)
+
+func parse(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	res := sqlparse.Parse(src)
+	if len(res.Errors) > 0 {
+		t.Fatalf("parse: %v", res.Errors)
+	}
+	return res.Schema
+}
+
+func TestDeriveEmptyForIdenticalSchemas(t *testing.T) {
+	s := parse(t, "CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a));")
+	if ops := Derive(s, s.Clone()); len(ops) != 0 {
+		t.Fatalf("derived %d ops from identical schemas: %v", len(ops), ops)
+	}
+}
+
+func TestDeriveAndApplySimple(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, gone TEXT);")
+	new := parse(t, "CREATE TABLE t (a BIGINT, fresh DATETIME); CREATE TABLE u (x INT);")
+	ops := Derive(old, new)
+	got := old.Clone()
+	if err := Apply(got, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(got, new) {
+		t.Fatalf("replay mismatch after %d ops", len(ops))
+	}
+}
+
+func TestDeriveOpOrdering(t *testing.T) {
+	// FK drops must precede table drops; creates must precede FK adds.
+	old := parse(t, `
+CREATE TABLE dying (id INT PRIMARY KEY);
+CREATE TABLE keeper (a INT, FOREIGN KEY (a) REFERENCES dying (id));`)
+	new := parse(t, `
+CREATE TABLE keeper (a INT, FOREIGN KEY (a) REFERENCES newborn (id));
+CREATE TABLE newborn (id INT PRIMARY KEY);`)
+	ops := Derive(old, new)
+	var order []string
+	for _, op := range ops {
+		switch op.(type) {
+		case DropForeignKey:
+			order = append(order, "dropfk")
+		case DropTable:
+			order = append(order, "droptable")
+		case CreateTable:
+			order = append(order, "create")
+		case AddForeignKey:
+			order = append(order, "addfk")
+		}
+	}
+	want := []string{"dropfk", "droptable", "create", "addfk"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("op order = %v, want %v", order, want)
+	}
+}
+
+func TestMigrationScriptExecutesThroughParser(t *testing.T) {
+	// End-to-end: old DDL + generated migration, fed to the SQL parser,
+	// must yield the new schema. This exercises the parser's ALTER paths
+	// with machine-generated statements.
+	oldSQL := `
+CREATE TABLE users (id INT(11) NOT NULL, name VARCHAR(50), PRIMARY KEY (id));
+CREATE TABLE legacy (x INT);`
+	newSQL := `
+CREATE TABLE users (id BIGINT(20) NOT NULL, email VARCHAR(100), PRIMARY KEY (id));
+CREATE TABLE sessions (sid CHAR(36), user_id INT(11), PRIMARY KEY (sid));`
+	old := parse(t, oldSQL)
+	new := parse(t, newSQL)
+	script := Render(Derive(old, new))
+
+	replayed := sqlparse.Parse(oldSQL + "\n" + script)
+	if len(replayed.Errors) > 0 {
+		t.Fatalf("migration script does not parse: %v\n%s", replayed.Errors, script)
+	}
+	if !schema.Equal(replayed.Schema, new) {
+		t.Fatalf("parser replay mismatch:\n%s", script)
+	}
+}
+
+func TestPrimaryKeyOps(t *testing.T) {
+	old := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));")
+	new := parse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b));")
+	ops := Derive(old, new)
+	if len(ops) != 1 {
+		t.Fatalf("ops = %v", ops)
+	}
+	got := old.Clone()
+	if err := Apply(got, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(got, new) {
+		t.Fatal("PK replay mismatch")
+	}
+	// Dropping the key entirely.
+	bare := parse(t, "CREATE TABLE t (a INT, b INT);")
+	ops = Derive(new, bare)
+	if len(ops) != 1 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if sql := ops[0].SQL(); !strings.Contains(sql, "DROP PRIMARY KEY") {
+		t.Fatalf("SQL = %q", sql)
+	}
+}
+
+func TestApplyErrorsOnUnknownTargets(t *testing.T) {
+	s := parse(t, "CREATE TABLE t (a INT);")
+	cases := []Op{
+		DropTable{Name: "ghost"},
+		AddColumn{Table: "ghost", Column: &schema.Column{Name: "x"}},
+		DropColumn{Table: "t", Column: "ghost"},
+		ChangeType{Table: "t", Column: "ghost", Type: schema.DataType{Name: "int"}},
+		SetPrimaryKey{Table: "ghost"},
+		AddForeignKey{Table: "ghost", FK: &schema.ForeignKey{}},
+		DropForeignKey{Table: "t", Key: "nope"},
+	}
+	for i, op := range cases {
+		if err := op.Apply(s.Clone()); err == nil {
+			t.Errorf("case %d (%T): no error", i, op)
+		}
+	}
+}
+
+func TestOpSQLShapes(t *testing.T) {
+	col := &schema.Column{Name: "c", Type: schema.DataType{Name: "varchar", Args: []string{"32"}}, Nullable: false}
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{AddColumn{Table: "t", Column: col}, "ALTER TABLE `t` ADD COLUMN `c` VARCHAR(32) NOT NULL;"},
+		{DropColumn{Table: "t", Column: "c"}, "ALTER TABLE `t` DROP COLUMN `c`;"},
+		{ChangeType{Table: "t", Column: "c", Type: schema.DataType{Name: "text"}}, "ALTER TABLE `t` MODIFY COLUMN `c` TEXT;"},
+		{DropTable{Name: "t"}, "DROP TABLE `t`;"},
+	}
+	for _, c := range cases {
+		if got := c.op.SQL(); got != c.want {
+			t.Errorf("SQL = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestReplayPropertyOverCorpus is the package's contract: for every
+// consecutive version pair the corpus generator produces, Derive+Apply must
+// reproduce the next version exactly.
+func TestReplayPropertyOverCorpus(t *testing.T) {
+	projects := corpus.Generate(corpus.Config{
+		Seed: 77,
+		Counts: map[core.Taxon]int{
+			core.AlmostFrozen: 4, core.FocusedShotFrozen: 4,
+			core.Moderate: 4, core.FocusedShotLow: 4, core.Active: 4,
+		},
+	})
+	pairs := 0
+	for _, p := range projects {
+		var prev *schema.Schema
+		for _, v := range p.Hist.Versions {
+			cur := sqlparse.Parse(v.SQL).Schema
+			if prev != nil {
+				got := prev.Clone()
+				if err := Apply(got, Derive(prev, cur)); err != nil {
+					t.Fatalf("%s v%d: %v", p.Name, v.ID, err)
+				}
+				if !schema.Equal(got, cur) {
+					t.Fatalf("%s v%d: replay mismatch", p.Name, v.ID)
+				}
+				pairs++
+			}
+			prev = cur
+		}
+	}
+	if pairs < 50 {
+		t.Fatalf("only %d version pairs exercised", pairs)
+	}
+}
+
+// TestMigrationScriptPropertyOverCorpus goes the long way round: render the
+// migration as SQL, append it to the old version's DDL text, and let the
+// parser replay it.
+func TestMigrationScriptPropertyOverCorpus(t *testing.T) {
+	projects := corpus.Generate(corpus.Config{
+		Seed:   78,
+		Counts: map[core.Taxon]int{core.Moderate: 5, core.Active: 3},
+	})
+	r := rand.New(rand.NewSource(5))
+	pairs := 0
+	for _, p := range projects {
+		for i := 1; i < len(p.Hist.Versions); i++ {
+			if r.Intn(3) != 0 { // sample to keep the test fast
+				continue
+			}
+			oldSQL := p.Hist.Versions[i-1].SQL
+			old := sqlparse.Parse(oldSQL).Schema
+			cur := sqlparse.Parse(p.Hist.Versions[i].SQL).Schema
+			ops := Derive(old, cur)
+			// Skip transitions relying on identity-based FK drops: their SQL
+			// rendering is a comment (MySQL needs constraint names).
+			hasAnonFKDrop := false
+			for _, op := range ops {
+				if _, ok := op.(DropForeignKey); ok {
+					hasAnonFKDrop = true
+				}
+			}
+			if hasAnonFKDrop {
+				continue
+			}
+			replayed := sqlparse.Parse(oldSQL + "\n" + Render(ops))
+			if len(replayed.Errors) > 0 {
+				t.Fatalf("%s v%d: script errors: %v", p.Name, i, replayed.Errors)
+			}
+			if !schema.Equal(replayed.Schema, cur) {
+				t.Fatalf("%s v%d: parser replay mismatch", p.Name, i)
+			}
+			pairs++
+		}
+	}
+	if pairs < 10 {
+		t.Fatalf("only %d version pairs exercised", pairs)
+	}
+}
+
+// randomSchemaFor builds a deterministic pseudo-random schema for the quick
+// property below (mirrors the diff package's generator).
+func randomSchemaFor(seed int64) *schema.Schema {
+	r := rand.New(rand.NewSource(seed))
+	s := schema.New()
+	types := []string{"int", "bigint", "varchar", "text", "datetime"}
+	nt := r.Intn(6)
+	for i := 0; i < nt; i++ {
+		t := schema.NewTable(string(rune('a' + i)))
+		nc := 1 + r.Intn(5)
+		for j := 0; j < nc; j++ {
+			t.AddColumn(&schema.Column{
+				Name: string(rune('p' + j)),
+				Type: schema.DataType{Name: types[r.Intn(len(types))]},
+			})
+		}
+		if r.Intn(2) == 0 {
+			t.SetPrimaryKey([]string{"p"})
+		}
+		if i > 0 && r.Intn(3) == 0 {
+			t.AddForeignKey(&schema.ForeignKey{
+				Columns:  []string{schema.Normalize(t.Columns[0].Name)},
+				RefTable: string(rune('a' + r.Intn(i))), RefColumns: []string{"p"},
+			})
+		}
+		s.AddTable(t)
+	}
+	return s
+}
+
+// Property: for arbitrary schema pairs, Derive+Apply reproduces the target.
+func TestDeriveApplyProperty(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomSchemaFor(seedA)
+		b := randomSchemaFor(seedB)
+		got := a.Clone()
+		if err := Apply(got, Derive(a, b)); err != nil {
+			t.Logf("apply error: %v", err)
+			return false
+		}
+		return schema.Equal(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Derive(a, a) is always empty.
+func TestDeriveSelfEmptyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSchemaFor(seed)
+		return len(Derive(s, s.Clone())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

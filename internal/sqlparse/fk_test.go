@@ -1,0 +1,103 @@
+package sqlparse
+
+import "testing"
+
+func TestParseTableLevelForeignKey(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE child (
+  id INT PRIMARY KEY,
+  parent_id INT,
+  CONSTRAINT fk_parent FOREIGN KEY (parent_id) REFERENCES parent (id) ON DELETE CASCADE ON UPDATE SET NULL
+);`)
+	tb := res.Schema.Table("child")
+	if len(tb.ForeignKeys) != 1 {
+		t.Fatalf("FKs = %d, want 1", len(tb.ForeignKeys))
+	}
+	fk := tb.ForeignKeys[0]
+	if fk.Name != "fk_parent" {
+		t.Errorf("name = %q", fk.Name)
+	}
+	if len(fk.Columns) != 1 || fk.Columns[0] != "parent_id" {
+		t.Errorf("columns = %v", fk.Columns)
+	}
+	if fk.RefTable != "parent" || len(fk.RefColumns) != 1 || fk.RefColumns[0] != "id" {
+		t.Errorf("ref = %s(%v)", fk.RefTable, fk.RefColumns)
+	}
+	if fk.OnDelete != "cascade" || fk.OnUpdate != "set null" {
+		t.Errorf("actions = %q/%q", fk.OnDelete, fk.OnUpdate)
+	}
+}
+
+func TestParseAnonymousForeignKey(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE c (
+  a INT,
+  FOREIGN KEY (a) REFERENCES p (id)
+);`)
+	fks := res.Schema.Table("c").ForeignKeys
+	if len(fks) != 1 || fks[0].Name != "" {
+		t.Fatalf("FKs = %+v", fks)
+	}
+}
+
+func TestParseInlineColumnReferences(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE c (a INT REFERENCES p (id) ON DELETE RESTRICT, b INT);")
+	tb := res.Schema.Table("c")
+	if len(tb.ForeignKeys) != 1 {
+		t.Fatalf("FKs = %d, want 1", len(tb.ForeignKeys))
+	}
+	fk := tb.ForeignKeys[0]
+	if fk.Columns[0] != "a" || fk.RefTable != "p" || fk.OnDelete != "restrict" {
+		t.Errorf("fk = %+v", fk)
+	}
+	if len(tb.Columns) != 2 {
+		t.Errorf("columns = %d", len(tb.Columns))
+	}
+}
+
+func TestParseCompositeForeignKey(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE c (
+  x INT, y INT,
+  FOREIGN KEY (x, y) REFERENCES p (a, b)
+);`)
+	fk := res.Schema.Table("c").ForeignKeys[0]
+	if len(fk.Columns) != 2 || len(fk.RefColumns) != 2 {
+		t.Fatalf("fk = %+v", fk)
+	}
+}
+
+func TestAlterAddAndDropForeignKey(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE c (a INT);
+ALTER TABLE c ADD CONSTRAINT fk_a FOREIGN KEY (a) REFERENCES p (id);
+`)
+	tb := res.Schema.Table("c")
+	if len(tb.ForeignKeys) != 1 || tb.ForeignKeys[0].Name != "fk_a" {
+		t.Fatalf("ALTER ADD FK failed: %+v", tb.ForeignKeys)
+	}
+
+	res2 := mustParse(t, `
+CREATE TABLE c (a INT, CONSTRAINT fk_a FOREIGN KEY (a) REFERENCES p (id));
+ALTER TABLE c DROP FOREIGN KEY fk_a;
+`)
+	if got := len(res2.Schema.Table("c").ForeignKeys); got != 0 {
+		t.Fatalf("ALTER DROP FK left %d constraints", got)
+	}
+}
+
+func TestDropColumnRemovesItsForeignKey(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE c (a INT, b INT, CONSTRAINT fk FOREIGN KEY (a) REFERENCES p (id));
+ALTER TABLE c DROP COLUMN a;
+`)
+	tb := res.Schema.Table("c")
+	if len(tb.ForeignKeys) != 0 {
+		t.Fatalf("FK survived its column: %+v", tb.ForeignKeys)
+	}
+}
+
+func TestForeignKeyNormalization(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE c (A INT, FOREIGN KEY (`A`) REFERENCES `P` (`ID`));")
+	fk := res.Schema.Table("c").ForeignKeys[0]
+	if fk.Columns[0] != "a" || fk.RefTable != "p" || fk.RefColumns[0] != "id" {
+		t.Fatalf("not normalized: %+v", fk)
+	}
+}

@@ -1,0 +1,82 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the tolerant parser with arbitrary input. The invariants:
+// never panic, always terminate, always return a usable (possibly empty)
+// schema, and never report more CREATE TABLEs than statements. The seed
+// corpus covers every statement family; `go test` replays it as unit tests
+// and `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";;;",
+		"CREATE TABLE t (id INT);",
+		"CREATE TABLE t (id INT, PRIMARY KEY (id)) ENGINE=InnoDB;",
+		"CREATE TABLE `q` (`a b` VARCHAR(10) DEFAULT 'x''y');",
+		"CREATE TABLE t (s ENUM('a','b') NOT NULL, d DECIMAL(10,2));",
+		"DROP TABLE IF EXISTS a, b; CREATE TABLE a (x INT);",
+		"ALTER TABLE t ADD COLUMN x INT FIRST, DROP COLUMN y, MODIFY z TEXT;",
+		"ALTER TABLE t CHANGE a b BIGINT UNSIGNED AFTER c;",
+		"CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES p (id) ON DELETE CASCADE);",
+		"/*!40101 SET NAMES utf8 */; CREATE TABLE t (x INT);",
+		"INSERT INTO t VALUES (1, 'text with ; semicolon', (2));",
+		"-- comment only",
+		"CREATE TABLE t (a serial, b text[], c timestamp with time zone DEFAULT now());",
+		"CREATE TABLE broken (id INT",
+		"CREATE TABLE t (((((",
+		"CREATE TABLE \x00\xff (a INT);",
+		"ALTER TABLE ONLY p ADD CONSTRAINT k PRIMARY KEY (id);",
+		strings.Repeat("CREATE TABLE t (a INT);", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound work per input
+		}
+		res := Parse(src)
+		if res == nil || res.Schema == nil {
+			t.Fatal("nil result pieces")
+		}
+		if res.CreateTables > res.Statements {
+			t.Fatalf("CreateTables %d > Statements %d", res.CreateTables, res.Statements)
+		}
+		if res.Schema.NumColumns() < 0 || res.Schema.NumTables() < 0 {
+			t.Fatal("negative counts")
+		}
+		// Strict mode must never find more tables than tolerant mode.
+		strict := ParseMode(src, Strict)
+		if strict.CreateTables > res.CreateTables {
+			t.Fatalf("strict found %d tables, tolerant %d", strict.CreateTables, res.CreateTables)
+		}
+	})
+}
+
+// FuzzLexer checks the token stream always terminates and consumes input.
+func FuzzLexer(f *testing.F) {
+	f.Add("SELECT 'a' -- x")
+	f.Add("`unterminated")
+	f.Add("/* open")
+	f.Add("'str \\' end")
+	f.Add("1.2e+5 .5 5.")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		l := NewLexer(src)
+		for i := 0; ; i++ {
+			tok := l.Next()
+			if tok.Kind == TokEOF {
+				break
+			}
+			if i > len(src)+16 {
+				t.Fatalf("lexer not consuming input: %d tokens from %d bytes", i, len(src))
+			}
+		}
+	})
+}

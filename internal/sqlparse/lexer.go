@@ -1,0 +1,336 @@
+// Package sqlparse implements a tolerant lexer and parser for the subset of
+// SQL DDL that the study measures: CREATE TABLE, DROP TABLE and ALTER TABLE
+// statements in the MySQL dialect (the paper's chosen vendor), with enough
+// slack to skim over the rest of a real-world dump file (INSERTs, SETs,
+// comments, vendor directives) without failing.
+//
+// Tolerance is the defining requirement: FOSS .sql files are messy, and the
+// study must extract the logical schema from every version it can, skipping
+// statements it cannot understand rather than aborting the whole file.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind discriminates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct   // single-rune punctuation: ( ) , ; = .
+	TokComment // retained so the parser can detect comment-only changes
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "ident"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokPunct:
+		return "punct"
+	case TokComment:
+		return "comment"
+	}
+	return "unknown"
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw lexeme. For quoted identifiers the quotes are kept;
+	// Ident() strips them.
+	Text string
+	Line int
+	Col  int
+}
+
+// Ident returns the unquoted, original-case identifier text.
+func (t Token) Ident() string {
+	s := t.Text
+	if len(s) >= 2 {
+		switch {
+		case s[0] == '`' && s[len(s)-1] == '`',
+			s[0] == '"' && s[len(s)-1] == '"',
+			s[0] == '[' && s[len(s)-1] == ']':
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// Is reports whether the token is an identifier matching kw
+// case-insensitively.
+func (t Token) Is(kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Ident(), kw)
+}
+
+// IsPunct reports whether the token is the given punctuation rune.
+func (t Token) IsPunct(r byte) bool {
+	return t.Kind == TokPunct && len(t.Text) == 1 && t.Text[0] == r
+}
+
+// Lexer tokenizes SQL text. It understands the MySQL comment forms
+// (`-- `, `#`, `/* */` including the conditional `/*! ... */` directives,
+// whose body is surfaced as ordinary tokens since MySQL executes it),
+// single- and double-quoted strings with backslash escapes, and backtick
+// identifiers.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c == '@' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token, skipping whitespace. Comments are returned as
+// TokComment tokens (callers that do not care filter them out).
+func (l *Lexer) Next() Token {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v' {
+			l.advance()
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}
+	}
+
+	startLine, startCol := l.line, l.col
+	c := l.peek()
+
+	// Comments.
+	if c == '#' {
+		return l.lexLineComment(startLine, startCol)
+	}
+	if c == '-' && l.peekAt(1) == '-' {
+		// MySQL requires whitespace (or EOL) after `--`; be lenient and
+		// accept any `--` at token start, as dumps in the wild do both.
+		return l.lexLineComment(startLine, startCol)
+	}
+	if c == '/' && l.peekAt(1) == '*' {
+		// Conditional directives /*!40101 ... */ execute their body in
+		// MySQL; surface the body as regular tokens by skipping only the
+		// opening marker and version number.
+		if l.peekAt(2) == '!' {
+			l.advance() // /
+			l.advance() // *
+			l.advance() // !
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+			return l.Next()
+		}
+		return l.lexBlockComment(startLine, startCol)
+	}
+	if c == '*' && l.peekAt(1) == '/' {
+		// Closing marker of a conditional directive: swallow silently.
+		l.advance()
+		l.advance()
+		return l.Next()
+	}
+
+	// Strings.
+	if c == '\'' || c == '"' {
+		return l.lexString(c, startLine, startCol)
+	}
+	// Quoted identifiers.
+	if c == '`' {
+		return l.lexQuotedIdent('`', '`', startLine, startCol)
+	}
+	if c == '[' {
+		return l.lexQuotedIdent('[', ']', startLine, startCol)
+	}
+
+	// Numbers (integer, decimal, leading-dot decimals handled as punct+num).
+	if isDigit(c) {
+		start := l.pos
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' && isDigit(l.peekAt(1)) {
+			l.advance()
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			save := l.pos
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if isDigit(l.peek()) {
+				for isDigit(l.peek()) {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: startLine, Col: startCol}
+	}
+
+	// Identifiers / keywords.
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: startLine, Col: startCol}
+	}
+
+	// Everything else is single-rune punctuation.
+	l.advance()
+	return Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol}
+}
+
+func (l *Lexer) lexLineComment(line, col int) Token {
+	start := l.pos
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+	return Token{Kind: TokComment, Text: l.src[start:l.pos], Line: line, Col: col}
+}
+
+func (l *Lexer) lexBlockComment(line, col int) Token {
+	start := l.pos
+	l.advance() // /
+	l.advance() // *
+	for l.pos < len(l.src) {
+		if l.peek() == '*' && l.peekAt(1) == '/' {
+			l.advance()
+			l.advance()
+			return Token{Kind: TokComment, Text: l.src[start:l.pos], Line: line, Col: col}
+		}
+		l.advance()
+	}
+	// Unterminated comment: tolerate by consuming to EOF.
+	return Token{Kind: TokComment, Text: l.src[start:l.pos], Line: line, Col: col}
+}
+
+func (l *Lexer) lexString(quote byte, line, col int) Token {
+	start := l.pos
+	l.advance() // opening quote
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '\\' && l.pos < len(l.src) {
+			l.advance()
+			continue
+		}
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if l.peek() == quote {
+				l.advance()
+				continue
+			}
+			break
+		}
+	}
+	return Token{Kind: TokString, Text: l.src[start:l.pos], Line: line, Col: col}
+}
+
+func (l *Lexer) lexQuotedIdent(open, close byte, line, col int) Token {
+	start := l.pos
+	l.advance() // open
+	for l.pos < len(l.src) && l.peek() != close {
+		l.advance()
+	}
+	if l.pos < len(l.src) {
+		l.advance() // close
+	}
+	return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: line, Col: col}
+}
+
+// Tokens lexes the whole input, excluding comments, primarily for tests.
+func Tokens(src string) []Token {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t := l.Next()
+		if t.Kind == TokEOF {
+			return out
+		}
+		if t.Kind == TokComment {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseError describes a statement the parser could not understand. In
+// tolerant mode errors are collected, not returned.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e ParseError) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// hasLetter reports whether s contains a letter; used to reject garbage
+// identifiers.
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package sqlparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks := Tokens("CREATE TABLE t (id INT);")
+	want := []string{"CREATE", "TABLE", "t", "(", "id", "INT", ")", ";"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `-- line comment
+# hash comment
+/* block
+comment */
+CREATE`
+	toks := Tokens(src)
+	if len(toks) != 1 || !toks[0].Is("create") {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+	if toks[0].Line != 5 {
+		t.Errorf("line = %d, want 5", toks[0].Line)
+	}
+}
+
+func TestLexConditionalDirective(t *testing.T) {
+	// MySQL executes the body of /*!40101 ... */, so tokens must surface.
+	toks := Tokens("/*!40101 SET NAMES utf8 */;")
+	want := []string{"SET", "NAMES", "utf8", ";"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`'hello'`, `'hello'`},
+		{`'it''s'`, `'it''s'`},
+		{`'back\'slash'`, `'back\'slash'`},
+		{`"double"`, `"double"`},
+	}
+	for _, c := range cases {
+		toks := Tokens(c.src)
+		if len(toks) != 1 || toks[0].Kind != TokString || toks[0].Text != c.want {
+			t.Errorf("Tokens(%q) = %v, want one string %q", c.src, toks, c.want)
+		}
+	}
+}
+
+func TestLexBacktickIdent(t *testing.T) {
+	toks := Tokens("`order items`")
+	if len(toks) != 1 || toks[0].Kind != TokIdent {
+		t.Fatalf("got %v", toks)
+	}
+	if toks[0].Ident() != "order items" {
+		t.Errorf("Ident() = %q", toks[0].Ident())
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"42", []string{"42"}},
+		{"3.14", []string{"3.14"}},
+		{"1e10", []string{"1e10"}},
+		{"2.5E-3", []string{"2.5E-3"}},
+		{"7.", []string{"7", "."}}, // trailing dot is punct
+	}
+	for _, c := range cases {
+		toks := Tokens(c.src)
+		if len(toks) != len(c.want) {
+			t.Errorf("Tokens(%q) = %v", c.src, toks)
+			continue
+		}
+		for i, w := range c.want {
+			if toks[i].Text != w {
+				t.Errorf("Tokens(%q)[%d] = %q, want %q", c.src, i, toks[i].Text, w)
+			}
+		}
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	toks := Tokens("CREATE /* never closed")
+	if len(toks) != 1 || !toks[0].Is("create") {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	toks := Tokens("'open")
+	if len(toks) != 1 || toks[0].Kind != TokString {
+		t.Fatalf("got %v", kinds(toks))
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	l := NewLexer("a\n  bb")
+	t1 := l.Next()
+	t2 := l.Next()
+	if t1.Line != 1 || t1.Col != 1 {
+		t.Errorf("t1 at %d:%d", t1.Line, t1.Col)
+	}
+	if t2.Line != 2 || t2.Col != 3 {
+		t.Errorf("t2 at %d:%d", t2.Line, t2.Col)
+	}
+}
+
+// Property: the lexer always terminates and never panics on arbitrary input.
+func TestLexArbitraryInputTerminates(t *testing.T) {
+	f := func(s string) bool {
+		l := NewLexer(s)
+		for i := 0; ; i++ {
+			tok := l.Next()
+			if tok.Kind == TokEOF {
+				return true
+			}
+			if i > len(s)+16 { // each token consumes ≥1 byte
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenIsHelpers(t *testing.T) {
+	tok := Token{Kind: TokIdent, Text: "`Create`"}
+	if !tok.Is("CREATE") || !tok.Is("create") {
+		t.Error("Is should be case-insensitive and unquote")
+	}
+	p := Token{Kind: TokPunct, Text: "("}
+	if !p.IsPunct('(') || p.IsPunct(')') {
+		t.Error("IsPunct misbehaves")
+	}
+}

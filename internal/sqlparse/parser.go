@@ -1,0 +1,1006 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+)
+
+// Result is the outcome of parsing one DDL file version.
+type Result struct {
+	// Schema is the logical schema declared by the file: the net effect of
+	// all CREATE/DROP/ALTER TABLE statements, in order.
+	Schema *schema.Schema
+	// Errors collects statements the tolerant parser skipped.
+	Errors []ParseError
+	// Statements counts top-level statements seen (including skipped ones).
+	Statements int
+	// CreateTables counts CREATE TABLE statements successfully parsed.
+	CreateTables int
+}
+
+// HasCreateTable reports whether at least one CREATE TABLE statement parsed,
+// the paper's criterion for a version to be a schema declaration at all.
+func (r *Result) HasCreateTable() bool { return r.CreateTables > 0 }
+
+// Mode selects the parser's failure behaviour.
+type Mode int
+
+const (
+	// Tolerant skips unparseable statements and records them in Errors.
+	// This is the study's production mode.
+	Tolerant Mode = iota
+	// Strict stops at the first unparseable DDL statement. Used by the
+	// ablation benchmarks to quantify the value of error recovery.
+	Strict
+)
+
+// Parse parses src in Tolerant mode.
+func Parse(src string) *Result { return ParseMode(src, Tolerant) }
+
+// ParseMode parses src with the given failure mode.
+func ParseMode(src string, mode Mode) *Result {
+	p := &parser{lex: NewLexer(src), mode: mode}
+	p.next()
+	res := &Result{Schema: schema.New()}
+	for p.tok.Kind != TokEOF {
+		if p.tok.IsPunct(';') {
+			p.next()
+			continue
+		}
+		res.Statements++
+		switch {
+		case p.tok.Is("CREATE"):
+			p.parseCreate(res)
+		case p.tok.Is("DROP"):
+			p.parseDrop(res)
+		case p.tok.Is("ALTER"):
+			p.parseAlter(res)
+		default:
+			// INSERT, SET, USE, LOCK, DELIMITER, etc.: skip statement.
+			p.skipStatement()
+		}
+		if mode == Strict && len(res.Errors) > 0 {
+			return res
+		}
+	}
+	return res
+}
+
+type parser struct {
+	lex  *Lexer
+	tok  Token
+	mode Mode
+	// constraintName carries a pending CONSTRAINT <name> prefix to the
+	// element it qualifies.
+	constraintName string
+}
+
+// takeConstraintName consumes the pending constraint name.
+func (p *parser) takeConstraintName() string {
+	n := p.constraintName
+	p.constraintName = ""
+	return n
+}
+
+// next advances to the next non-comment token.
+func (p *parser) next() {
+	for {
+		p.tok = p.lex.Next()
+		if p.tok.Kind != TokComment {
+			return
+		}
+	}
+}
+
+// skipStatement consumes tokens through the terminating semicolon (or EOF),
+// balancing parentheses so a ';' inside a string or parenthesised expression
+// does not end the statement early. (Strings are single tokens, so only
+// parens need balancing.)
+func (p *parser) skipStatement() {
+	depth := 0
+	for p.tok.Kind != TokEOF {
+		switch {
+		case p.tok.IsPunct('('):
+			depth++
+		case p.tok.IsPunct(')'):
+			if depth > 0 {
+				depth--
+			}
+		case p.tok.IsPunct(';') && depth == 0:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) fail(res *Result, msg string) {
+	res.Errors = append(res.Errors, ParseError{Line: p.tok.Line, Col: p.tok.Col, Msg: msg})
+	p.skipStatement()
+}
+
+// expectPunct consumes the given punctuation, reporting success.
+func (p *parser) expectPunct(r byte) bool {
+	if p.tok.IsPunct(r) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// qualifiedName parses ident[.ident], returning the final component (tables
+// are compared per-file; schema qualifiers are irrelevant at the logical
+// level).
+func (p *parser) qualifiedName() (string, bool) {
+	if p.tok.Kind != TokIdent {
+		return "", false
+	}
+	name := p.tok.Ident()
+	p.next()
+	for p.tok.IsPunct('.') {
+		p.next()
+		if p.tok.Kind != TokIdent {
+			return "", false
+		}
+		name = p.tok.Ident()
+		p.next()
+	}
+	return name, true
+}
+
+// --- CREATE ---------------------------------------------------------------
+
+func (p *parser) parseCreate(res *Result) {
+	p.next() // CREATE
+	// Swallow modifiers: TEMPORARY, OR REPLACE.
+	for p.tok.Is("TEMPORARY") || p.tok.Is("OR") || p.tok.Is("REPLACE") {
+		p.next()
+	}
+	if !p.tok.Is("TABLE") {
+		// CREATE DATABASE / INDEX / VIEW / TRIGGER ...: not logical-schema
+		// capacity; skip silently (not an error — these are legitimate).
+		p.skipStatement()
+		return
+	}
+	p.next() // TABLE
+	if p.tok.Is("IF") {
+		p.next()
+		if p.tok.Is("NOT") {
+			p.next()
+		}
+		if p.tok.Is("EXISTS") {
+			p.next()
+		}
+	}
+	name, ok := p.qualifiedName()
+	if !ok || !hasLetter(name) {
+		p.fail(res, "CREATE TABLE: expected table name")
+		return
+	}
+	// CREATE TABLE x LIKE y; and CREATE TABLE x AS SELECT...: skip — no
+	// explicit column list to measure.
+	if p.tok.Is("LIKE") || p.tok.Is("AS") || p.tok.Is("SELECT") {
+		p.skipStatement()
+		return
+	}
+	if !p.expectPunct('(') {
+		p.fail(res, "CREATE TABLE "+name+": expected '('")
+		return
+	}
+
+	t := schema.NewTable(name)
+	for {
+		if p.tok.Kind == TokEOF {
+			p.fail(res, "CREATE TABLE "+name+": unexpected EOF in element list")
+			return
+		}
+		if p.tok.IsPunct(')') { // tolerate trailing comma / empty list
+			break
+		}
+		if !p.parseTableElement(t, res, name) {
+			return
+		}
+		if p.tok.IsPunct(',') {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.expectPunct(')') {
+		p.fail(res, "CREATE TABLE "+name+": expected ')'")
+		return
+	}
+	p.parseTableOptions(t)
+	p.skipStatement() // through ';'
+	res.Schema.AddTable(t)
+	res.CreateTables++
+}
+
+// parseTableElement parses one comma-separated element of a CREATE TABLE
+// body: a column definition or a table constraint. Returns false if the
+// whole statement was abandoned.
+func (p *parser) parseTableElement(t *schema.Table, res *Result, tname string) bool {
+	switch {
+	case p.tok.Is("PRIMARY"):
+		p.next()
+		if p.tok.Is("KEY") {
+			p.next()
+		}
+		cols := p.parseParenNameList()
+		if cols != nil {
+			t.SetPrimaryKey(cols)
+		}
+		p.skipIndexOptions()
+		return true
+	case p.tok.Is("UNIQUE"), p.tok.Is("KEY"), p.tok.Is("INDEX"),
+		p.tok.Is("FULLTEXT"), p.tok.Is("SPATIAL"):
+		// UNIQUE [KEY|INDEX] [name] (cols), KEY name (cols), etc. Indexes are
+		// physical-level: parse and discard.
+		p.next()
+		if p.tok.Is("KEY") || p.tok.Is("INDEX") {
+			p.next()
+		}
+		if p.tok.Kind == TokIdent && !p.tok.IsPunct('(') {
+			p.next() // index name
+		}
+		if p.tok.Is("USING") {
+			p.next()
+			p.next()
+		}
+		p.parseParenNameList()
+		p.skipIndexOptions()
+		return true
+	case p.tok.Is("CONSTRAINT"):
+		p.next()
+		name := ""
+		if p.tok.Kind == TokIdent && !p.tok.Is("PRIMARY") && !p.tok.Is("FOREIGN") &&
+			!p.tok.Is("UNIQUE") && !p.tok.Is("CHECK") {
+			name = p.tok.Ident()
+			p.next()
+		}
+		p.constraintName = name
+		return p.parseTableElement(t, res, tname)
+	case p.tok.Is("FOREIGN"):
+		// FOREIGN KEY (cols) REFERENCES tbl (cols) [ON ...]. Not counted by
+		// the paper's activity measures (see its "open paths"); retained in
+		// the model for the constraint-usage extension.
+		p.next()
+		if p.tok.Is("KEY") {
+			p.next()
+		}
+		if p.tok.Kind == TokIdent && !p.tok.IsPunct('(') {
+			p.next() // index name
+		}
+		fk := &schema.ForeignKey{Name: p.takeConstraintName()}
+		fk.Columns = p.parseParenNameList()
+		if p.tok.Is("REFERENCES") {
+			p.next()
+			if ref, ok := p.qualifiedName(); ok {
+				fk.RefTable = ref
+			}
+			fk.RefColumns = p.parseParenNameList()
+			fk.OnDelete, fk.OnUpdate = p.parseReferentialActions()
+		}
+		if len(fk.Columns) > 0 && fk.RefTable != "" {
+			t.AddForeignKey(fk)
+		}
+		return true
+	case p.tok.Is("CHECK"):
+		p.next()
+		p.skipBalancedParens()
+		return true
+	}
+
+	// Column definition.
+	if p.tok.Kind != TokIdent {
+		p.fail(res, "CREATE TABLE "+tname+": expected column or constraint")
+		return false
+	}
+	col := &schema.Column{Name: p.tok.Ident(), Nullable: true}
+	p.next()
+	dt, ok := p.parseDataType()
+	if !ok {
+		p.fail(res, "CREATE TABLE "+tname+": column "+col.Name+": expected data type")
+		return false
+	}
+	col.Type = dt
+	p.parseColumnAttributes(col, t)
+	t.AddColumn(col)
+	return true
+}
+
+// parseDataType parses a type name, optional (args), and modifiers.
+func (p *parser) parseDataType() (schema.DataType, bool) {
+	if p.tok.Kind != TokIdent {
+		return schema.DataType{}, false
+	}
+	dt := schema.DataType{Name: strings.ToLower(p.tok.Ident())}
+	p.next()
+	// Multi-word and dialect types: DOUBLE PRECISION, CHARACTER VARYING,
+	// LONG VARCHAR, TIMESTAMP WITH[OUT] TIME ZONE, and PostgreSQL's SERIAL
+	// family (an auto-incrementing integer at the logical level).
+	switch dt.Name {
+	case "double":
+		if p.tok.Is("PRECISION") {
+			p.next()
+		}
+	case "character":
+		if p.tok.Is("VARYING") {
+			dt.Name = "varchar"
+			p.next()
+		} else {
+			dt.Name = "char"
+		}
+	case "long":
+		if p.tok.Is("VARCHAR") || p.tok.Is("VARBINARY") {
+			dt.Name = "long" + strings.ToLower(p.tok.Ident())
+			p.next()
+		}
+	case "timestamp", "time":
+		if p.tok.Is("WITH") || p.tok.Is("WITHOUT") {
+			// WITH[OUT] TIME ZONE: logical capacity is the base type.
+			p.next()
+			if p.tok.Is("TIME") {
+				p.next()
+			}
+			if p.tok.Is("ZONE") {
+				p.next()
+			}
+		}
+	case "serial":
+		dt.Name = "int"
+	case "bigserial":
+		dt.Name = "bigint"
+	case "smallserial":
+		dt.Name = "smallint"
+	}
+	if p.tok.IsPunct('(') {
+		p.next()
+		depth := 0
+		var arg strings.Builder
+		flush := func() {
+			if arg.Len() > 0 {
+				dt.Args = append(dt.Args, arg.String())
+				arg.Reset()
+			}
+		}
+		for p.tok.Kind != TokEOF {
+			if p.tok.IsPunct('(') {
+				depth++
+			} else if p.tok.IsPunct(')') {
+				if depth == 0 {
+					p.next()
+					break
+				}
+				depth--
+			} else if p.tok.IsPunct(',') && depth == 0 {
+				flush()
+				p.next()
+				continue
+			}
+			arg.WriteString(p.tok.Text)
+			p.next()
+		}
+		flush()
+	}
+	for {
+		switch {
+		case p.tok.Is("UNSIGNED"):
+			dt.Unsigned = true
+			p.next()
+		case p.tok.Is("SIGNED"):
+			p.next()
+		case p.tok.Is("ZEROFILL"):
+			dt.Zerofill = true
+			p.next()
+		case p.tok.Is("BINARY") && dt.Name != "binary":
+			p.next() // charset modifier on text types
+		case p.tok.Kind == TokIdent && p.tok.Text == "[]":
+			// PostgreSQL array suffix: int[], text[][] (the lexer reads the
+			// empty bracket pair as one token).
+			p.next()
+			dt.Name += "[]"
+		default:
+			return dt, true
+		}
+	}
+}
+
+// consumeCast swallows PostgreSQL '::type' casts after a default value.
+func (p *parser) consumeCast() {
+	for p.tok.IsPunct(':') {
+		p.next()
+		if p.tok.IsPunct(':') {
+			p.next()
+		}
+		if p.tok.Kind == TokIdent {
+			p.parseDataType() // type name incl. args/arrays
+		}
+	}
+}
+
+// parseColumnAttributes consumes column modifiers after the type. An inline
+// PRIMARY KEY registers the column into the table's PK.
+func (p *parser) parseColumnAttributes(col *schema.Column, t *schema.Table) {
+	for {
+		switch {
+		case p.tok.Is("NOT"):
+			p.next()
+			if p.tok.Is("NULL") {
+				p.next()
+			}
+			col.Nullable = false
+		case p.tok.Is("NULL"):
+			col.Nullable = true
+			p.next()
+		case p.tok.Is("DEFAULT"):
+			p.next()
+			col.HasDefault = true
+			col.Default = p.parseValueExpr()
+			p.consumeCast() // PostgreSQL: DEFAULT '{}'::jsonb
+		case p.tok.Is("AUTO_INCREMENT"), p.tok.Is("AUTOINCREMENT"):
+			col.AutoInc = true
+			p.next()
+		case p.tok.Is("PRIMARY"):
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+			t.SetPrimaryKey(append(append([]string{}, t.PrimaryKey...), col.Name))
+		case p.tok.Is("UNIQUE"):
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+		case p.tok.Is("KEY"):
+			p.next()
+		case p.tok.Is("COMMENT"):
+			p.next()
+			if p.tok.Kind == TokString {
+				col.Comment = p.tok.Text
+				p.next()
+			}
+		case p.tok.Is("COLLATE"):
+			p.next()
+			p.next()
+		case p.tok.Is("CHARACTER"):
+			p.next()
+			if p.tok.Is("SET") {
+				p.next()
+				p.next()
+			}
+		case p.tok.Is("CHARSET"):
+			p.next()
+			p.next()
+		case p.tok.Is("ON"):
+			// ON UPDATE CURRENT_TIMESTAMP [(n)]
+			p.next()
+			if p.tok.Is("UPDATE") || p.tok.Is("DELETE") {
+				p.next()
+				p.parseValueExpr()
+			}
+		case p.tok.Is("GENERATED"), p.tok.Is("VIRTUAL"), p.tok.Is("STORED"), p.tok.Is("ALWAYS"):
+			p.next()
+		case p.tok.Is("AS"):
+			p.next()
+			p.skipBalancedParens()
+		case p.tok.Is("REFERENCES"):
+			// Inline column-level foreign key.
+			p.next()
+			fk := &schema.ForeignKey{Columns: []string{col.Name}}
+			if ref, ok := p.qualifiedName(); ok {
+				fk.RefTable = ref
+			}
+			fk.RefColumns = p.parseParenNameList()
+			fk.OnDelete, fk.OnUpdate = p.parseReferentialActions()
+			if fk.RefTable != "" {
+				t.AddForeignKey(fk)
+			}
+		case p.tok.Is("CHECK"):
+			p.next()
+			p.skipBalancedParens()
+		case p.tok.Is("SERIAL"):
+			p.next()
+		default:
+			return
+		}
+	}
+}
+
+// parseValueExpr consumes one default-value expression: a literal, NULL, a
+// function call like CURRENT_TIMESTAMP(6) or now(), or a signed number.
+func (p *parser) parseValueExpr() string {
+	switch {
+	case p.tok.Kind == TokString, p.tok.Kind == TokNumber:
+		v := p.tok.Text
+		p.next()
+		return v
+	case p.tok.IsPunct('-'), p.tok.IsPunct('+'):
+		sign := p.tok.Text
+		p.next()
+		if p.tok.Kind == TokNumber {
+			v := sign + p.tok.Text
+			p.next()
+			return v
+		}
+		return sign
+	case p.tok.IsPunct('('):
+		var b strings.Builder
+		p.captureBalancedParens(&b)
+		return b.String()
+	case p.tok.Kind == TokIdent:
+		v := p.tok.Ident()
+		p.next()
+		if p.tok.IsPunct('(') {
+			var b strings.Builder
+			b.WriteString(v)
+			p.captureBalancedParens(&b)
+			return b.String()
+		}
+		return v
+	}
+	return ""
+}
+
+// parseParenNameList parses "(a, b(10), c ASC)" and returns the bare column
+// names, or nil if the current token is not '('.
+func (p *parser) parseParenNameList() []string {
+	if !p.tok.IsPunct('(') {
+		return nil
+	}
+	p.next()
+	var names []string
+	for p.tok.Kind != TokEOF && !p.tok.IsPunct(')') {
+		if p.tok.Kind == TokIdent && !p.tok.Is("ASC") && !p.tok.Is("DESC") {
+			names = append(names, p.tok.Ident())
+			p.next()
+			if p.tok.IsPunct('(') { // prefix length: name(10)
+				p.skipBalancedParens()
+			}
+			for p.tok.Is("ASC") || p.tok.Is("DESC") {
+				p.next()
+			}
+		} else {
+			p.next()
+		}
+		if p.tok.IsPunct(',') {
+			p.next()
+		}
+	}
+	if p.tok.IsPunct(')') {
+		p.next()
+	}
+	return names
+}
+
+func (p *parser) skipBalancedParens() {
+	if !p.tok.IsPunct('(') {
+		return
+	}
+	depth := 0
+	for p.tok.Kind != TokEOF {
+		if p.tok.IsPunct('(') {
+			depth++
+		} else if p.tok.IsPunct(')') {
+			depth--
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) captureBalancedParens(b *strings.Builder) {
+	depth := 0
+	for p.tok.Kind != TokEOF {
+		b.WriteString(p.tok.Text)
+		if p.tok.IsPunct('(') {
+			depth++
+		} else if p.tok.IsPunct(')') {
+			depth--
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// skipIndexOptions consumes USING BTREE, KEY_BLOCK_SIZE=n, COMMENT '...'.
+func (p *parser) skipIndexOptions() {
+	for {
+		switch {
+		case p.tok.Is("USING"):
+			p.next()
+			p.next()
+		case p.tok.Is("KEY_BLOCK_SIZE"):
+			p.next()
+			if p.tok.IsPunct('=') {
+				p.next()
+			}
+			p.next()
+		case p.tok.Is("COMMENT"):
+			p.next()
+			p.next()
+		default:
+			return
+		}
+	}
+}
+
+// parseReferentialActions consumes ON DELETE/UPDATE CASCADE|SET NULL|... and
+// MATCH clauses after REFERENCES, returning the lower-cased actions.
+func (p *parser) parseReferentialActions() (onDelete, onUpdate string) {
+	for {
+		switch {
+		case p.tok.Is("ON"):
+			p.next()
+			kind := strings.ToLower(p.tok.Ident())
+			p.next() // DELETE | UPDATE
+			var action string
+			switch {
+			case p.tok.Is("SET"):
+				p.next()
+				action = "set " + strings.ToLower(p.tok.Ident())
+				p.next() // NULL | DEFAULT
+			case p.tok.Is("NO"):
+				p.next()
+				action = "no action"
+				p.next() // ACTION
+			default:
+				action = strings.ToLower(p.tok.Ident())
+				p.next() // CASCADE | RESTRICT
+			}
+			if kind == "delete" {
+				onDelete = action
+			} else if kind == "update" {
+				onUpdate = action
+			}
+		case p.tok.Is("MATCH"):
+			p.next()
+			p.next()
+		default:
+			return onDelete, onUpdate
+		}
+	}
+}
+
+// parseTableOptions consumes ENGINE=InnoDB DEFAULT CHARSET=utf8 ... into the
+// table's option map (annotations only).
+func (p *parser) parseTableOptions(t *schema.Table) {
+	for p.tok.Kind == TokIdent {
+		key := strings.ToLower(p.tok.Ident())
+		p.next()
+		if key == "default" && (p.tok.Is("CHARSET") || p.tok.Is("CHARACTER") || p.tok.Is("COLLATE")) {
+			continue
+		}
+		if key == "character" && p.tok.Is("SET") {
+			key = "charset"
+			p.next()
+		}
+		if p.tok.IsPunct('=') {
+			p.next()
+		}
+		var val string
+		switch p.tok.Kind {
+		case TokIdent, TokNumber, TokString:
+			val = p.tok.Text
+			p.next()
+		default:
+			return
+		}
+		if t.Options == nil {
+			t.Options = make(map[string]string)
+		}
+		t.Options[key] = val
+		if p.tok.IsPunct(',') {
+			p.next()
+		}
+	}
+}
+
+// --- DROP -----------------------------------------------------------------
+
+func (p *parser) parseDrop(res *Result) {
+	p.next() // DROP
+	if !p.tok.Is("TABLE") {
+		p.skipStatement() // DROP DATABASE / INDEX / VIEW ...
+		return
+	}
+	p.next()
+	if p.tok.Is("IF") {
+		p.next()
+		if p.tok.Is("EXISTS") {
+			p.next()
+		}
+	}
+	for {
+		name, ok := p.qualifiedName()
+		if !ok {
+			p.fail(res, "DROP TABLE: expected table name")
+			return
+		}
+		res.Schema.DropTable(name)
+		if !p.tok.IsPunct(',') {
+			break
+		}
+		p.next()
+	}
+	p.skipStatement()
+}
+
+// --- ALTER ----------------------------------------------------------------
+
+func (p *parser) parseAlter(res *Result) {
+	p.next() // ALTER
+	for p.tok.Is("ONLINE") || p.tok.Is("OFFLINE") || p.tok.Is("IGNORE") {
+		p.next()
+	}
+	if !p.tok.Is("TABLE") {
+		p.skipStatement()
+		return
+	}
+	p.next()
+	if p.tok.Is("ONLY") { // PostgreSQL: ALTER TABLE ONLY name
+		p.next()
+	}
+	if p.tok.Is("IF") {
+		p.next()
+		if p.tok.Is("EXISTS") {
+			p.next()
+		}
+	}
+	name, ok := p.qualifiedName()
+	if !ok {
+		p.fail(res, "ALTER TABLE: expected table name")
+		return
+	}
+	t := res.Schema.Table(name)
+	if t == nil {
+		// Altering an unknown table: the file may alter tables created
+		// elsewhere. Tolerate by creating a shell so column adds register.
+		t = schema.NewTable(name)
+		res.Schema.AddTable(t)
+	}
+	for p.tok.Kind != TokEOF && !p.tok.IsPunct(';') {
+		if !p.parseAlterAction(t, res) {
+			return
+		}
+		if p.tok.IsPunct(',') {
+			p.next()
+		}
+	}
+	p.skipStatement()
+}
+
+func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
+	switch {
+	case p.tok.Is("ADD"):
+		p.next()
+		switch {
+		case p.tok.Is("COLUMN"):
+			p.next()
+			return p.parseAlterAddColumn(t, res)
+		case p.tok.Is("PRIMARY"):
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+			if cols := p.parseParenNameList(); cols != nil {
+				t.SetPrimaryKey(cols)
+			}
+			p.skipIndexOptions()
+			return true
+		case p.tok.Is("UNIQUE"), p.tok.Is("INDEX"), p.tok.Is("KEY"),
+			p.tok.Is("FULLTEXT"), p.tok.Is("SPATIAL"), p.tok.Is("CONSTRAINT"),
+			p.tok.Is("FOREIGN"), p.tok.Is("CHECK"):
+			return p.parseTableElement(t, res, t.Name)
+		case p.tok.IsPunct('('):
+			// ADD (col def, col def)
+			p.next()
+			for p.tok.Kind != TokEOF && !p.tok.IsPunct(')') {
+				if !p.parseAlterAddColumn(t, res) {
+					return false
+				}
+				if p.tok.IsPunct(',') {
+					p.next()
+				}
+			}
+			p.expectPunct(')')
+			return true
+		default:
+			return p.parseAlterAddColumn(t, res)
+		}
+	case p.tok.Is("DROP"):
+		p.next()
+		switch {
+		case p.tok.Is("COLUMN"):
+			p.next()
+			if p.tok.Kind == TokIdent {
+				t.DropColumn(p.tok.Ident())
+				p.next()
+			}
+			return true
+		case p.tok.Is("PRIMARY"):
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+			t.PrimaryKey = nil
+			return true
+		case p.tok.Is("FOREIGN"), p.tok.Is("CONSTRAINT"):
+			// DROP FOREIGN KEY name / DROP CONSTRAINT name.
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+			if p.tok.Kind == TokIdent {
+				name := schema.Normalize(p.tok.Ident())
+				kept := t.ForeignKeys[:0]
+				for _, fk := range t.ForeignKeys {
+					if schema.Normalize(fk.Name) != name {
+						kept = append(kept, fk)
+					}
+				}
+				t.ForeignKeys = kept
+				p.next()
+			}
+			return true
+		case p.tok.Is("INDEX"), p.tok.Is("KEY"), p.tok.Is("CHECK"):
+			p.next()
+			if p.tok.Is("KEY") {
+				p.next()
+			}
+			if p.tok.Kind == TokIdent {
+				p.next()
+			}
+			return true
+		default:
+			if p.tok.Kind == TokIdent { // DROP colname
+				t.DropColumn(p.tok.Ident())
+				p.next()
+			}
+			return true
+		}
+	case p.tok.Is("MODIFY"):
+		p.next()
+		if p.tok.Is("COLUMN") {
+			p.next()
+		}
+		if p.tok.Kind != TokIdent {
+			p.fail(res, "ALTER TABLE "+t.Name+": MODIFY expects column")
+			return false
+		}
+		cname := p.tok.Ident()
+		p.next()
+		dt, ok := p.parseDataType()
+		if !ok {
+			p.fail(res, "ALTER TABLE "+t.Name+": MODIFY "+cname+": expected type")
+			return false
+		}
+		col := t.Column(cname)
+		if col == nil {
+			col = &schema.Column{Name: cname, Nullable: true}
+			t.AddColumn(col)
+		}
+		col.Type = dt
+		p.parseColumnAttributes(col, t)
+		p.skipColumnPosition()
+		return true
+	case p.tok.Is("CHANGE"):
+		p.next()
+		if p.tok.Is("COLUMN") {
+			p.next()
+		}
+		if p.tok.Kind != TokIdent {
+			p.fail(res, "ALTER TABLE "+t.Name+": CHANGE expects column")
+			return false
+		}
+		oldName := p.tok.Ident()
+		p.next()
+		if p.tok.Kind != TokIdent {
+			p.fail(res, "ALTER TABLE "+t.Name+": CHANGE expects new column name")
+			return false
+		}
+		newName := p.tok.Ident()
+		p.next()
+		dt, ok := p.parseDataType()
+		if !ok {
+			p.fail(res, "ALTER TABLE "+t.Name+": CHANGE "+oldName+": expected type")
+			return false
+		}
+		wasPK := t.HasPKColumn(oldName)
+		t.DropColumn(oldName)
+		col := &schema.Column{Name: newName, Type: dt, Nullable: true}
+		t.AddColumn(col)
+		if wasPK {
+			t.SetPrimaryKey(append(append([]string{}, t.PrimaryKey...), newName))
+		}
+		p.parseColumnAttributes(col, t)
+		p.skipColumnPosition()
+		return true
+	case p.tok.Is("RENAME"):
+		p.next()
+		if p.tok.Is("TO") || p.tok.Is("AS") {
+			p.next()
+		}
+		if p.tok.Is("COLUMN") {
+			p.next()
+			old := ""
+			if p.tok.Kind == TokIdent {
+				old = p.tok.Ident()
+				p.next()
+			}
+			if p.tok.Is("TO") {
+				p.next()
+			}
+			if p.tok.Kind == TokIdent && old != "" {
+				if c := t.Column(old); c != nil {
+					wasPK := t.HasPKColumn(old)
+					newName := p.tok.Ident()
+					t.DropColumn(old)
+					nc := *c
+					nc.Name = newName
+					t.AddColumn(&nc)
+					if wasPK {
+						t.SetPrimaryKey(append(append([]string{}, t.PrimaryKey...), newName))
+					}
+				}
+				p.next()
+			}
+			return true
+		}
+		if p.tok.Kind == TokIdent {
+			// RENAME TO newname. The diff layer has no rename operation (a
+			// renamed table reads as death+birth, matching Hecate), but at
+			// parse time the net schema simply carries the new name.
+			res.Schema.RenameTable(t.Name, p.tok.Ident())
+			p.next()
+		}
+		return true
+	default:
+		// ENGINE=..., AUTO_INCREMENT=..., CONVERT TO CHARACTER SET, ORDER BY:
+		// physical options; skip one option token-wise.
+		p.next()
+		if p.tok.IsPunct('=') {
+			p.next()
+			p.next()
+		}
+		return true
+	}
+}
+
+// skipColumnPosition consumes FIRST / AFTER col.
+func (p *parser) skipColumnPosition() {
+	if p.tok.Is("FIRST") {
+		p.next()
+	} else if p.tok.Is("AFTER") {
+		p.next()
+		if p.tok.Kind == TokIdent {
+			p.next()
+		}
+	}
+}
+
+func (p *parser) parseAlterAddColumn(t *schema.Table, res *Result) bool {
+	if p.tok.Kind != TokIdent {
+		p.fail(res, "ALTER TABLE "+t.Name+": ADD expects column name")
+		return false
+	}
+	col := &schema.Column{Name: p.tok.Ident(), Nullable: true}
+	p.next()
+	dt, ok := p.parseDataType()
+	if !ok {
+		p.fail(res, "ALTER TABLE "+t.Name+": ADD "+col.Name+": expected type")
+		return false
+	}
+	col.Type = dt
+	p.parseColumnAttributes(col, t)
+	p.skipColumnPosition()
+	t.AddColumn(col)
+	return true
+}

@@ -1,0 +1,481 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Result {
+	t.Helper()
+	res := Parse(src)
+	if len(res.Errors) > 0 {
+		t.Fatalf("unexpected parse errors: %v", res.Errors)
+	}
+	return res
+}
+
+func TestParseSimpleCreate(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE users (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  name VARCHAR(255) DEFAULT NULL,
+  PRIMARY KEY (id)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8;`)
+	if res.CreateTables != 1 {
+		t.Fatalf("CreateTables = %d", res.CreateTables)
+	}
+	u := res.Schema.Table("users")
+	if u == nil {
+		t.Fatal("users table missing")
+	}
+	if len(u.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(u.Columns))
+	}
+	id := u.Column("id")
+	if id.Type.Name != "int" || len(id.Type.Args) != 1 || id.Type.Args[0] != "11" {
+		t.Errorf("id type = %v", id.Type)
+	}
+	if id.Nullable || !id.AutoInc {
+		t.Errorf("id flags wrong: %+v", id)
+	}
+	if !u.HasPKColumn("id") {
+		t.Error("PK not registered")
+	}
+	if u.Options["engine"] != "InnoDB" {
+		t.Errorf("engine option = %q", u.Options["engine"])
+	}
+}
+
+func TestParseInlinePrimaryKey(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT);")
+	if !res.Schema.Table("t").HasPKColumn("id") {
+		t.Error("inline PRIMARY KEY not registered")
+	}
+}
+
+func TestParseCompositePK(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY (a, b));")
+	pk := res.Schema.Table("t").PrimaryKey
+	if len(pk) != 2 || pk[0] != "a" || pk[1] != "b" {
+		t.Errorf("PK = %v", pk)
+	}
+}
+
+func TestParseEnumAndDecimal(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE t (
+  status ENUM('open','closed','it''s') NOT NULL DEFAULT 'open',
+  price DECIMAL(10,2) UNSIGNED ZEROFILL
+);`)
+	tb := res.Schema.Table("t")
+	st := tb.Column("status")
+	if st.Type.Name != "enum" || len(st.Type.Args) != 3 {
+		t.Errorf("status type = %v", st.Type)
+	}
+	pr := tb.Column("price")
+	if pr.Type.Name != "decimal" || !pr.Type.Unsigned || !pr.Type.Zerofill {
+		t.Errorf("price type = %v", pr.Type)
+	}
+	if len(pr.Type.Args) != 2 || pr.Type.Args[0] != "10" || pr.Type.Args[1] != "2" {
+		t.Errorf("price args = %v", pr.Type.Args)
+	}
+}
+
+func TestParseKeysAndIndexesIgnored(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE t (
+  id INT,
+  email VARCHAR(100),
+  UNIQUE KEY uq_email (email),
+  KEY idx_id (id) USING BTREE,
+  INDEX (email(20)),
+  FULLTEXT KEY ft (email)
+);`)
+	tb := res.Schema.Table("t")
+	if len(tb.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2 (indexes must not become columns)", len(tb.Columns))
+	}
+}
+
+func TestParseForeignKey(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE child (
+  id INT,
+  parent_id INT,
+  CONSTRAINT fk_parent FOREIGN KEY (parent_id) REFERENCES parent (id) ON DELETE CASCADE ON UPDATE SET NULL
+);`)
+	tb := res.Schema.Table("child")
+	if len(tb.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(tb.Columns))
+	}
+}
+
+func TestParseBackticksAndCase(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE `Order Items` (`Item ID` INT NOT NULL);")
+	tb := res.Schema.Table("order items")
+	if tb == nil {
+		t.Fatal("backticked table missing")
+	}
+	if tb.Column("item id") == nil {
+		t.Fatal("backticked column missing")
+	}
+}
+
+func TestParseIfNotExists(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE IF NOT EXISTS t (id INT);")
+	if res.Schema.Table("t") == nil {
+		t.Fatal("IF NOT EXISTS handling broken")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE a (x INT);
+CREATE TABLE b (y INT);
+DROP TABLE IF EXISTS a, missing;`)
+	if res.Schema.Table("a") != nil {
+		t.Error("a should be dropped")
+	}
+	if res.Schema.Table("b") == nil {
+		t.Error("b should remain")
+	}
+}
+
+func TestParseDropCreatePattern(t *testing.T) {
+	// The classic dump pattern: DROP then CREATE.
+	res := mustParse(t, `
+DROP TABLE IF EXISTS t;
+CREATE TABLE t (id INT);`)
+	if res.Schema.Table("t") == nil || res.Schema.NumTables() != 1 {
+		t.Fatal("drop-create pattern broken")
+	}
+}
+
+func TestParseSkipsNonDDL(t *testing.T) {
+	res := mustParse(t, `
+SET FOREIGN_KEY_CHECKS=0;
+USE mydb;
+CREATE TABLE t (id INT);
+INSERT INTO t (id) VALUES (1), (2);
+LOCK TABLES t WRITE;
+UNLOCK TABLES;`)
+	if res.CreateTables != 1 || res.Schema.NumTables() != 1 {
+		t.Fatalf("CreateTables=%d NumTables=%d", res.CreateTables, res.Schema.NumTables())
+	}
+	if res.Statements != 6 {
+		t.Errorf("Statements = %d, want 6", res.Statements)
+	}
+}
+
+func TestParseDefaultExpressions(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE t (
+  a TIMESTAMP DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP,
+  b TIMESTAMP(6) DEFAULT CURRENT_TIMESTAMP(6),
+  c INT DEFAULT -1,
+  d VARCHAR(10) DEFAULT 'x',
+  e DOUBLE DEFAULT 0.5
+);`)
+	tb := res.Schema.Table("t")
+	if len(tb.Columns) != 5 {
+		t.Fatalf("columns = %d, want 5", len(tb.Columns))
+	}
+	if c := tb.Column("c"); !c.HasDefault || c.Default != "-1" {
+		t.Errorf("c default = %q", c.Default)
+	}
+}
+
+func TestParseAlterAddDropModify(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE t (id INT, old_col INT, victim INT);
+ALTER TABLE t ADD COLUMN name VARCHAR(50) NOT NULL AFTER id;
+ALTER TABLE t DROP COLUMN victim;
+ALTER TABLE t MODIFY COLUMN id BIGINT UNSIGNED;
+ALTER TABLE t CHANGE old_col new_col TEXT;
+ALTER TABLE t ADD PRIMARY KEY (id);`)
+	tb := res.Schema.Table("t")
+	if tb.Column("name") == nil {
+		t.Error("ADD COLUMN failed")
+	}
+	if tb.Column("victim") != nil {
+		t.Error("DROP COLUMN failed")
+	}
+	if got := tb.Column("id").Type; got.Name != "bigint" || !got.Unsigned {
+		t.Errorf("MODIFY failed: %v", got)
+	}
+	if tb.Column("old_col") != nil || tb.Column("new_col") == nil {
+		t.Error("CHANGE failed")
+	}
+	if !tb.HasPKColumn("id") {
+		t.Error("ADD PRIMARY KEY failed")
+	}
+}
+
+func TestParseAlterRenameTable(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE old_name (id INT);
+ALTER TABLE old_name RENAME TO new_name;`)
+	if res.Schema.Table("old_name") != nil || res.Schema.Table("new_name") == nil {
+		t.Fatal("RENAME TO failed")
+	}
+}
+
+func TestParseMultipleAlterActions(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE t (a INT);
+ALTER TABLE t ADD b INT, ADD c INT, DROP a;`)
+	tb := res.Schema.Table("t")
+	if tb.Column("a") != nil || tb.Column("b") == nil || tb.Column("c") == nil {
+		t.Fatalf("multi-action ALTER failed: %v", tb.Columns)
+	}
+}
+
+func TestParseTolerantRecovery(t *testing.T) {
+	res := Parse(`
+CREATE TABLE good1 (id INT);
+CREATE TABLE broken (id INT,,, %%% garbage;
+CREATE TABLE good2 (id INT);`)
+	if res.Schema.Table("good1") == nil {
+		t.Error("good1 lost")
+	}
+	if res.Schema.Table("good2") == nil {
+		t.Error("tolerant mode failed to recover to good2")
+	}
+	if len(res.Errors) == 0 {
+		t.Error("broken statement produced no error record")
+	}
+}
+
+func TestParseStrictStopsAtError(t *testing.T) {
+	res := ParseMode(`
+CREATE TABLE broken (id INT ,,, ;
+CREATE TABLE good (id INT);`, Strict)
+	if len(res.Errors) == 0 {
+		t.Fatal("strict mode reported no error")
+	}
+	if res.Schema.Table("good") != nil {
+		t.Fatal("strict mode should stop before good")
+	}
+}
+
+func TestParseConditionalDirectiveBody(t *testing.T) {
+	res := mustParse(t, "/*!40101 CREATE TABLE t (id INT) */;")
+	if res.Schema.Table("t") == nil {
+		t.Fatal("conditional-directive DDL not executed")
+	}
+}
+
+func TestParseCreateViewSkipped(t *testing.T) {
+	res := mustParse(t, `
+CREATE VIEW v AS SELECT 1;
+CREATE DATABASE d;
+CREATE INDEX i ON t (x);
+CREATE TABLE t (id INT);`)
+	if res.CreateTables != 1 || res.Schema.NumTables() != 1 {
+		t.Fatalf("non-table CREATEs leaked: %d tables", res.Schema.NumTables())
+	}
+}
+
+func TestParseCreateTableLikeSkipped(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE copy LIKE original;")
+	if res.Schema.NumTables() != 0 {
+		t.Fatal("CREATE TABLE LIKE should not declare measurable columns")
+	}
+}
+
+func TestParseSchemaQualifiedName(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE mydb.t (id INT);")
+	if res.Schema.Table("t") == nil {
+		t.Fatal("qualified name should resolve to final component")
+	}
+}
+
+func TestParseGeneratedColumn(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE t (a INT, b INT GENERATED ALWAYS AS (a + 1) STORED);")
+	tb := res.Schema.Table("t")
+	if len(tb.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(tb.Columns))
+	}
+}
+
+func TestParseCommentOnlyChangeIsNoOp(t *testing.T) {
+	a := Parse("CREATE TABLE t (id INT); -- v1")
+	b := Parse("CREATE TABLE t (id INT); -- v2 with a different remark")
+	if a.Schema.NumTables() != b.Schema.NumTables() ||
+		len(a.Schema.Table("t").Columns) != len(b.Schema.Table("t").Columns) {
+		t.Fatal("comment-only change altered the logical schema")
+	}
+}
+
+func TestParseLargeDump(t *testing.T) {
+	// A dump-shaped file with many tables; sanity + no quadratic surprises.
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		b.WriteString("DROP TABLE IF EXISTS t")
+		b.WriteString(strings.Repeat("x", i%3))
+		b.WriteString(";\n")
+	}
+	for i := 0; i < 120; i++ {
+		b.WriteString("CREATE TABLE tab_")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteString("_")
+		b.WriteString(strings.Repeat("z", i/26))
+		b.WriteString(" (id INT NOT NULL, v VARCHAR(64), PRIMARY KEY (id));\n")
+	}
+	res := Parse(b.String())
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Schema.NumTables() != 120 {
+		t.Fatalf("tables = %d, want 120", res.Schema.NumTables())
+	}
+}
+
+func TestHasCreateTable(t *testing.T) {
+	if Parse("INSERT INTO t VALUES (1);").HasCreateTable() {
+		t.Error("no CREATE TABLE present")
+	}
+	if !Parse("CREATE TABLE t (id INT);").HasCreateTable() {
+		t.Error("CREATE TABLE not detected")
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	for _, src := range []string{"", "   \n\t", "%%%%", "((((((", "';'"} {
+		res := Parse(src)
+		if res == nil || res.Schema == nil {
+			t.Fatalf("Parse(%q) returned nil pieces", src)
+		}
+	}
+}
+
+func TestParseAlterOnUnknownTableCreatesShell(t *testing.T) {
+	res := mustParse(t, "ALTER TABLE ghost ADD COLUMN x INT;")
+	tb := res.Schema.Table("ghost")
+	if tb == nil || tb.Column("x") == nil {
+		t.Fatal("ALTER on unknown table should create a shell")
+	}
+}
+
+func TestParseColumnAttributeVariants(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE t (
+  a INT UNIQUE KEY,
+  b VARCHAR(10) COLLATE utf8_bin CHARACTER SET utf8,
+  c VARCHAR(10) CHARSET latin1,
+  d INT COMMENT 'a counter',
+  e INT NULL,
+  f INT SIGNED ZEROFILL,
+  g TEXT BINARY
+);`)
+	tb := res.Schema.Table("t")
+	if len(tb.Columns) != 7 {
+		t.Fatalf("columns = %d, want 7", len(tb.Columns))
+	}
+	if got := tb.Column("d").Comment; got != "'a counter'" {
+		t.Errorf("comment = %q", got)
+	}
+	if !tb.Column("e").Nullable {
+		t.Error("explicit NULL lost")
+	}
+	if !tb.Column("f").Type.Zerofill {
+		t.Error("ZEROFILL lost")
+	}
+}
+
+func TestParseIndexOptionsSkipped(t *testing.T) {
+	res := mustParse(t, `CREATE TABLE t (
+  a INT,
+  KEY k1 (a) USING BTREE KEY_BLOCK_SIZE=8 COMMENT 'hot',
+  UNIQUE KEY k2 (a) KEY_BLOCK_SIZE = 4
+);`)
+	if got := len(res.Schema.Table("t").Columns); got != 1 {
+		t.Fatalf("columns = %d, want 1", got)
+	}
+}
+
+func TestParseAlterVariants(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));
+ALTER IGNORE TABLE t DROP PRIMARY KEY;
+ALTER TABLE t ADD (c INT, d INT);
+ALTER TABLE t ADD e INT FIRST;
+ALTER TABLE t RENAME COLUMN b TO renamed_b;
+ALTER TABLE t ENGINE=MyISAM, AUTO_INCREMENT=100;
+ALTER TABLE t DROP INDEX idx, DROP KEY k2;
+ALTER DATABASE whatever CHARACTER SET utf8;
+ALTER TABLE missing_table MODIFY ghost INT;`)
+	tb := res.Schema.Table("t")
+	if len(tb.PrimaryKey) != 0 {
+		t.Error("DROP PRIMARY KEY failed")
+	}
+	for _, col := range []string{"c", "d", "e", "renamed_b"} {
+		if tb.Column(col) == nil {
+			t.Errorf("column %s missing after ALTERs", col)
+		}
+	}
+	if tb.Column("b") != nil {
+		t.Error("RENAME COLUMN left old name")
+	}
+	// MODIFY on an unknown column of an unknown table creates shells.
+	if res.Schema.Table("missing_table") == nil {
+		t.Error("ALTER on unknown table did not create a shell")
+	}
+}
+
+func TestParseAlterRenameColumnKeepsPK(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE t (a INT, PRIMARY KEY (a));
+ALTER TABLE t RENAME COLUMN a TO id;`)
+	tb := res.Schema.Table("t")
+	if !tb.HasPKColumn("id") {
+		t.Fatalf("PK after rename = %v", tb.PrimaryKey)
+	}
+}
+
+func TestParseAlterChangeKeepsPK(t *testing.T) {
+	res := mustParse(t, `
+CREATE TABLE t (a INT, b INT, PRIMARY KEY (a));
+ALTER TABLE t CHANGE a id BIGINT;`)
+	tb := res.Schema.Table("t")
+	if !tb.HasPKColumn("id") || tb.HasPKColumn("a") {
+		t.Fatalf("PK after CHANGE = %v", tb.PrimaryKey)
+	}
+}
+
+func TestParseErrorMessagesCarryPositions(t *testing.T) {
+	res := Parse("\n\nCREATE TABLE t (id INT,,,;")
+	if len(res.Errors) == 0 {
+		t.Fatal("no error recorded")
+	}
+	e := res.Errors[0]
+	if e.Line < 3 {
+		t.Errorf("error line = %d, want ≥ 3", e.Line)
+	}
+	if e.Error() == "" || !strings.Contains(e.Error(), "line") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokIdent, TokNumber, TokString, TokPunct, TokComment}
+	for _, k := range kinds {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no label", k)
+		}
+	}
+	if TokenKind(99).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+}
+
+func TestParseCreateTemporaryAndOrReplace(t *testing.T) {
+	res := mustParse(t, `
+CREATE TEMPORARY TABLE tmp (x INT);
+CREATE OR REPLACE TABLE t2 (y INT);`)
+	if res.Schema.Table("tmp") == nil || res.Schema.Table("t2") == nil {
+		t.Fatal("modifier handling broken")
+	}
+}
+
+func TestParseOnUpdateClause(t *testing.T) {
+	res := mustParse(t, "CREATE TABLE t (ts TIMESTAMP DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP(6));")
+	if res.Schema.Table("t").Column("ts") == nil {
+		t.Fatal("ON UPDATE handling broken")
+	}
+}

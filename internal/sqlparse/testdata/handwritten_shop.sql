@@ -1,0 +1,58 @@
+# on-line shop schema, maintained by hand
+# vim: set ft=sql :
+
+SET FOREIGN_KEY_CHECKS = 0;
+USE shopdb;
+
+CREATE TABLE IF NOT EXISTS Customers (
+    customer_id   INT UNSIGNED NOT NULL AUTO_INCREMENT PRIMARY KEY,
+    Email         VARCHAR(255) NOT NULL UNIQUE,
+    full_name     VARCHAR(120),
+    loyalty_tier  ENUM('bronze', 'silver', 'gold') NOT NULL DEFAULT 'bronze',
+    balance       DECIMAL(12, 2) UNSIGNED DEFAULT 0.00,
+    created_at    TIMESTAMP DEFAULT CURRENT_TIMESTAMP,
+    updated_at    TIMESTAMP DEFAULT CURRENT_TIMESTAMP ON UPDATE CURRENT_TIMESTAMP
+) ENGINE = InnoDB DEFAULT CHARSET = utf8 COMMENT = 'registered shoppers';
+
+/* order header; one row per checkout */
+CREATE TABLE orders (
+    order_id     BIGINT NOT NULL,
+    customer_id  INT UNSIGNED,
+    status       ENUM('new','paid','shipped','cancelled') DEFAULT 'new',
+    total        DECIMAL(12,2) NOT NULL,
+    placed_at    DATETIME NOT NULL,
+    PRIMARY KEY (order_id),
+    KEY idx_customer (customer_id),
+    CONSTRAINT fk_orders_customer
+        FOREIGN KEY (customer_id) REFERENCES Customers (customer_id)
+        ON DELETE SET NULL ON UPDATE CASCADE
+);
+
+CREATE TABLE order_lines (
+    order_id  BIGINT NOT NULL,
+    line_no   SMALLINT NOT NULL,
+    sku       CHAR(12) NOT NULL,
+    qty       INT NOT NULL DEFAULT 1,
+    price     DECIMAL(10,2),
+    PRIMARY KEY (order_id, line_no),
+    FOREIGN KEY (order_id) REFERENCES orders (order_id) ON DELETE CASCADE
+) ENGINE=InnoDB;
+
+-- audit trail added later; note the generated column
+CREATE TABLE audit_log (
+    id         INT NOT NULL AUTO_INCREMENT,
+    entity     VARCHAR(40) NOT NULL,
+    entity_id  BIGINT NOT NULL,
+    change_doc JSON,
+    year_bucket INT GENERATED ALWAYS AS (entity_id + 1) STORED,
+    PRIMARY KEY (id)
+);
+
+ALTER TABLE audit_log ADD COLUMN actor VARCHAR(64) AFTER entity;
+ALTER TABLE Customers MODIFY COLUMN full_name VARCHAR(200) NOT NULL;
+
+INSERT INTO Customers (Email, full_name) VALUES
+  ('a@example.com', 'Ada'),
+  ('b@example.com', 'Bob; the -- builder');
+
+CREATE INDEX idx_sku ON order_lines (sku);

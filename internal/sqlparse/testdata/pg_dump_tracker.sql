@@ -1,0 +1,53 @@
+--
+-- PostgreSQL database dump
+--
+
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+SET check_function_bodies = false;
+SET search_path = public, pg_catalog;
+
+--
+-- Name: issues; Type: TABLE; Schema: public
+--
+
+CREATE TABLE public.issues (
+    id bigserial NOT NULL,
+    project_id integer NOT NULL,
+    title character varying(255) NOT NULL,
+    body text,
+    labels text[] DEFAULT '{}'::text[],
+    meta jsonb DEFAULT '{}'::jsonb,
+    opened_at timestamp with time zone DEFAULT now(),
+    closed_at timestamp without time zone,
+    weight numeric(6,2) DEFAULT 0.00
+);
+
+CREATE TABLE public.projects (
+    id serial,
+    slug character varying(100) NOT NULL,
+    created timestamp with time zone DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE SEQUENCE public.issues_id_seq
+    START WITH 1
+    INCREMENT BY 1
+    NO MINVALUE
+    NO MAXVALUE
+    CACHE 1;
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.issues
+    ADD CONSTRAINT issues_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.issues
+    ADD CONSTRAINT fk_issues_project FOREIGN KEY (project_id) REFERENCES public.projects(id) ON DELETE CASCADE;
+
+CREATE INDEX idx_issues_project ON public.issues USING btree (project_id);
+
+--
+-- PostgreSQL database dump complete
+--

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SpearmanResult holds a rank-correlation outcome.
+type SpearmanResult struct {
+	Rho float64 // rank correlation coefficient in [−1, 1]
+	// P is the two-sided p-value from the t approximation (n > 2).
+	P float64
+	N int
+}
+
+func (r SpearmanResult) String() string {
+	return fmt.Sprintf("Spearman rho = %.3f (n = %d, p %s)", r.Rho, r.N, FormatPValue(r.P))
+}
+
+// Spearman computes the rank correlation between paired samples xs and ys,
+// using midranks for ties (Pearson correlation of the ranks, the convention
+// R's cor.test(method="spearman") follows under ties).
+func Spearman(xs, ys []float64) (SpearmanResult, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return SpearmanResult{}, fmt.Errorf("stats: Spearman: mismatched lengths %d/%d", n, len(ys))
+	}
+	if n < 3 {
+		return SpearmanResult{}, fmt.Errorf("stats: Spearman needs n ≥ 3: %w", ErrTooFewValues)
+	}
+	rx := Ranks(xs)
+	ry := Ranks(ys)
+	mx, my := Mean(rx), Mean(ry)
+	var num, dx, dy float64
+	for i := 0; i < n; i++ {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		// One variable is constant: correlation undefined; report 0 with
+		// p = 1 (no evidence of association).
+		return SpearmanResult{Rho: 0, P: 1, N: n}, nil
+	}
+	rho := num / math.Sqrt(dx*dy)
+	if rho > 1 {
+		rho = 1
+	}
+	if rho < -1 {
+		rho = -1
+	}
+
+	// Two-sided p via the t approximation: t = rho·sqrt((n−2)/(1−rho²)).
+	p := 1.0
+	if math.Abs(rho) < 1 {
+		t := rho * math.Sqrt(float64(n-2)/(1-rho*rho))
+		p = 2 * studentTSurvival(math.Abs(t), float64(n-2))
+	} else {
+		p = 0
+	}
+	return SpearmanResult{Rho: rho, P: p, N: n}, nil
+}
+
+// studentTSurvival returns P(T ≥ t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTSurvival(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * incompleteBeta(df/2, 0.5, x)
+}
+
+// incompleteBeta computes the regularized incomplete beta function I_x(a,b)
+// by continued fraction (Numerical Recipes betacf).
+func incompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= gammaMaxIter; m++ {
+		fm := float64(m)
+		num := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		num = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return h
+}
+
+// Gini returns the Gini coefficient of xs (all values must be ≥ 0): 0 for
+// perfectly even values, approaching 1 when one value holds everything. The
+// study uses it to measure how concentrated a project's change activity is
+// across its commits — the quantitative form of "focused shot" behaviour.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var cum, total float64
+	for i, x := range s {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	nf := float64(n)
+	return (2*cum - (nf+1)*total) / (nf * total)
+}
+
+// Skewness returns the adjusted Fisher–Pearson sample skewness — the
+// asymmetry signature of the study's power-law-like activity distributions.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return math.Sqrt(n*(n-1)) / (n - 2) * g1
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{10, 20, 25, 40, 41, 60, 100, 101} // monotone, nonlinear
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho-1) > 1e-12 {
+		t.Errorf("rho = %v, want 1", res.Rho)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v, want tiny", res.P)
+	}
+}
+
+func TestSpearmanPerfectInverse(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{9, 7, 5, 3, 1}
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho+1) > 1e-12 {
+		t.Errorf("rho = %v, want -1", res.Rho)
+	}
+}
+
+func TestSpearmanIndependentNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho) > 0.12 {
+		t.Errorf("rho = %v on independent data", res.Rho)
+	}
+	if res.P < 0.01 {
+		t.Errorf("p = %v: spurious significance", res.P)
+	}
+}
+
+func TestSpearmanKnownSmallExample(t *testing.T) {
+	// Classic 1-9 example: rho = 1 - 6*Σd²/(n(n²-1)).
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 1, 4, 3, 5} // d = (1,-1,1,-1,0) → Σd² = 4 → rho = 0.8
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho-0.8) > 1e-12 {
+		t.Errorf("rho = %v, want 0.8", res.Rho)
+	}
+}
+
+func TestSpearmanWithTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 3}
+	ys := []float64{5, 5, 6, 7}
+	res, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rho-1) > 1e-12 {
+		t.Errorf("rho with ties = %v, want 1 (identical midranks)", res.Rho)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	res, err := Spearman([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rho != 0 || res.P != 1 {
+		t.Errorf("constant sample: rho=%v p=%v", res.Rho, res.P)
+	}
+	if _, err := Spearman([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := Spearman([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestStudentTSurvival(t *testing.T) {
+	// Known critical values: t(df=10) upper 5% ≈ 1.8125.
+	if p := studentTSurvival(1.8124611, 10); math.Abs(p-0.05) > 1e-4 {
+		t.Errorf("t survival = %v, want 0.05", p)
+	}
+	// df=1 (Cauchy): P(T ≥ 1) = 0.25.
+	if p := studentTSurvival(1, 1); math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("Cauchy survival at 1 = %v, want 0.25", p)
+	}
+	if p := studentTSurvival(0, 7); p != 0.5 {
+		t.Errorf("survival at 0 = %v", p)
+	}
+}
+
+func TestIncompleteBetaBounds(t *testing.T) {
+	if incompleteBeta(2, 3, 0) != 0 || incompleteBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := incompleteBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, x := range []float64{0.2, 0.7} {
+		if d := incompleteBeta(2.5, 4, x) + incompleteBeta(4, 2.5, 1-x) - 1; math.Abs(d) > 1e-10 {
+			t.Errorf("symmetry violated at %v: %v", x, d)
+		}
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Symmetric data: ~0.
+	if s := Skewness([]float64{1, 2, 3, 4, 5}); math.Abs(s) > 1e-12 {
+		t.Errorf("symmetric skewness = %v", s)
+	}
+	// Right-skewed (power-law-like) data: strongly positive.
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = math.Pow(1-r.Float64(), -1.2)
+	}
+	if s := Skewness(xs); s < 2 {
+		t.Errorf("power-law skewness = %v, want ≫ 0", s)
+	}
+	// Degenerate inputs.
+	if Skewness([]float64{1, 2}) != 0 || Skewness([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("degenerate skewness should be 0")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("even Gini = %v, want 0", g)
+	}
+	// One holder of everything over n values: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 100}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated Gini = %v, want 0.75", g)
+	}
+	// Known small case: {1,2,3,4} → G = 0.25.
+	if g := Gini([]float64{1, 2, 3, 4}); math.Abs(g-0.25) > 1e-12 {
+		t.Errorf("Gini(1..4) = %v, want 0.25", g)
+	}
+	// Order-insensitive.
+	if Gini([]float64{4, 1, 3, 2}) != Gini([]float64{1, 2, 3, 4}) {
+		t.Error("Gini depends on order")
+	}
+	// Degenerates.
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Error("degenerate Gini should be 0")
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats provides the statistical machinery the study uses to
+// validate the taxa: descriptive statistics and quantiles (matching R's
+// conventions), rank computation with ties, the Kruskal–Wallis H test with
+// χ² p-values, and the Shapiro–Wilk normality test (Royston's AS R94, the
+// algorithm behind R's shapiro.test). Everything is stdlib-only and
+// implemented from first principles.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrTooFewValues is returned when a computation needs more data points.
+var ErrTooFewValues = errors.New("stats: too few values")
+
+// Min returns the minimum of xs. It panics on empty input — callers in the
+// study always operate on non-empty taxa.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5, Type7) }
+
+// QuantileType selects the interpolation convention.
+type QuantileType int
+
+const (
+	// Type7 is R's default (linear interpolation of order statistics).
+	Type7 QuantileType = 7
+	// Type2 averages at discontinuities (SAS-style; matches hand-computed
+	// quartiles like "31.5" on integer data).
+	Type2 QuantileType = 2
+)
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs under the given type.
+// The input need not be sorted.
+func Quantile(xs []float64, p float64, typ QuantileType) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[n-1]
+	}
+	switch typ {
+	case Type2:
+		// Inverse ECDF with averaging at discontinuities.
+		h := float64(n)*p + 0.5
+		lo := int(math.Ceil(h - 0.5))
+		hi := int(math.Floor(h + 0.5))
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n {
+			hi = n
+		}
+		return (s[lo-1] + s[hi-1]) / 2
+	default: // Type7
+		h := float64(n-1) * p
+		lo := int(math.Floor(h))
+		frac := h - float64(lo)
+		if lo+1 >= n {
+			return s[n-1]
+		}
+		return s[lo] + frac*(s[lo+1]-s[lo])
+	}
+}
+
+// FiveNum returns min, Q1, median, Q3, max under the given quantile type.
+func FiveNum(xs []float64, typ QuantileType) (min, q1, med, q3, max float64) {
+	return Min(xs), Quantile(xs, 0.25, typ), Quantile(xs, 0.5, typ), Quantile(xs, 0.75, typ), Max(xs)
+}
+
+// Percentile returns the p-th percentile (0–100) with R's default type.
+func Percentile(xs []float64, p float64) float64 {
+	return Quantile(xs, p/100, Type7)
+}
+
+// Ints converts an int slice for use with the float-based functions.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

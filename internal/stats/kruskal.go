@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ranks returns the 1-based ranks of xs, with tied values receiving the
+// average of the ranks they span (the "midrank" convention R uses).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// KruskalWallisResult holds the outcome of a Kruskal–Wallis rank-sum test.
+type KruskalWallisResult struct {
+	// H is the tie-corrected test statistic (R reports it as
+	// "Kruskal-Wallis chi-squared").
+	H float64
+	// DF is the degrees of freedom: number of groups − 1.
+	DF int
+	// P is the χ² upper-tail p-value.
+	P float64
+}
+
+func (r KruskalWallisResult) String() string {
+	return fmt.Sprintf("Kruskal-Wallis chi-squared = %.4g, df = %d, p-value %s",
+		r.H, r.DF, FormatPValue(r.P))
+}
+
+// FormatPValue renders a p-value the way R prints it, clamping the display
+// at the machine-precision floor "< 2.2e-16".
+func FormatPValue(p float64) string {
+	if p < 2.2e-16 {
+		return "< 2.2e-16"
+	}
+	return fmt.Sprintf("= %.4g", p)
+}
+
+// KruskalWallis performs the Kruskal–Wallis H test over k groups of
+// observations. It applies the standard tie correction and returns the χ²
+// approximation p-value, matching R's kruskal.test.
+func KruskalWallis(groups ...[]float64) (KruskalWallisResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return KruskalWallisResult{}, fmt.Errorf("stats: KruskalWallis needs ≥2 groups, got %d: %w", k, ErrTooFewValues)
+	}
+	n := 0
+	for i, g := range groups {
+		if len(g) == 0 {
+			return KruskalWallisResult{}, fmt.Errorf("stats: KruskalWallis group %d is empty: %w", i, ErrTooFewValues)
+		}
+		n += len(g)
+	}
+	if n < 3 {
+		return KruskalWallisResult{}, fmt.Errorf("stats: KruskalWallis needs ≥3 observations: %w", ErrTooFewValues)
+	}
+
+	pooled := make([]float64, 0, n)
+	for _, g := range groups {
+		pooled = append(pooled, g...)
+	}
+	ranks := Ranks(pooled)
+
+	// Sum of ranks per group.
+	h := 0.0
+	off := 0
+	for _, g := range groups {
+		sum := 0.0
+		for range g {
+			sum += ranks[off]
+			off++
+		}
+		h += sum * sum / float64(len(g))
+	}
+	N := float64(n)
+	h = 12/(N*(N+1))*h - 3*(N+1)
+
+	// Tie correction: 1 − Σ(t³−t) / (N³−N).
+	sorted := append([]float64(nil), pooled...)
+	sort.Float64s(sorted)
+	tieSum := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		tieSum += t*t*t - t
+		i = j + 1
+	}
+	correction := 1 - tieSum/(N*N*N-N)
+	if correction <= 0 {
+		// All observations identical: H is degenerate; no evidence of
+		// difference.
+		return KruskalWallisResult{H: 0, DF: k - 1, P: 1}, nil
+	}
+	h /= correction
+	if h < 0 {
+		h = 0 // guard against floating point residue
+	}
+
+	return KruskalWallisResult{
+		H:  h,
+		DF: k - 1,
+		P:  ChiSquaredSurvival(h, k-1),
+	}, nil
+}
+
+// MannWhitneyApprox performs the two-group special case via Kruskal–Wallis
+// (equivalent to a two-sided Wilcoxon rank-sum test with a χ²(1)
+// approximation), which is exactly how the paper compares taxa pairwise.
+func MannWhitneyApprox(a, b []float64) (KruskalWallisResult, error) {
+	return KruskalWallis(a, b)
+}
+
+// BenjaminiHochberg returns the BH-adjusted p-values (q-values) controlling
+// the false-discovery rate over a family of tests — the modern guard for
+// matrices of pairwise comparisons like the paper's Fig. 11. Order is
+// preserved; each q-value is min over j≥i of p_(j)·m/j, clamped to 1.
+func BenjaminiHochberg(ps []float64) []float64 {
+	m := len(ps)
+	if m == 0 {
+		return nil
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	out := make([]float64, m)
+	minSoFar := 1.0
+	for rank := m - 1; rank >= 0; rank-- {
+		i := idx[rank]
+		q := ps[i] * float64(m) / float64(rank+1)
+		if q < minSoFar {
+			minSoFar = q
+		}
+		out[i] = minSoFar
+	}
+	return out
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max]; used by the
+// reporting layer for distribution sketches.
+func Histogram(xs []float64, n int) (counts []int, lo, width float64) {
+	if len(xs) == 0 || n <= 0 {
+		return nil, 0, 0
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		counts = make([]int, n)
+		counts[0] = len(xs)
+		return counts, lo, 0
+	}
+	width = (hi - lo) / float64(n)
+	counts = make([]int, n)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, lo, width
+}

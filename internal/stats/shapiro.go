@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilkResult holds the outcome of a Shapiro–Wilk normality test.
+type ShapiroWilkResult struct {
+	W float64 // test statistic in (0, 1]; 1 means perfectly normal order
+	P float64 // p-value: probability of a W this small under normality
+	N int
+}
+
+func (r ShapiroWilkResult) String() string {
+	return fmt.Sprintf("Shapiro-Wilk normality test: W = %.5f, p-value %s", r.W, FormatPValue(r.P))
+}
+
+// ShapiroWilk performs the Shapiro–Wilk test of the composite hypothesis
+// that xs is an i.i.d. normal sample, using Royston's AS R94 algorithm
+// (1995) — the same algorithm behind R's shapiro.test. Valid for
+// 3 ≤ n ≤ 5000.
+func ShapiroWilk(xs []float64) (ShapiroWilkResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return ShapiroWilkResult{}, fmt.Errorf("stats: ShapiroWilk needs n ≥ 3, got %d: %w", n, ErrTooFewValues)
+	}
+	if n > 5000 {
+		return ShapiroWilkResult{}, fmt.Errorf("stats: ShapiroWilk supports n ≤ 5000, got %d", n)
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return ShapiroWilkResult{}, fmt.Errorf("stats: ShapiroWilk: all observations identical")
+	}
+
+	// Expected normal order statistics (Blom's approximation) and their
+	// normalisation.
+	an25 := float64(n) + 0.25
+	m := make([]float64, n)
+	ssq := 0.0
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / an25)
+		ssq += m[i] * m[i]
+	}
+
+	// Weight vector per Royston: polynomial-corrected extremes, rescaled
+	// interior.
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(float64(n))
+	c := func(coef []float64) float64 { // poly in rsn, ascending powers from rsn^1
+		v, p := 0.0, rsn
+		for _, cf := range coef {
+			v += cf * p
+			p *= rsn
+		}
+		return v
+	}
+	cn := m[n-1] / math.Sqrt(ssq)
+	an := cn + c([]float64{0.221157, -0.147981, -2.071190, 4.434685, -2.706056})
+	var phi float64
+	if n > 5 {
+		cn1 := m[n-2] / math.Sqrt(ssq)
+		an1 := cn1 + c([]float64{0.042981, -0.293762, -1.752461, 5.682633, -3.582633})
+		phi = (ssq - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+			(1 - 2*an*an - 2*an1*an1)
+		a[n-1], a[0] = an, -an
+		a[n-2], a[1] = an1, -an1
+		for i := 2; i < n-2; i++ {
+			a[i] = m[i] / math.Sqrt(phi)
+		}
+	} else {
+		phi = (ssq - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+		a[n-1], a[0] = an, -an
+		for i := 1; i < n-1; i++ {
+			a[i] = m[i] / math.Sqrt(phi)
+		}
+		if n == 3 {
+			a[0] = -math.Sqrt(0.5)
+			a[2] = math.Sqrt(0.5)
+			a[1] = 0
+		}
+	}
+
+	// W statistic.
+	mean := Mean(x)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		d := x[i] - mean
+		den += d * d
+	}
+	w := num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value.
+	var p float64
+	switch {
+	case n == 3:
+		const stqr = 1.0471975511965976 // asin(sqrt(3/4))
+		p = 6 / math.Pi * (math.Asin(math.Sqrt(w)) - stqr)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+	case n <= 11:
+		nf := float64(n)
+		gamma := -2.273 + 0.459*nf
+		y := -math.Log(gamma - math.Log1p(-w))
+		mu := 0.5440 - 0.39978*nf + 0.025054*nf*nf - 6.714e-4*nf*nf*nf
+		sigma := math.Exp(1.3822 - 0.77857*nf + 0.062767*nf*nf - 0.0020322*nf*nf*nf)
+		p = NormalSurvival((y - mu) / sigma)
+	default:
+		ln := math.Log(float64(n))
+		y := math.Log1p(-w)
+		mu := -1.5861 - 0.31082*ln - 0.083751*ln*ln + 0.0038915*ln*ln*ln
+		sigma := math.Exp(-0.4803 - 0.082676*ln + 0.0030302*ln*ln)
+		p = NormalSurvival((y - mu) / sigma)
+	}
+
+	return ShapiroWilkResult{W: w, P: p, N: n}, nil
+}

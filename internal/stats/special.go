@@ -1,0 +1,166 @@
+package stats
+
+import "math"
+
+// This file implements the special functions the tests need: the regularized
+// incomplete gamma function (for χ² tail probabilities) and the standard
+// normal distribution (CDF and quantile function).
+
+// GammaP returns the lower regularized incomplete gamma function P(a, x).
+func GammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// GammaQ returns the upper regularized incomplete gamma function Q(a, x) =
+// 1 − P(a, x), computed directly for accuracy in the far tail.
+func GammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+const (
+	gammaEps     = 1e-15
+	gammaMaxIter = 500
+)
+
+// gammaSeries evaluates P(a,x) by its power series (converges for x < a+1).
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by Lentz's continued fraction
+// (converges for x ≥ a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquaredSurvival returns P(X ≥ x) for a χ² variable with df degrees of
+// freedom — the p-value of the Kruskal–Wallis H statistic.
+func ChiSquaredSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaQ(float64(df)/2, x/2)
+}
+
+// NormalCDF returns P(Z ≤ z) for the standard normal distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalSurvival returns P(Z ≥ z), accurate in the upper tail.
+func NormalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile function Φ⁻¹(p),
+// using Acklam's rational approximation refined by one Halley step, which
+// yields near machine precision over (0, 1).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		return math.NaN()
+	}
+	if p >= 1 {
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+
+	var a = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	var b = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	var c = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	var d = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step against the true CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

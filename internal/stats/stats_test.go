@@ -1,0 +1,393 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestDescriptiveBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	close(t, "Min", Min(xs), 1, 0)
+	close(t, "Max", Max(xs), 4, 0)
+	close(t, "Mean", Mean(xs), 2.5, 1e-12)
+	close(t, "Median", Median(xs), 2.5, 1e-12)
+	close(t, "Variance", Variance(xs), 5.0/3, 1e-12)
+	close(t, "StdDev", StdDev(xs), math.Sqrt(5.0/3), 1e-12)
+}
+
+func TestQuantileType7MatchesR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// R: quantile(1:4, c(.25,.5,.75)) -> 1.75 2.50 3.25
+	close(t, "Q1", Quantile(xs, 0.25, Type7), 1.75, 1e-12)
+	close(t, "Q2", Quantile(xs, 0.50, Type7), 2.5, 1e-12)
+	close(t, "Q3", Quantile(xs, 0.75, Type7), 3.25, 1e-12)
+}
+
+func TestQuantileType2(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// Type 2 averages at discontinuities: Q1 = 1.5, Q3 = 3.5.
+	close(t, "Q1", Quantile(xs, 0.25, Type2), 1.5, 1e-12)
+	close(t, "Q2", Quantile(xs, 0.50, Type2), 2.5, 1e-12)
+	close(t, "Q3", Quantile(xs, 0.75, Type2), 3.5, 1e-12)
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{5}
+	for _, typ := range []QuantileType{Type2, Type7} {
+		for _, p := range []float64{0, 0.3, 0.5, 1} {
+			if got := Quantile(xs, p, typ); got != 5 {
+				t.Errorf("Quantile(single, %v, %v) = %v", p, typ, got)
+			}
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5, Type7)) {
+		t.Error("Quantile(empty) should be NaN")
+	}
+}
+
+func TestFiveNum(t *testing.T) {
+	min, q1, med, q3, max := FiveNum([]float64{11, 15, 23, 37.5, 88}, Type7)
+	if min != 11 || max != 88 {
+		t.Errorf("min/max = %v/%v", min, max)
+	}
+	if med != 23 {
+		t.Errorf("med = %v", med)
+	}
+	if q1 != 15 || q3 != 37.5 {
+		t.Errorf("q1/q3 = %v/%v", q1, q3)
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	r := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+// Property: ranks always sum to n(n+1)/2 regardless of ties.
+func TestRanksSumProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) {
+				xs[i] = 0
+			}
+		}
+		r := Ranks(xs)
+		sum := 0.0
+		for _, v := range r {
+			sum += v
+		}
+		n := float64(len(xs))
+		return math.Abs(sum-n*(n+1)/2) < 1e-6*math.Max(1, n*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKruskalWallisKnownValue(t *testing.T) {
+	// Hand-computable: ranks 1..9, H = 7.2, p = exp(-3.6).
+	res, err := KruskalWallis([]float64{1, 2, 3}, []float64{4, 5, 6}, []float64{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "H", res.H, 7.2, 1e-9)
+	if res.DF != 2 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	close(t, "P", res.P, math.Exp(-3.6), 1e-9)
+}
+
+func TestKruskalWallisTieCorrection(t *testing.T) {
+	// Pooled {1,1,2} vs {2,3,3}: H = 3.0476/0.914286 = 3.3333, p = exp(-5/3).
+	res, err := KruskalWallis([]float64{1, 1, 2}, []float64{2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "H", res.H, 10.0/3, 1e-9)
+	if res.DF != 1 {
+		t.Errorf("DF = %d, want 1", res.DF)
+	}
+	// df=1: survival(x) = erfc(sqrt(x/2)).
+	close(t, "P", res.P, math.Erfc(math.Sqrt(10.0/6)), 1e-9)
+}
+
+func TestKruskalWallisIdenticalGroups(t *testing.T) {
+	res, err := KruskalWallis([]float64{5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.H != 0 {
+		t.Errorf("identical data: H=%v P=%v, want 0/1", res.H, res.P)
+	}
+}
+
+func TestKruskalWallisErrors(t *testing.T) {
+	if _, err := KruskalWallis([]float64{1, 2}); err == nil {
+		t.Error("one group accepted")
+	}
+	if _, err := KruskalWallis([]float64{1}, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestKruskalWallisVeryLargeH(t *testing.T) {
+	// Reproduce the paper's scale: χ² = 178.22, df = 5 must print < 2.2e-16.
+	p := ChiSquaredSurvival(178.22, 5)
+	if p >= 2.2e-16 {
+		t.Fatalf("p = %g, want < 2.2e-16", p)
+	}
+	if FormatPValue(p) != "< 2.2e-16" {
+		t.Fatalf("FormatPValue = %q", FormatPValue(p))
+	}
+}
+
+func TestChiSquaredSurvivalKnownValues(t *testing.T) {
+	// df=2: survival = exp(-x/2).
+	for _, x := range []float64{0.5, 1, 3.6, 10} {
+		close(t, "chisq df2", ChiSquaredSurvival(x, 2), math.Exp(-x/2), 1e-12)
+	}
+	// df=1: survival = erfc(sqrt(x/2)).
+	close(t, "chisq df1 @3.841", ChiSquaredSurvival(3.841458820694124, 1), 0.05, 1e-9)
+	// df=5 upper 5% critical value 11.0705.
+	close(t, "chisq df5 @11.0705", ChiSquaredSurvival(11.070497693516351, 5), 0.05, 1e-9)
+	if ChiSquaredSurvival(0, 3) != 1 {
+		t.Error("survival at 0 must be 1")
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 50} {
+		for _, x := range []float64{0.1, 1, 5, 20, 100} {
+			if s := GammaP(a, x) + GammaQ(a, x); math.Abs(s-1) > 1e-10 {
+				t.Errorf("P+Q(a=%v,x=%v) = %v", a, x, s)
+			}
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	close(t, "q(0.5)", NormalQuantile(0.5), 0, 1e-12)
+	close(t, "q(0.975)", NormalQuantile(0.975), 1.959963984540054, 1e-9)
+	close(t, "q(0.025)", NormalQuantile(0.025), -1.959963984540054, 1e-9)
+	close(t, "q(0.999)", NormalQuantile(0.999), 3.090232306167813, 1e-8)
+	close(t, "q(1e-10)", NormalQuantile(1e-10), -6.361340902404056, 1e-6)
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-12 || p > 1-1e-12 || math.IsNaN(p) {
+			return true
+		}
+		z := NormalQuantile(p)
+		return math.Abs(NormalCDF(z)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFSurvivalComplement(t *testing.T) {
+	for _, z := range []float64{-3, -1, 0, 0.5, 2, 5} {
+		if s := NormalCDF(z) + NormalSurvival(z); math.Abs(s-1) > 1e-12 {
+			t.Errorf("CDF+Survival(%v) = %v", z, s)
+		}
+	}
+}
+
+func TestShapiroWilkExactN3(t *testing.T) {
+	res, err := ShapiroWilk([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "W", res.W, 1, 1e-9)
+	close(t, "P", res.P, 1, 1e-9)
+}
+
+func TestShapiroWilkNormalDataHighP(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+	}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W < 0.98 {
+		t.Errorf("W = %v on normal data, want ≥ 0.98", res.W)
+	}
+	if res.P < 0.01 {
+		t.Errorf("P = %v on normal data, want ≥ 0.01", res.P)
+	}
+}
+
+func TestShapiroWilkPowerLawDataLowP(t *testing.T) {
+	// Power-law-like data mirrors the paper's activity distribution: the
+	// test must emphatically reject normality (the paper reports W ≈ 0.244).
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 195)
+	for i := range xs {
+		u := r.Float64()
+		xs[i] = math.Pow(1-u, -1.5) // Pareto tail
+	}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W > 0.7 {
+		t.Errorf("W = %v on power-law data, want well below 0.7", res.W)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("P = %v on power-law data, want ≪ 1e-6", res.P)
+	}
+}
+
+func TestShapiroWilkUniformSequence(t *testing.T) {
+	// R: shapiro.test(1:10) gives W ≈ 0.970, p ≈ 0.89.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "W", res.W, 0.970, 0.01)
+	if res.P < 0.5 {
+		t.Errorf("P = %v, want > 0.5 for 1:10", res.P)
+	}
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := ShapiroWilk([]float64{3, 3, 3, 3}); err == nil {
+		t.Error("constant sample accepted")
+	}
+	if _, err := ShapiroWilk(make([]float64, 5001)); err == nil {
+		t.Error("n>5000 accepted")
+	}
+}
+
+// Property: W is scale and location invariant.
+func TestShapiroWilkInvarianceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	base := make([]float64, 50)
+	for i := range base {
+		base[i] = r.NormFloat64()
+	}
+	res1, err := ShapiroWilk(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]float64, len(base))
+	for i, x := range base {
+		shifted[i] = 1000 + 7*x
+	}
+	res2, err := ShapiroWilk(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(t, "W invariance", res1.W, res2.W, 1e-9)
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, width := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if lo != 0 || math.Abs(width-1.8) > 1e-12 {
+		t.Fatalf("lo=%v width=%v", lo, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram loses values: %v", counts)
+	}
+	// Constant data lands in one bucket.
+	counts, _, w := Histogram([]float64{2, 2, 2}, 4)
+	if counts[0] != 3 || w != 0 {
+		t.Fatalf("constant histogram = %v w=%v", counts, w)
+	}
+}
+
+func TestIntsConversion(t *testing.T) {
+	xs := Ints([]int{1, 2, 3})
+	if len(xs) != 3 || xs[2] != 3.0 {
+		t.Fatalf("Ints = %v", xs)
+	}
+}
+
+func TestFormatPValue(t *testing.T) {
+	if got := FormatPValue(0.03199); got != "= 0.03199" {
+		t.Errorf("FormatPValue = %q", got)
+	}
+	if got := FormatPValue(1e-20); got != "< 2.2e-16" {
+		t.Errorf("FormatPValue = %q", got)
+	}
+}
+
+func TestMannWhitneyApproxIsTwoGroupKW(t *testing.T) {
+	a, b := []float64{1, 2, 3, 4}, []float64{10, 11, 12, 13}
+	mw, err := MannWhitneyApprox(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, _ := KruskalWallis(a, b)
+	if mw.H != kw.H || mw.P != kw.P {
+		t.Fatal("MannWhitneyApprox diverges from two-group KW")
+	}
+	if mw.P > 0.05 {
+		t.Errorf("clearly separated groups: p = %v", mw.P)
+	}
+}
+
+func TestBenjaminiHochberg(t *testing.T) {
+	// Textbook example: sorted p-values (.01, .02, .03, .04, .05) over m=5.
+	ps := []float64{0.03, 0.01, 0.05, 0.02, 0.04}
+	qs := BenjaminiHochberg(ps)
+	// q_(i) = min_j≥i p_(j)*m/j → all equal 0.05 here.
+	for i, q := range qs {
+		if math.Abs(q-0.05) > 1e-12 {
+			t.Errorf("q[%d] = %v, want 0.05", i, q)
+		}
+	}
+	// A mixed family: significant stays significant, order preserved.
+	ps2 := []float64{0.001, 0.8, 0.02}
+	qs2 := BenjaminiHochberg(ps2)
+	if qs2[0] > 0.01 || qs2[1] < 0.5 {
+		t.Errorf("qs = %v", qs2)
+	}
+	// Monotone w.r.t. the sorted order and clamped at 1.
+	if qs2[1] > 1 {
+		t.Errorf("q exceeded 1: %v", qs2[1])
+	}
+	if BenjaminiHochberg(nil) != nil {
+		t.Error("empty input should return nil")
+	}
+}

@@ -1,0 +1,126 @@
+package study
+
+import (
+	"fmt"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/report"
+	"github.com/schemaevo/schemaevo/internal/stats"
+)
+
+// This file renders the study's figures as SVG documents, keyed by file
+// name, for `studyrun -svg`.
+
+// taxonColors matches the paper's palette spirit: cool colours for the
+// frozen family, green for Moderate, warm for the focused/active taxa.
+var taxonColors = map[core.Taxon]string{
+	core.Frozen:            "#888888",
+	core.AlmostFrozen:      "#1f6fb2",
+	core.FocusedShotFrozen: "#6f42c1",
+	core.Moderate:          "#2a9d2a",
+	core.FocusedShotLow:    "#e8890c",
+	core.Active:            "#c23b3b",
+}
+
+// projectSVGs renders one project's two panels.
+func (s *Study) projectSVGs(m core.Measures, prefix, title string, out map[string]string) {
+	a := s.Analyses[m.Project]
+	sizes := a.SizeSeries()
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, p := range sizes {
+		xs[i] = p.When.Sub(sizes[0].When).Hours() / 24
+		ys[i] = float64(p.Tables)
+	}
+	out[prefix+"_size.svg"] = report.SVGLineChart(xs, ys,
+		fmt.Sprintf("%s — %s: schema size", title, m.Project),
+		"days since V0", "#tables", 640, 320)
+
+	exp := make([]int, len(m.Heartbeat))
+	maint := make([]int, len(m.Heartbeat))
+	for i, b := range m.Heartbeat {
+		exp[i] = b.Expansion
+		maint[i] = b.Maintenance
+	}
+	out[prefix+"_heartbeat.svg"] = report.SVGHeartbeat(exp, maint,
+		fmt.Sprintf("%s — %s: heartbeat", title, m.Project), 640, 320)
+}
+
+// SVGFigures renders every graphical figure of the study, keyed by file
+// name.
+func (s *Study) SVGFigures() map[string]string {
+	out := map[string]string{}
+
+	// Fig. 1: two most active projects.
+	actives := s.mostActive(core.Active)
+	for i, m := range actives {
+		if i >= 2 {
+			break
+		}
+		s.projectSVGs(m, fmt.Sprintf("fig1_panel%d", i+1), "Fig. 1", out)
+	}
+	// Fig. 2: the commit-richest active project.
+	if len(actives) > 0 {
+		richest := actives[0]
+		for _, m := range actives {
+			if m.Commits > richest.Commits {
+				richest = m
+			}
+		}
+		s.projectSVGs(richest, "fig2", "Fig. 2", out)
+	}
+	// Figs. 5–9: one exemplar per non-frozen taxon.
+	figNo := 5
+	for _, t := range core.NonFrozenTaxa {
+		ms := s.mostActive(t)
+		if len(ms) == 0 {
+			continue
+		}
+		s.projectSVGs(ms[len(ms)/2], fmt.Sprintf("fig%d", figNo), fmt.Sprintf("Fig. %d (%s)", figNo, t), out)
+		figNo++
+	}
+
+	// Fig. 9's right panel aggregates the Active exemplar's heartbeat per
+	// calendar month rather than per transition.
+	if ms := s.mostActive(core.Active); len(ms) > 0 {
+		exemplar := ms[len(ms)/2]
+		months := s.Analyses[exemplar.Project].MonthlyActivity()
+		exp := make([]int, len(months))
+		maint := make([]int, len(months))
+		for i, mo := range months {
+			exp[i] = mo.Expansion
+			maint[i] = mo.Maintenance
+		}
+		out["fig9_monthly.svg"] = report.SVGHeartbeat(exp, maint,
+			fmt.Sprintf("Fig. 9 — %s: monthly aggregated heartbeat", exemplar.Project), 640, 320)
+	}
+
+	// Fig. 10: the log-log scatter.
+	var series []report.SVGSeries
+	for _, t := range core.NonFrozenTaxa {
+		sr := report.SVGSeries{Name: t.Short(), Color: taxonColors[t]}
+		for _, m := range s.ByTaxon[t] {
+			sr.Points = append(sr.Points, [2]float64{float64(m.TotalActivity), float64(m.ActiveCommits)})
+		}
+		series = append(series, sr)
+	}
+	out["fig10_scatter.svg"] = report.SVGScatterLogLog(series,
+		"Fig. 10 — project profiles (activity × active commits)", 760, 520)
+
+	// Fig. 13: the double box plot.
+	actQ := s.Quartiles(activityOf, stats.Type2)
+	comQ := s.Quartiles(activeOf, stats.Type2)
+	var boxes []report.SVGBox
+	for _, t := range core.NonFrozenTaxa {
+		boxes = append(boxes, report.SVGBox{
+			Name:  t.Short(),
+			Color: taxonColors[t],
+			X:     actQ[t],
+			Y:     comQ[t],
+		})
+	}
+	out["fig13_boxplot.svg"] = report.SVGDoubleBoxPlot(boxes,
+		"Fig. 13 — double box plot (activity × active commits)", 760, 520)
+
+	return out
+}

@@ -1,0 +1,291 @@
+// Package tables implements the table-level view of schema evolution — the
+// paper's companion line of work ([14], [15]) and one of its declared open
+// paths: instead of profiling whole schemata, profile the life of every
+// table: birth, death or survival, duration, and intra-table update
+// activity. The headline phenomenon is the "Electrolysis" pattern: dead
+// tables cluster at short durations with little update activity, while
+// survivor tables dominate the long durations, and the more active they
+// are, the longer they last.
+package tables
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/diff"
+	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/schema"
+)
+
+// Life is the biography of one table inside a schema history.
+type Life struct {
+	Name string
+	// BirthVersion is the first version id where the table exists (0 for
+	// tables of V0).
+	BirthVersion int
+	// DeathVersion is the version id where the table is first absent after
+	// existing, or −1 for survivors.
+	DeathVersion int
+	// Survived reports whether the table exists in the last version.
+	Survived bool
+	// DurationVersions counts versions of existence.
+	DurationVersions int
+	// DurationMonths measures lifetime in human time (birth commit to death
+	// commit or end of history).
+	DurationMonths int
+	// Updates counts intra-table update activity over the table's life:
+	// injections, ejections, type and PK changes (births and deaths of the
+	// table itself excluded — they are the boundary events).
+	Updates int
+	// AttrsAtBirth and AttrsAtEnd are the column counts at the boundaries.
+	AttrsAtBirth int
+	AttrsAtEnd   int
+}
+
+// ActivityClass discretises update activity, following [14]: rigid tables
+// never change, quiet ones change a little, active ones keep changing.
+type ActivityClass int
+
+// Activity classes.
+const (
+	Rigid       ActivityClass = iota // zero updates
+	Quiet                            // 1–5 updates
+	ActiveTable                      // > 5 updates
+)
+
+func (c ActivityClass) String() string {
+	switch c {
+	case Rigid:
+		return "rigid"
+	case Quiet:
+		return "quiet"
+	case ActiveTable:
+		return "active"
+	}
+	return "?"
+}
+
+// Class returns the life's activity class.
+func (l *Life) Class() ActivityClass {
+	switch {
+	case l.Updates == 0:
+		return Rigid
+	case l.Updates <= 5:
+		return Quiet
+	default:
+		return ActiveTable
+	}
+}
+
+// DurationClass discretises lifetime relative to the schema's own history
+// length: short (< 1/3), medium, long (> 2/3).
+type DurationClass int
+
+// Duration classes.
+const (
+	Short DurationClass = iota
+	Medium
+	Long
+)
+
+func (c DurationClass) String() string {
+	switch c {
+	case Short:
+		return "short"
+	case Medium:
+		return "medium"
+	case Long:
+		return "long"
+	}
+	return "?"
+}
+
+// Analyze computes the biography of every table that ever existed in the
+// history.
+func Analyze(a *history.Analysis) []*Life {
+	if len(a.Schemas) == 0 {
+		return nil
+	}
+	lives := map[string]*Life{}
+	order := []string{}
+
+	get := func(name string, birthVersion int) *Life {
+		if l, ok := lives[name]; ok {
+			return l
+		}
+		l := &Life{Name: name, BirthVersion: birthVersion, DeathVersion: -1}
+		lives[name] = l
+		order = append(order, name)
+		return l
+	}
+
+	// Seed with V0 tables.
+	for _, t := range a.Schemas[0].Tables {
+		name := schema.Normalize(t.Name)
+		l := get(name, 0)
+		l.AttrsAtBirth = len(t.Columns)
+	}
+	// Walk transitions for births, deaths and updates.
+	for i, tr := range a.Transitions {
+		toVersion := i + 1
+		for _, name := range tr.Delta.TablesInserted {
+			// A rebirth after death starts a fresh biography segment; the
+			// study counts the union (same name, accumulated updates), so
+			// just clear the death mark.
+			l := get(name, toVersion)
+			if l.DeathVersion >= 0 {
+				l.DeathVersion = -1
+			}
+			if t := a.Schemas[toVersion].Table(name); t != nil && l.AttrsAtBirth == 0 {
+				l.AttrsAtBirth = len(t.Columns)
+			}
+		}
+		for _, name := range tr.Delta.TablesDeleted {
+			if l, ok := lives[name]; ok {
+				l.DeathVersion = toVersion
+			}
+		}
+		for _, c := range tr.Delta.Changes {
+			switch c.Kind {
+			case diff.AttrInjected, diff.AttrEjected, diff.AttrTypeChange, diff.AttrPKChange:
+				if l, ok := lives[c.Table]; ok {
+					l.Updates++
+				}
+			}
+		}
+	}
+
+	last := len(a.Schemas) - 1
+	versionTime := func(id int) time.Time { return a.History.Versions[id].When }
+	for _, name := range order {
+		l := lives[name]
+		l.Survived = a.Schemas[last].Table(l.Name) != nil
+		endVersion := last
+		if !l.Survived && l.DeathVersion >= 0 {
+			endVersion = l.DeathVersion
+		}
+		l.DurationVersions = endVersion - l.BirthVersion + 1
+		months := versionTime(endVersion).Sub(versionTime(l.BirthVersion))
+		l.DurationMonths = int(months / (30 * 24 * time.Hour))
+		if l.DurationMonths < 1 && l.DurationVersions > 0 {
+			l.DurationMonths = 1
+		}
+		if l.Survived {
+			if t := a.Schemas[last].Table(l.Name); t != nil {
+				l.AttrsAtEnd = len(t.Columns)
+			}
+		}
+	}
+
+	out := make([]*Life, 0, len(order))
+	for _, name := range order {
+		out = append(out, lives[name])
+	}
+	return out
+}
+
+// DurationClassOf places a life on the short/medium/long scale relative to
+// the history's total version count.
+func DurationClassOf(l *Life, totalVersions int) DurationClass {
+	if totalVersions <= 1 {
+		return Long
+	}
+	frac := float64(l.DurationVersions) / float64(totalVersions)
+	switch {
+	case frac < 1.0/3:
+		return Short
+	case frac <= 2.0/3:
+		return Medium
+	default:
+		return Long
+	}
+}
+
+// Electrolysis is the cross-tabulation of survival × duration × activity —
+// the summary statistic behind the pattern of the same name.
+type Electrolysis struct {
+	// Count[survived][duration][activity]
+	Count [2][3][3]int
+	// Tables is the total number of biographies.
+	Tables int
+}
+
+// Add accumulates one life.
+func (e *Electrolysis) Add(l *Life, totalVersions int) {
+	s := 0
+	if l.Survived {
+		s = 1
+	}
+	e.Count[s][DurationClassOf(l, totalVersions)][l.Class()]++
+	e.Tables++
+}
+
+// DeadShortShare returns the fraction of dead tables living in the short
+// duration band — the "dead tables die young" half of the pattern.
+func (e *Electrolysis) DeadShortShare() float64 {
+	dead, deadShort := 0, 0
+	for d := 0; d < 3; d++ {
+		for a := 0; a < 3; a++ {
+			dead += e.Count[0][d][a]
+			if DurationClass(d) == Short {
+				deadShort += e.Count[0][d][a]
+			}
+		}
+	}
+	if dead == 0 {
+		return 0
+	}
+	return float64(deadShort) / float64(dead)
+}
+
+// SurvivorLongShare returns the fraction of survivors in the long band.
+func (e *Electrolysis) SurvivorLongShare() float64 {
+	sur, surLong := 0, 0
+	for d := 0; d < 3; d++ {
+		for a := 0; a < 3; a++ {
+			sur += e.Count[1][d][a]
+			if DurationClass(d) == Long {
+				surLong += e.Count[1][d][a]
+			}
+		}
+	}
+	if sur == 0 {
+		return 0
+	}
+	return float64(surLong) / float64(sur)
+}
+
+// String renders the cross-tab.
+func (e *Electrolysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d table biographies\n", e.Tables)
+	for s := 0; s < 2; s++ {
+		label := "dead"
+		if s == 1 {
+			label = "survivors"
+		}
+		fmt.Fprintf(&b, "%s:\n", label)
+		fmt.Fprintf(&b, "  %-8s %8s %8s %8s\n", "", "rigid", "quiet", "active")
+		for d := 0; d < 3; d++ {
+			fmt.Fprintf(&b, "  %-8s", DurationClass(d))
+			for a := 0; a < 3; a++ {
+				fmt.Fprintf(&b, " %8d", e.Count[s][d][a])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SortByUpdates orders lives by update activity, most active first — the
+// presentation order of the per-table studies.
+func SortByUpdates(lives []*Life) {
+	sort.Slice(lives, func(i, j int) bool {
+		if lives[i].Updates != lives[j].Updates {
+			return lives[i].Updates > lives[j].Updates
+		}
+		return lives[i].Name < lives[j].Name
+	})
+}

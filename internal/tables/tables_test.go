@@ -1,0 +1,168 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/corpus"
+	"github.com/schemaevo/schemaevo/internal/history"
+)
+
+func mkAnalysis(t *testing.T, versions ...string) *history.Analysis {
+	t.Helper()
+	h := &history.History{Project: "p", Path: "s.sql"}
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, sql := range versions {
+		h.Versions = append(h.Versions, history.Version{ID: i, When: base.AddDate(0, i, 0), SQL: sql})
+	}
+	a, err := history.Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func byName(lives []*Life) map[string]*Life {
+	out := map[string]*Life{}
+	for _, l := range lives {
+		out[l.Name] = l
+	}
+	return out
+}
+
+func TestLifeBirthDeathSurvival(t *testing.T) {
+	a := mkAnalysis(t,
+		"CREATE TABLE root (a INT);",
+		"CREATE TABLE root (a INT); CREATE TABLE guest (x INT, y INT);",
+		"CREATE TABLE root (a INT);",
+		"CREATE TABLE root (a INT); CREATE TABLE late (z INT);",
+	)
+	lives := byName(Analyze(a))
+	if len(lives) != 3 {
+		t.Fatalf("lives = %d, want 3", len(lives))
+	}
+	root := lives["root"]
+	if root.BirthVersion != 0 || !root.Survived || root.DeathVersion != -1 {
+		t.Errorf("root = %+v", root)
+	}
+	if root.DurationVersions != 4 {
+		t.Errorf("root duration = %d versions", root.DurationVersions)
+	}
+	guest := lives["guest"]
+	if guest.BirthVersion != 1 || guest.Survived || guest.DeathVersion != 2 {
+		t.Errorf("guest = %+v", guest)
+	}
+	if guest.DurationVersions != 2 {
+		t.Errorf("guest duration = %d versions", guest.DurationVersions)
+	}
+	if guest.AttrsAtBirth != 2 {
+		t.Errorf("guest AttrsAtBirth = %d", guest.AttrsAtBirth)
+	}
+	late := lives["late"]
+	if late.BirthVersion != 3 || !late.Survived {
+		t.Errorf("late = %+v", late)
+	}
+}
+
+func TestLifeUpdateCounting(t *testing.T) {
+	a := mkAnalysis(t,
+		"CREATE TABLE t (a INT, b INT); CREATE TABLE calm (x INT);",
+		"CREATE TABLE t (a BIGINT, b INT, c INT); CREATE TABLE calm (x INT);", // type + inject
+		"CREATE TABLE t (a BIGINT, c INT); CREATE TABLE calm (x INT);",        // eject
+	)
+	lives := byName(Analyze(a))
+	if got := lives["t"].Updates; got != 3 {
+		t.Errorf("t updates = %d, want 3", got)
+	}
+	if got := lives["calm"].Updates; got != 0 {
+		t.Errorf("calm updates = %d, want 0", got)
+	}
+	if lives["t"].Class() != Quiet || lives["calm"].Class() != Rigid {
+		t.Errorf("classes: t=%v calm=%v", lives["t"].Class(), lives["calm"].Class())
+	}
+}
+
+func TestActivityClassBoundaries(t *testing.T) {
+	mk := func(u int) *Life { return &Life{Updates: u} }
+	if mk(0).Class() != Rigid || mk(1).Class() != Quiet || mk(5).Class() != Quiet || mk(6).Class() != ActiveTable {
+		t.Fatal("activity class boundaries off")
+	}
+}
+
+func TestDurationClassOf(t *testing.T) {
+	total := 9
+	cases := []struct {
+		versions int
+		want     DurationClass
+	}{{1, Short}, {2, Short}, {4, Medium}, {6, Medium}, {7, Long}, {9, Long}}
+	for _, c := range cases {
+		l := &Life{DurationVersions: c.versions}
+		if got := DurationClassOf(l, total); got != c.want {
+			t.Errorf("duration %d/%d = %v, want %v", c.versions, total, got, c.want)
+		}
+	}
+	if DurationClassOf(&Life{DurationVersions: 1}, 1) != Long {
+		t.Error("single-version history should be Long")
+	}
+}
+
+func TestRebirthClearsDeath(t *testing.T) {
+	a := mkAnalysis(t,
+		"CREATE TABLE t (a INT); CREATE TABLE phoenix (x INT);",
+		"CREATE TABLE t (a INT);",
+		"CREATE TABLE t (a INT); CREATE TABLE phoenix (x INT, y INT);",
+	)
+	lives := byName(Analyze(a))
+	p := lives["phoenix"]
+	if !p.Survived || p.DeathVersion != -1 {
+		t.Fatalf("phoenix = %+v", p)
+	}
+}
+
+func TestElectrolysisPatternOnCorpus(t *testing.T) {
+	// The table-level pattern must emerge from the synthetic corpus: dead
+	// tables skew short-lived, survivors skew long-lived.
+	projects := corpus.Generate(corpus.Config{
+		Seed:   21,
+		Counts: map[core.Taxon]int{core.Active: 8, core.FocusedShotLow: 6, core.Moderate: 6},
+	})
+	var e Electrolysis
+	for _, p := range projects {
+		a, err := history.Analyze(p.Hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range Analyze(a) {
+			e.Add(l, len(a.Schemas))
+		}
+	}
+	if e.Tables < 200 {
+		t.Fatalf("only %d biographies", e.Tables)
+	}
+	if got := e.SurvivorLongShare(); got < 0.5 {
+		t.Errorf("survivor long share = %.2f, want > 0.5", got)
+	}
+	deadShort := e.DeadShortShare()
+	if deadShort < 0.3 {
+		t.Errorf("dead short share = %.2f, want dead tables skewed short", deadShort)
+	}
+	if !strings.Contains(e.String(), "survivors") {
+		t.Error("String() missing sections")
+	}
+}
+
+func TestSortByUpdates(t *testing.T) {
+	lives := []*Life{{Name: "b", Updates: 1}, {Name: "a", Updates: 1}, {Name: "c", Updates: 9}}
+	SortByUpdates(lives)
+	if lives[0].Name != "c" || lives[1].Name != "a" || lives[2].Name != "b" {
+		t.Fatalf("order = %v %v %v", lives[0].Name, lives[1].Name, lives[2].Name)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if got := Analyze(&history.Analysis{History: &history.History{}}); got != nil {
+		t.Fatalf("empty analysis = %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+package schemaevo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests exercise the public facade exactly as a downstream user would:
+// parse → diff → mine → measure → classify → study.
+
+func TestFacadeParseAndDiff(t *testing.T) {
+	old := ParseSQL("CREATE TABLE t (a INT, b VARCHAR(10), PRIMARY KEY (a));")
+	if len(old.Errors) != 0 || !old.HasCreateTable() {
+		t.Fatalf("parse: %+v", old)
+	}
+	new := ParseSQL("CREATE TABLE t (a BIGINT, c TEXT, PRIMARY KEY (a));")
+	d := Diff(old.Schema, new.Schema)
+	if d.TypeChange != 1 || d.Injected != 1 || d.Ejected != 1 {
+		t.Fatalf("delta: %+v", d)
+	}
+	if d.Activity() != 3 || !d.IsActive() {
+		t.Fatalf("activity = %d", d.Activity())
+	}
+}
+
+func TestFacadeEndToEndMining(t *testing.T) {
+	repo, err := InitRepo(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorktree(repo, "master")
+	sig := func(day int) Signature {
+		return Signature{Name: "d", Email: "d@e",
+			When: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)}
+	}
+	w.Set("schema.sql", []byte("CREATE TABLE a (x INT);"))
+	if _, err := w.Commit("v0", sig(0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Set("schema.sql", []byte("CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);"))
+	if _, err := w.Commit("v1", sig(40)); err != nil {
+		t.Fatal(err)
+	}
+
+	hist, err := HistoryFromRepo(repo, "p", "schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Filter()
+	a, err := Analyze(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(a)
+	if m.TotalActivity != 2 || m.ActiveCommits != 1 {
+		t.Fatalf("measures: %+v", m)
+	}
+	if Classify(m) != AlmostFrozen {
+		t.Fatalf("taxon = %v", Classify(m))
+	}
+}
+
+func TestFacadeCorpusAndClassification(t *testing.T) {
+	projects := GenerateCorpus(CorpusConfig{
+		Seed:   7,
+		Counts: map[Taxon]int{Moderate: 3, Active: 2},
+	})
+	if len(projects) != 5 {
+		t.Fatalf("projects = %d", len(projects))
+	}
+	var ms []Measures
+	for _, p := range projects {
+		a, err := Analyze(p.Hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, Measure(a))
+	}
+	groups := ByTaxon(ms)
+	if len(groups[Moderate]) != 3 || len(groups[Active]) != 2 {
+		t.Fatalf("groups: mod=%d act=%d", len(groups[Moderate]), len(groups[Active]))
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	kw, err := KruskalWallis([]float64{1, 2, 3}, []float64{4, 5, 6}, []float64{7, 8, 9})
+	if err != nil || kw.DF != 2 {
+		t.Fatalf("kw: %+v err %v", kw, err)
+	}
+	sw, err := ShapiroWilk([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil || sw.W < 0.9 {
+		t.Fatalf("sw: %+v err %v", sw, err)
+	}
+}
+
+func TestFacadeTaxaHelpers(t *testing.T) {
+	taxa := Taxa()
+	if len(taxa) != 6 || taxa[0] != Frozen || taxa[5] != Active {
+		t.Fatalf("Taxa() = %v", taxa)
+	}
+	if DefaultReedLimit != 14 {
+		t.Fatalf("DefaultReedLimit = %d", DefaultReedLimit)
+	}
+}
+
+func TestFacadeStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study is expensive")
+	}
+	st, err := NewStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Measures) != 195 {
+		t.Fatalf("study set = %d", len(st.Measures))
+	}
+	out := strings.Join(st.Everything(), "\n")
+	if !strings.Contains(out, "E05") || !strings.Contains(out, "Kruskal") {
+		t.Error("study output incomplete")
+	}
+}
+
+func TestFacadeWriteProjectRepo(t *testing.T) {
+	p := GenerateCorpus(CorpusConfig{Seed: 3, Counts: map[Taxon]int{AlmostFrozen: 1}})[0]
+	repo, err := WriteProjectRepo(p, t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HistoryFromRepo(repo, p.Name, "schema.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Versions) != len(p.Hist.Versions) {
+		t.Fatalf("round trip: %d vs %d versions", len(h.Versions), len(p.Hist.Versions))
+	}
+}
+
+func TestFacadeCorrelation(t *testing.T) {
+	res, err := Spearman([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8})
+	if err != nil || res.Rho != 1 {
+		t.Fatalf("Spearman: %+v err %v", res, err)
+	}
+	if s := Skewness([]float64{1, 1, 1, 10}); s <= 0 {
+		t.Errorf("Skewness = %v, want positive", s)
+	}
+}
+
+func TestFacadeSMOs(t *testing.T) {
+	old := ParseSQL("CREATE TABLE t (a INT);").Schema
+	new := ParseSQL("CREATE TABLE t (a INT, b TEXT);").Schema
+	ops := DeriveSMOs(old, new)
+	if len(ops) != 1 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	script := RenderMigration(ops)
+	if !strings.Contains(script, "ADD COLUMN") {
+		t.Errorf("script = %q", script)
+	}
+	got := old.Clone()
+	if err := ApplySMOs(got, ops); err != nil {
+		t.Fatal(err)
+	}
+	if !SchemasEqual(got, new) {
+		t.Fatal("replay mismatch through facade")
+	}
+}
+
+func TestFacadeTableLives(t *testing.T) {
+	h := &History{Project: "p", Path: "s.sql"}
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, sql := range []string{
+		"CREATE TABLE a (x INT);",
+		"CREATE TABLE a (x INT); CREATE TABLE b (y INT);",
+		"CREATE TABLE a (x INT);",
+	} {
+		h.Versions = append(h.Versions, Version{ID: i, When: base.AddDate(0, i, 0), SQL: sql})
+	}
+	a, err := Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lives := TableLives(a)
+	if len(lives) != 2 {
+		t.Fatalf("lives = %d", len(lives))
+	}
+	var e Electrolysis
+	for _, l := range lives {
+		e.Add(l, len(h.Versions))
+	}
+	if e.Tables != 2 {
+		t.Fatalf("electrolysis tables = %d", e.Tables)
+	}
+}

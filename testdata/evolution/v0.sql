@@ -1,0 +1,14 @@
+-- bookstore schema, initial import
+CREATE TABLE books (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  title VARCHAR(200) NOT NULL,
+  author VARCHAR(100),
+  price DECIMAL(8,2),
+  PRIMARY KEY (id)
+) ENGINE=InnoDB;
+
+CREATE TABLE customers (
+  id INT(11) NOT NULL,
+  email VARCHAR(100) NOT NULL,
+  PRIMARY KEY (id)
+);

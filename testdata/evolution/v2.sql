@@ -1,0 +1,24 @@
+-- bookstore schema, cosmetic commit: comments and an index only
+-- (no logical change: this version must be non-active)
+CREATE TABLE books (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  title VARCHAR(200) NOT NULL,
+  author VARCHAR(100),
+  price DECIMAL(8,2),
+  PRIMARY KEY (id),
+  KEY idx_title (title)
+) ENGINE=InnoDB;
+
+CREATE TABLE customers (
+  id INT(11) NOT NULL,
+  email VARCHAR(100) NOT NULL,
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE orders (
+  id INT(11) NOT NULL,
+  customer_id INT(11),
+  book_id INT(11),
+  placed_at DATETIME,
+  PRIMARY KEY (id)
+);

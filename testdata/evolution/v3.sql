@@ -1,0 +1,30 @@
+-- bookstore schema, the big refactor:
+--   books: +isbn +stock (2 injected), price → DECIMAL(10,2) (1 type change),
+--          author ejected (1)
+--   customers: name injected (1)
+--   orders: composite key change: placed_at joins PK? no — qty injected (1)
+CREATE TABLE books (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  title VARCHAR(200) NOT NULL,
+  isbn CHAR(13),
+  stock INT(11) DEFAULT 0,
+  price DECIMAL(10,2),
+  PRIMARY KEY (id),
+  KEY idx_title (title)
+) ENGINE=InnoDB;
+
+CREATE TABLE customers (
+  id INT(11) NOT NULL,
+  email VARCHAR(100) NOT NULL,
+  name VARCHAR(120),
+  PRIMARY KEY (id)
+);
+
+CREATE TABLE orders (
+  id INT(11) NOT NULL,
+  customer_id INT(11),
+  book_id INT(11),
+  qty INT(11) DEFAULT 1,
+  placed_at DATETIME,
+  PRIMARY KEY (id)
+);

@@ -1,0 +1,21 @@
+-- bookstore schema, drop legacy customers table (2 + 1 = 3 attrs deleted),
+-- fold identity into orders via email column (1 injected)
+CREATE TABLE books (
+  id INT(11) NOT NULL AUTO_INCREMENT,
+  title VARCHAR(200) NOT NULL,
+  isbn CHAR(13),
+  stock INT(11) DEFAULT 0,
+  price DECIMAL(10,2),
+  PRIMARY KEY (id),
+  KEY idx_title (title)
+) ENGINE=InnoDB;
+
+CREATE TABLE orders (
+  id INT(11) NOT NULL,
+  customer_email VARCHAR(100),
+  customer_id INT(11),
+  book_id INT(11),
+  qty INT(11) DEFAULT 1,
+  placed_at DATETIME,
+  PRIMARY KEY (id)
+);
