@@ -6,7 +6,10 @@ package schemaevo
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -19,6 +22,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/diff"
 	"github.com/schemaevo/schemaevo/internal/gitstore"
 	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/serve"
 	"github.com/schemaevo/schemaevo/internal/smo"
 	"github.com/schemaevo/schemaevo/internal/sqlparse"
 	"github.com/schemaevo/schemaevo/internal/stats"
@@ -274,6 +278,45 @@ func BenchmarkE18ReedLimit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.DeriveReedLimit(s.Measures)
+	}
+}
+
+// BenchmarkServeCached contrasts the two latency regimes of schemaevod: the
+// cold request that runs the whole pipeline versus the steady state served
+// from the LRU cache. The cold/hit ratio is reported as a metric and
+// enforced — caching must buy at least two orders of magnitude.
+func BenchmarkServeCached(b *testing.B) {
+	srv := serve.New(serve.Options{CacheSize: 2, Timeout: 5 * time.Minute})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL + "/v1/study/1/export.json"
+
+	request := func() time.Duration {
+		start := time.Now()
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return time.Since(start)
+	}
+
+	cold := request() // first request runs the pipeline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		request()
+	}
+	b.StopTimer()
+	hit := b.Elapsed() / time.Duration(b.N)
+	ratio := float64(cold) / float64(hit)
+	b.ReportMetric(float64(cold.Nanoseconds()), "cold-ns")
+	b.ReportMetric(ratio, "cold/hit")
+	if ratio < 100 {
+		b.Fatalf("cache hit only %.1fx faster than cold (cold %s, hit %s); want >= 100x", ratio, cold, hit)
 	}
 }
 

@@ -1,0 +1,89 @@
+// Command schemaevod serves the full reproduction over HTTP: every
+// experiment artifact, the dataset exports, the SVG figures and the HTML
+// report, per corpus seed, from a bounded LRU cache with singleflight
+// deduplication — concurrent requests for one seed run the pipeline once.
+//
+// Usage:
+//
+//	schemaevod                         # listen on 127.0.0.1:8080
+//	schemaevod -addr :9090 -cache 16   # bigger cache, all interfaces
+//	schemaevod -prewarm 1,2,3          # run these seeds before serving
+//
+// Endpoints:
+//
+//	GET /v1/study/{seed}/{experiment}     one experiment's text artifact
+//	GET /v1/study/{seed}/export.csv       per-project dataset
+//	GET /v1/study/{seed}/export.json      machine-readable summary
+//	GET /v1/study/{seed}/report.html      self-contained HTML report
+//	GET /v1/study/{seed}/figures/{name}   one SVG figure
+//	GET /v1/experiments                   list of experiment keys
+//	GET /healthz                          readiness + cached seeds
+//	GET /metrics                          Prometheus text exposition
+//
+// The daemon drains gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache   = flag.Int("cache", 8, "max completed studies kept in memory")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		prewarm = flag.String("prewarm", "", "comma-separated seeds to run before serving")
+	)
+	flag.Parse()
+
+	seeds, err := parseSeeds(*prewarm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemaevod:", err)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Options{CacheSize: *cache, Timeout: *timeout})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for _, seed := range seeds {
+		start := time.Now()
+		if err := srv.Prewarm(ctx, []int64{seed}); err != nil {
+			log.Fatalf("schemaevod: %v", err)
+		}
+		log.Printf("prewarmed seed %d in %s", seed, time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := serve.ListenAndServe(ctx, *addr, srv, *drain, log.Printf); err != nil {
+		log.Fatalf("schemaevod: %v", err)
+	}
+}
+
+// parseSeeds reads the -prewarm list.
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		seed, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -prewarm seed %q", part)
+		}
+		out = append(out, seed)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int64
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"1", []int64{1}, false},
+		{"1,2,3", []int64{1, 2, 3}, false},
+		{" 4 , 5 ", []int64{4, 5}, false},
+		{"1,x", nil, true},
+		{"1,,2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseSeeds(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseSeeds(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden study artifacts")
+
+// TestGoldenArtifacts pins the exact text of every `studyrun -out` artifact
+// at seed 1. The pipeline is deterministic, so any drift here means a
+// behaviour change in the study itself — serving-layer refactors must not
+// trip it. Refresh intentionally with:
+//
+//	go test ./cmd/studyrun -run TestGoldenArtifacts -update
+func TestGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	outDir := t.TempDir()
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-seed", "1", "-out", outDir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("studyrun exited %d: %s", code, stderr.String())
+	}
+
+	goldenDir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range study.ExperimentKeys() {
+		t.Run(key, func(t *testing.T) {
+			got, err := os.ReadFile(filepath.Join(outDir, key+".txt"))
+			if err != nil {
+				t.Fatalf("artifact missing: %v", err)
+			}
+			goldenPath := filepath.Join(goldenDir, key+".txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("no golden file (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("artifact %s drifted from golden file.\nFirst differing lines:\n%s",
+					key, firstDiff(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first line where two texts diverge.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "(no line-level diff found)"
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,67 +22,52 @@ import (
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
-// experiments maps selector names to driver functions.
-var experiments = []struct {
-	key string
-	run func(*study.Study) string
-}{
-	{"funnel", (*study.Study).RunFunnel},
-	{"fig1", (*study.Study).RunFig1},
-	{"fig2", (*study.Study).RunFig2},
-	{"taxonomy", (*study.Study).RunTaxonomy},
-	{"fig4", (*study.Study).RunFig4},
-	{"exemplars", (*study.Study).RunExemplars},
-	{"fig10", (*study.Study).RunFig10},
-	{"fig11", (*study.Study).RunFig11},
-	{"fig12", (*study.Study).RunFig12},
-	{"fig13", (*study.Study).RunFig13},
-	{"kw", (*study.Study).RunOverallKW},
-	{"shapiro", (*study.Study).RunShapiro},
-	{"durations", (*study.Study).RunDurations},
-	{"reedlimit", (*study.Study).RunReedLimit},
-	{"fkeys", (*study.Study).RunForeignKeys},
-	{"tables", (*study.Study).RunTablePatterns},
-	{"granularity", (*study.Study).RunGranularity},
-	{"sensitivity", (*study.Study).RunSensitivity},
-	{"forecast", (*study.Study).RunForecast},
-	{"tempo", (*study.Study).RunTempo},
-	{"shapes", (*study.Study).RunShapes},
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
+// run is the whole CLI behind a testable seam: parse args, execute, return
+// the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("studyrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = flag.Int64("seed", 1, "corpus seed")
-		only     = flag.String("only", "", "comma-separated experiment keys (default: all)")
-		out      = flag.String("out", "", "write one file per experiment into this directory")
-		list     = flag.Bool("list", false, "list experiment keys and exit")
-		csvPath  = flag.String("csv", "", "also export the per-project dataset as CSV to this file")
-		jsonPath = flag.String("json", "", "also export the machine-readable study summary as JSON to this file")
-		svgDir   = flag.String("svg", "", "also render every graphical figure as SVG into this directory")
-		htmlPath = flag.String("html", "", "also render the whole study as a self-contained HTML report")
-		seeds    = flag.Int("seeds", 0, "run the seed-robustness experiment (E24) over this many corpora and exit")
+		seed     = fs.Int64("seed", 1, "corpus seed")
+		only     = fs.String("only", "", "comma-separated experiment keys (default: all)")
+		out      = fs.String("out", "", "write one file per experiment into this directory")
+		list     = fs.Bool("list", false, "list experiment keys and exit")
+		csvPath  = fs.String("csv", "", "also export the per-project dataset as CSV to this file")
+		jsonPath = fs.String("json", "", "also export the machine-readable study summary as JSON to this file")
+		svgDir   = fs.String("svg", "", "also render every graphical figure as SVG into this directory")
+		htmlPath = fs.String("html", "", "also render the whole study as a self-contained HTML report")
+		seeds    = fs.Int("seeds", 0, "run the seed-robustness experiment (E24) over this many corpora and exit")
 	)
-	flag.Parse()
-
-	if *seeds > 0 {
-		var list []int64
-		for i := 1; i <= *seeds; i++ {
-			list = append(list, int64(i))
-		}
-		sums, err := study.MultiSeed(list)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
-		}
-		fmt.Print(study.RenderMultiSeed(sums))
-		return
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
+	// -list is purely informational, so it wins over every run mode —
+	// including -seeds (the two used to interact through a shadowed
+	// variable; see the regression test).
 	if *list {
-		for _, e := range experiments {
-			fmt.Println(e.key)
+		for _, key := range study.ExperimentKeys() {
+			fmt.Fprintln(stdout, key)
 		}
-		return
+		return 0
+	}
+
+	if *seeds > 0 {
+		seedList := make([]int64, 0, *seeds)
+		for i := 1; i <= *seeds; i++ {
+			seedList = append(seedList, int64(i))
+		}
+		sums, err := study.MultiSeed(seedList)
+		if err != nil {
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, study.RenderMultiSeed(sums))
+		return 0
 	}
 
 	selected := map[string]bool{}
@@ -90,25 +76,25 @@ func main() {
 			selected[strings.TrimSpace(k)] = true
 		}
 		for k := range selected {
-			if !known(k) {
-				fmt.Fprintf(os.Stderr, "studyrun: unknown experiment %q (use -list)\n", k)
-				os.Exit(2)
+			if !study.KnownExperiment(k) {
+				fmt.Fprintf(stderr, "studyrun: unknown experiment %q (use -list)\n", k)
+				return 2
 			}
 		}
 	}
 
 	st, err := schemaevo.NewStudy(*seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "studyrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "studyrun:", err)
+		return 1
 	}
 
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(st.ExportCSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
 		}
-		fmt.Println("wrote", *csvPath)
+		fmt.Fprintln(stdout, "wrote", *csvPath)
 	}
 
 	if *jsonPath != "" {
@@ -117,25 +103,25 @@ func main() {
 			err = os.WriteFile(*jsonPath, []byte(js), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
 		}
-		fmt.Println("wrote", *jsonPath)
+		fmt.Fprintln(stdout, "wrote", *jsonPath)
 	}
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
 		}
 		for name, svg := range st.SVGFigures() {
 			path := filepath.Join(*svgDir, name)
 			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "studyrun:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "studyrun:", err)
+				return 1
 			}
 		}
-		fmt.Println("wrote SVG figures to", *svgDir)
+		fmt.Fprintln(stdout, "wrote SVG figures to", *svgDir)
 	}
 
 	if *htmlPath != "" {
@@ -144,42 +130,34 @@ func main() {
 			err = os.WriteFile(*htmlPath, []byte(html), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
 		}
-		fmt.Println("wrote", *htmlPath)
+		fmt.Fprintln(stdout, "wrote", *htmlPath)
 	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "studyrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "studyrun:", err)
+			return 1
 		}
 	}
-	for _, e := range experiments {
-		if len(selected) > 0 && !selected[e.key] {
+	for _, e := range study.Experiments() {
+		if len(selected) > 0 && !selected[e.Key] {
 			continue
 		}
-		text := e.run(st)
+		text := e.Run(st)
 		if *out != "" {
-			path := filepath.Join(*out, e.key+".txt")
+			path := filepath.Join(*out, e.Key+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "studyrun:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "studyrun:", err)
+				return 1
 			}
-			fmt.Println("wrote", path)
+			fmt.Fprintln(stdout, "wrote", path)
 		} else {
-			fmt.Println(text)
-			fmt.Println(strings.Repeat("=", 78))
+			fmt.Fprintln(stdout, text)
+			fmt.Fprintln(stdout, strings.Repeat("=", 78))
 		}
 	}
-}
-
-func known(key string) bool {
-	for _, e := range experiments {
-		if e.key == key {
-			return true
-		}
-	}
-	return false
+	return 0
 }

@@ -3,26 +3,76 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/study"
 )
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(experiments) != 21 {
-		t.Fatalf("registry has %d experiments", len(experiments))
+	exps := study.Experiments()
+	if len(exps) != 21 {
+		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}
-	for _, e := range experiments {
-		if e.key == "" || strings.ContainsAny(e.key, " ,") {
-			t.Errorf("bad key %q", e.key)
+	for _, e := range exps {
+		if e.Key == "" || strings.ContainsAny(e.Key, " ,") {
+			t.Errorf("bad key %q", e.Key)
 		}
-		if seen[e.key] {
-			t.Errorf("duplicate key %q", e.key)
+		if seen[e.Key] {
+			t.Errorf("duplicate key %q", e.Key)
 		}
-		seen[e.key] = true
-		if e.run == nil {
-			t.Errorf("key %q has no driver", e.key)
+		seen[e.Key] = true
+		if e.Run == nil {
+			t.Errorf("key %q has no driver", e.Key)
 		}
 	}
-	if !known("fig4") || known("nope") {
-		t.Error("known() broken")
+	if !study.KnownExperiment("fig4") || study.KnownExperiment("nope") {
+		t.Error("KnownExperiment broken")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != len(study.ExperimentKeys()) {
+		t.Fatalf("-list printed %d keys, want %d", len(lines), len(study.ExperimentKeys()))
+	}
+	for i, key := range study.ExperimentKeys() {
+		if lines[i] != key {
+			t.Errorf("line %d = %q, want %q", i, lines[i], key)
+		}
+	}
+}
+
+// Regression for the shadowed `list` variable: the -seeds branch used to
+// declare `var list []int64`, hiding the -list flag. The contract now is
+// that -list is informational and wins over -seeds — the combination must
+// print the key list instantly instead of running full studies.
+func TestListWinsOverSeeds(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-seeds", "3", "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "funnel") || strings.Contains(out.String(), "E24") {
+		t.Fatalf("-seeds -list should list keys, not run E24; got %q", out.String())
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr %q", errOut.String())
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }

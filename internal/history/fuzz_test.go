@@ -1,0 +1,120 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// FuzzAnalyze drives Filter + Analyze with arbitrary three-version
+// histories, seeded from the real evolution corpus under
+// testdata/evolution. Invariants: never panic, transitions form a monotone
+// chain over renumbered version IDs, time and day-distance orderings agree
+// with the version order, and sizes line up between consecutive
+// transitions. `go test` replays the corpus; `go test -fuzz=FuzzAnalyze`
+// explores further.
+func FuzzAnalyze(f *testing.F) {
+	// Seed from the on-disk evolution corpus: every consecutive triple.
+	dir := filepath.Join("..", "..", "testdata", "evolution")
+	names, err := filepath.Glob(filepath.Join(dir, "*.sql"))
+	if err != nil || len(names) == 0 {
+		f.Fatalf("evolution corpus missing: %v (%d files)", err, len(names))
+	}
+	sort.Strings(names)
+	var texts []string
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		texts = append(texts, string(data))
+	}
+	for i := 0; i+2 < len(texts); i++ {
+		f.Add(texts[i], texts[i+1], texts[i+2], uint16(24), uint16(24*30))
+	}
+	// Degenerate shapes the corpus does not cover.
+	f.Add("", "CREATE TABLE t (id INT);", "", uint16(0), uint16(1))
+	f.Add("not sql at all", "CREATE TABLE t (id INT);", "CREATE TABLE t (id INT, b TEXT);", uint16(1), uint16(0))
+	f.Add("CREATE TABLE a (x INT", "DROP TABLE a;", "CREATE TABLE a (x INT);", uint16(9), uint16(9))
+
+	f.Fuzz(func(t *testing.T, sql0, sql1, sql2 string, gap1, gap2 uint16) {
+		if len(sql0)+len(sql1)+len(sql2) > 1<<16 {
+			return // bound work per input
+		}
+		base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+		h := &History{
+			Project: "fuzz",
+			Path:    "schema.sql",
+			Versions: []Version{
+				{ID: 0, When: base, SQL: sql0},
+				{ID: 1, When: base.Add(time.Duration(gap1) * time.Hour), SQL: sql1},
+				{ID: 2, When: base.Add(time.Duration(gap1+gap2) * time.Hour), SQL: sql2},
+			},
+			ProjectCommits: 3,
+			ProjectStart:   base,
+			ProjectEnd:     base.Add(time.Duration(gap1+gap2) * time.Hour),
+		}
+		dropped := h.Filter()
+		if dropped+len(h.Versions) != 3 {
+			t.Fatalf("Filter lost track: dropped %d, kept %d", dropped, len(h.Versions))
+		}
+		// Filter must renumber IDs contiguously and keep time order.
+		for i, v := range h.Versions {
+			if v.ID != i {
+				t.Fatalf("version %d has ID %d after Filter", i, v.ID)
+			}
+			if i > 0 && v.When.Before(h.Versions[i-1].When) {
+				t.Fatalf("Filter broke time ordering at %d", i)
+			}
+		}
+
+		a, err := Analyze(h)
+		if len(h.Versions) == 0 {
+			if err == nil {
+				t.Fatal("Analyze accepted an empty history")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if len(a.Schemas) != len(h.Versions) {
+			t.Fatalf("%d schemas for %d versions", len(a.Schemas), len(h.Versions))
+		}
+		if len(a.Transitions) != len(h.Versions)-1 {
+			t.Fatalf("%d transitions for %d versions", len(a.Transitions), len(h.Versions))
+		}
+		prevDays := 0.0
+		for i, tr := range a.Transitions {
+			// Monotone version ordering: each transition advances by one.
+			if tr.FromID != i || tr.ToID != i+1 {
+				t.Fatalf("transition %d spans %d→%d", i, tr.FromID, tr.ToID)
+			}
+			if tr.DaysSinceV0 < prevDays {
+				t.Fatalf("transition %d goes back in time: %f < %f", i, tr.DaysSinceV0, prevDays)
+			}
+			prevDays = tr.DaysSinceV0
+			if !tr.When.Equal(h.Versions[i+1].When) {
+				t.Fatalf("transition %d timestamp mismatch", i)
+			}
+			if tr.Delta == nil {
+				t.Fatalf("transition %d has nil delta", i)
+			}
+			if tr.TablesBefore < 0 || tr.TablesAfter < 0 || tr.AttrsBefore < 0 || tr.AttrsAfter < 0 {
+				t.Fatalf("transition %d has negative sizes", i)
+			}
+			// Consecutive transitions must agree on the shared version size.
+			if i > 0 {
+				prev := a.Transitions[i-1]
+				if prev.TablesAfter != tr.TablesBefore || prev.AttrsAfter != tr.AttrsBefore {
+					t.Fatalf("size chain broken at transition %d", i)
+				}
+			}
+		}
+		if got := len(a.SizeSeries()); got != len(h.Versions) {
+			t.Fatalf("SizeSeries has %d points for %d versions", got, len(h.Versions))
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// studyCache is a bounded LRU of completed studies keyed by seed. Studies
+// are immutable once built (every Run* driver only reads), so a single
+// cached *study.Study can back any number of concurrent renders; the cache
+// itself is guarded by one mutex — the critical sections are pointer moves,
+// never pipeline work.
+type studyCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[int64]*list.Element  // seed → element whose Value is *cacheEntry
+	metrics *Metrics
+}
+
+type cacheEntry struct {
+	seed  int64
+	study *study.Study
+}
+
+// newStudyCache returns an LRU holding at most capacity studies. Capacity
+// is clamped to at least 1.
+func newStudyCache(capacity int, m *Metrics) *studyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &studyCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[int64]*list.Element{},
+		metrics: m,
+	}
+}
+
+// Get returns the cached study for seed, refreshing its recency.
+func (c *studyCache) Get(seed int64) (*study.Study, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[seed]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).study, true
+}
+
+// Put inserts (or refreshes) a study, evicting the least recently used
+// entry beyond capacity.
+func (c *studyCache) Put(seed int64, s *study.Study) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[seed]; ok {
+		el.Value.(*cacheEntry).study = s
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[seed] = c.order.PushFront(&cacheEntry{seed: seed, study: s})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).seed)
+		if c.metrics != nil {
+			c.metrics.cacheEvicts.Add(1)
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.cacheEntries.Store(int64(c.order.Len()))
+	}
+}
+
+// Len reports the current number of cached studies.
+func (c *studyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Seeds returns the cached seeds from most to least recently used.
+func (c *studyCache) Seeds() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).seed)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability surface: request and cache counters,
+// an in-flight gauge, and per-experiment latency histograms. Everything is
+// stdlib (atomics + one mutex for the histogram map) and renders in the
+// Prometheus text exposition format so stock scrapers can read /metrics.
+type Metrics struct {
+	requests      atomic.Int64 // all HTTP requests handled
+	errors        atomic.Int64 // responses with status >= 400
+	inflight      atomic.Int64 // requests currently being handled
+	cacheHits     atomic.Int64 // study lookups answered from the LRU
+	cacheMisses   atomic.Int64 // study lookups that had to run or join a flight
+	cacheEvicts   atomic.Int64 // studies evicted by the LRU bound
+	cacheEntries  atomic.Int64 // studies currently cached
+	pipelineRuns  atomic.Int64 // cold pipeline executions
+	flightJoins   atomic.Int64 // requests deduplicated onto an in-flight run
+	timeouts      atomic.Int64 // requests that hit the per-request deadline
+	shuttingDown  atomic.Bool  // health turns not-ready during graceful drain
+	mu            sync.Mutex
+	latencyByExp  map[string]*histogram
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{latencyByExp: map[string]*histogram{}}
+}
+
+// latencyBuckets are the histogram upper bounds in seconds: cache hits land
+// in the microsecond buckets, cold pipeline runs in the multi-second ones.
+var latencyBuckets = [numBuckets]float64{
+	.000025, .0001, .0005, .001, .005, .025, .1, .5, 1, 2.5, 5, 10, 30,
+}
+
+const numBuckets = 13
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	counts [numBuckets + 1]atomic.Int64 // +1 for +Inf
+	sum    atomic.Int64                 // nanoseconds
+	total  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], secs)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// ObserveLatency records one served artifact's latency under its experiment
+// (or artifact) label.
+func (m *Metrics) ObserveLatency(experiment string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.latencyByExp[experiment]
+	if !ok {
+		h = &histogram{}
+		m.latencyByExp[experiment] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// Snapshot is a consistent read of the counter state, used by tests and the
+// health endpoint.
+type Snapshot struct {
+	Requests, Errors, Inflight              int64
+	CacheHits, CacheMisses, CacheEvictions  int64
+	CacheEntries, PipelineRuns, FlightJoins int64
+	Timeouts                                int64
+}
+
+// Snapshot reads every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:       m.requests.Load(),
+		Errors:         m.errors.Load(),
+		Inflight:       m.inflight.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		CacheEvictions: m.cacheEvicts.Load(),
+		CacheEntries:   m.cacheEntries.Load(),
+		PipelineRuns:   m.pipelineRuns.Load(),
+		FlightJoins:    m.flightJoins.Load(),
+		Timeouts:       m.timeouts.Load(),
+	}
+}
+
+// WriteTo renders the Prometheus text exposition.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	s := m.Snapshot()
+	var n int64
+	count := func(name, help string, v int64) error {
+		written, err := fmt.Fprintf(w, "# HELP %[1]s %[2]s\n# TYPE %[1]s counter\n%[1]s %[3]d\n", name, help, v)
+		n += int64(written)
+		return err
+	}
+	gauge := func(name, help string, v int64) error {
+		written, err := fmt.Fprintf(w, "# HELP %[1]s %[2]s\n# TYPE %[1]s gauge\n%[1]s %[3]d\n", name, help, v)
+		n += int64(written)
+		return err
+	}
+	for _, e := range []error{
+		count("schemaevod_requests_total", "HTTP requests handled.", s.Requests),
+		count("schemaevod_request_errors_total", "Responses with status >= 400.", s.Errors),
+		gauge("schemaevod_inflight_requests", "Requests currently being handled.", s.Inflight),
+		count("schemaevod_cache_hits_total", "Study lookups served from the LRU cache.", s.CacheHits),
+		count("schemaevod_cache_misses_total", "Study lookups that missed the cache.", s.CacheMisses),
+		count("schemaevod_cache_evictions_total", "Studies evicted by the cache bound.", s.CacheEvictions),
+		gauge("schemaevod_cache_entries", "Studies currently cached.", s.CacheEntries),
+		count("schemaevod_pipeline_runs_total", "Cold study pipeline executions.", s.PipelineRuns),
+		count("schemaevod_flight_joins_total", "Requests deduplicated onto an in-flight pipeline run.", s.FlightJoins),
+		count("schemaevod_request_timeouts_total", "Requests that exceeded the per-request deadline.", s.Timeouts),
+	} {
+		if e != nil {
+			return n, e
+		}
+	}
+
+	m.mu.Lock()
+	exps := make([]string, 0, len(m.latencyByExp))
+	for k := range m.latencyByExp {
+		exps = append(exps, k)
+	}
+	sort.Strings(exps)
+	hists := make([]*histogram, len(exps))
+	for i, k := range exps {
+		hists[i] = m.latencyByExp[k]
+	}
+	m.mu.Unlock()
+
+	if len(exps) > 0 {
+		written, err := fmt.Fprintf(w, "# HELP schemaevod_experiment_latency_seconds Artifact render latency per experiment.\n# TYPE schemaevod_experiment_latency_seconds histogram\n")
+		n += int64(written)
+		if err != nil {
+			return n, err
+		}
+	}
+	for i, exp := range exps {
+		h := hists[i]
+		var cum int64
+		for bi, ub := range latencyBuckets {
+			cum += h.counts[bi].Load()
+			written, err := fmt.Fprintf(w, "schemaevod_experiment_latency_seconds_bucket{experiment=%q,le=%q} %d\n",
+				exp, fmt.Sprintf("%g", ub), cum)
+			n += int64(written)
+			if err != nil {
+				return n, err
+			}
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		written, err := fmt.Fprintf(w, "schemaevod_experiment_latency_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\nschemaevod_experiment_latency_seconds_sum{experiment=%q} %g\nschemaevod_experiment_latency_seconds_count{experiment=%q} %d\n",
+			exp, cum, exp, time.Duration(h.sum.Load()).Seconds(), exp, h.total.Load())
+		n += int64(written)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.requests.Add(7)
+	m.cacheHits.Add(5)
+	m.cacheMisses.Add(2)
+	m.ObserveLatency("fig4", 40*time.Microsecond)
+	m.ObserveLatency("fig4", 3*time.Second)
+	m.ObserveLatency("export.csv", time.Millisecond)
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"schemaevod_requests_total 7",
+		"schemaevod_cache_hits_total 5",
+		"schemaevod_cache_misses_total 2",
+		"# TYPE schemaevod_requests_total counter",
+		"# TYPE schemaevod_inflight_requests gauge",
+		"# TYPE schemaevod_experiment_latency_seconds histogram",
+		`schemaevod_experiment_latency_seconds_count{experiment="fig4"} 2`,
+		`schemaevod_experiment_latency_seconds_bucket{experiment="fig4",le="+Inf"} 2`,
+		`schemaevod_experiment_latency_seconds_count{experiment="export.csv"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// Histogram buckets must be cumulative: a 40µs observation counts in every
+// bucket from 100µs up.
+func TestHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveLatency("x", 40*time.Microsecond)
+	m.ObserveLatency("x", 4*time.Second)
+	var b strings.Builder
+	m.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`le="0.0001"} 1`, // 40µs lands here
+		`le="1"} 1`,      // 4s not yet
+		`le="5"} 2`,      // both
+		`le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing cumulative bucket %q\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.ObserveLatency("k", time.Duration(i)*time.Microsecond)
+				m.requests.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot().Requests; got != 4000 {
+		t.Fatalf("requests = %d, want 4000", got)
+	}
+	var b strings.Builder
+	m.WriteTo(&b)
+	if !strings.Contains(b.String(), `schemaevod_experiment_latency_seconds_count{experiment="k"} 4000`) {
+		t.Fatalf("histogram lost observations:\n%s", b.String())
+	}
+}

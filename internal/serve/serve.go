@@ -1,0 +1,324 @@
+// Package serve is the HTTP layer of schemaevod: it exposes the full study
+// pipeline as versioned endpoints backed by a bounded LRU cache of completed
+// studies with singleflight deduplication, so any number of concurrent
+// requests for one seed trigger exactly one pipeline run. The package also
+// carries the daemon's observability surface (/healthz, /metrics) and the
+// graceful-shutdown loop. Pure stdlib.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults: an 8-study cache, a 60-second request deadline, and the real
+// pipeline as runner.
+type Options struct {
+	// CacheSize bounds the number of completed studies kept in memory
+	// (default 8; a full study is a few MB).
+	CacheSize int
+	// Timeout is the per-request deadline. Requests that exceed it get 504,
+	// but an underlying pipeline run keeps going and still fills the cache.
+	Timeout time.Duration
+	// Runner executes the pipeline for one seed (default study.New).
+	// Tests substitute stubs; a future multi-backend store plugs in here.
+	Runner func(seed int64) (*study.Study, error)
+}
+
+// Server serves cached studies over HTTP. Create with New; the type is an
+// http.Handler.
+type Server struct {
+	opts    Options
+	cache   *studyCache
+	flight  *flightGroup
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	if opts.Runner == nil {
+		opts.Runner = study.New
+	}
+	s := &Server{
+		opts:    opts,
+		metrics: NewMetrics(),
+		flight:  newFlightGroup(),
+	}
+	s.cache = newStudyCache(opts.CacheSize, s.metrics)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/study/{seed}/{artifact}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/study/{seed}/figures/{name}", s.handleFigure)
+	s.mux = mux
+	return s
+}
+
+// Metrics exposes the server's counters, mainly for tests and prewarm
+// reporting.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusRecorder captures the response code for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP counts the request, tracks the in-flight gauge, and applies the
+// per-request deadline before dispatching to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	if rec.status >= 400 {
+		s.metrics.errors.Add(1)
+	}
+}
+
+// getStudy resolves one seed: cache hit, join of an in-flight run, or a
+// fresh pipeline execution. The context only bounds this caller's wait —
+// a pipeline run that loses its caller still completes and fills the cache.
+func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error) {
+	if st, ok := s.cache.Get(seed); ok {
+		s.metrics.cacheHits.Add(1)
+		return st, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	ch := s.flight.DoChan(seed, func() (any, error) {
+		// Re-check under the flight: a run that completed between this
+		// caller's cache miss and its flight creation has already filled the
+		// cache, and must not trigger a second pipeline execution.
+		if st, ok := s.cache.Get(seed); ok {
+			return st, nil
+		}
+		s.metrics.pipelineRuns.Add(1)
+		st, err := s.opts.Runner(seed)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(seed, st)
+		return st, nil
+	})
+	select {
+	case <-ctx.Done():
+		s.metrics.timeouts.Add(1)
+		return nil, ctx.Err()
+	case res := <-ch:
+		if res.Shared {
+			s.metrics.flightJoins.Add(1)
+		}
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return res.Val.(*study.Study), nil
+	}
+}
+
+// Prewarm runs and caches the given seeds ahead of traffic, deduplicated
+// like any other lookup.
+func (s *Server) Prewarm(ctx context.Context, seeds []int64) error {
+	for _, seed := range seeds {
+		if _, err := s.getStudy(ctx, seed); err != nil {
+			return fmt.Errorf("serve: prewarm seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}
+
+// parseSeed reads the {seed} path value.
+func parseSeed(r *http.Request) (int64, error) {
+	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("seed must be an integer, got %q", r.PathValue("seed"))
+	}
+	return seed, nil
+}
+
+// fail writes a plain-text error with the right status for err.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "study run exceeded the request deadline; retry — the run continues and will be cached", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "request canceled", 499) // nginx-style client-closed-request
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleArtifact serves /v1/study/{seed}/{artifact}: the three whole-study
+// exports or any experiment key's text artifact.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	artifact := r.PathValue("artifact")
+	if artifact != "export.csv" && artifact != "export.json" && artifact != "report.html" &&
+		!study.KnownExperiment(artifact) {
+		http.Error(w, fmt.Sprintf("unknown artifact %q; experiment keys are listed at /v1/experiments", artifact), http.StatusNotFound)
+		return
+	}
+	seed, err := parseSeed(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	st, err := s.getStudy(r.Context(), seed)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	switch artifact {
+	case "export.csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, st.ExportCSV())
+	case "export.json":
+		js, err := st.ExportJSON()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, js)
+	case "report.html":
+		html, err := st.HTMLReport()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, html)
+	default:
+		text, _ := st.RunExperiment(artifact)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	}
+	s.metrics.ObserveLatency(artifact, time.Since(start))
+}
+
+// handleFigure serves /v1/study/{seed}/figures/{name}: one SVG figure.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !strings.HasSuffix(name, ".svg") {
+		http.Error(w, "figure names end in .svg", http.StatusNotFound)
+		return
+	}
+	seed, err := parseSeed(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	st, err := s.getStudy(r.Context(), seed)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	svg, ok := st.SVGFigures()[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown figure %q", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, svg)
+	s.metrics.ObserveLatency("figures", time.Since(start))
+}
+
+// handleExperiments lists the experiment keys the artifact endpoint accepts.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(study.ExperimentKeys())
+}
+
+// handleHealth reports readiness plus a cache digest. During graceful
+// drain it turns 503 so load balancers stop sending new work.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	code := http.StatusOK
+	if s.metrics.shuttingDown.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":       status,
+		"cached_seeds": s.cache.Seeds(),
+		"inflight":     s.metrics.inflight.Load(),
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}
+
+// ListenAndServe runs srv on addr until ctx is canceled (SIGINT/SIGTERM in
+// the daemon), then drains in-flight requests for up to drain before
+// forcing connections closed. logf receives progress lines (pass a no-op
+// for silence).
+func ListenAndServe(ctx context.Context, addr string, srv *Server, drain time.Duration, logf func(format string, args ...any)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return serveListener(ctx, ln, srv, drain, logf)
+}
+
+// serveListener is ListenAndServe on an established listener — the seam
+// tests use to get an ephemeral port.
+func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time.Duration, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logf("schemaevod listening on %s (cache %d studies, request timeout %s)",
+			ln.Addr(), srv.opts.CacheSize, srv.opts.Timeout)
+		errCh <- hs.Serve(ln)
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	srv.metrics.shuttingDown.Store(true)
+	logf("shutdown signal received; draining for up to %s", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	logf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,65 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent pipeline runs per seed: the first
+// caller executes fn, every caller that arrives while the run is in flight
+// blocks on the same result. Unlike golang.org/x/sync/singleflight this is
+// specialised to int64 keys and study results, so no interface boxing and
+// no extra dependency.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[int64]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[int64]*flight{}}
+}
+
+// Do executes fn for key, collapsing concurrent calls onto one execution.
+// shared reports whether this caller joined an already in-flight run.
+func (g *flightGroup) Do(key int64, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}
+
+// DoChan is the non-blocking variant: the result is delivered on the
+// returned channel, letting the caller race it against a context deadline
+// while the run keeps going (and still populates the cache) after the
+// caller gives up.
+func (g *flightGroup) DoChan(key int64, fn func() (any, error)) <-chan flightResult {
+	ch := make(chan flightResult, 1)
+	go func() {
+		val, err, shared := g.Do(key, fn)
+		ch <- flightResult{Val: val, Err: err, Shared: shared}
+	}()
+	return ch
+}
+
+// flightResult is one Do outcome delivered through DoChan.
+type flightResult struct {
+	Val    any
+	Err    error
+	Shared bool
+}

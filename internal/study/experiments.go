@@ -1,0 +1,75 @@
+package study
+
+// This file is the canonical experiment registry: every rendered artifact of
+// the study keyed by the selector name the CLI and the serving daemon share.
+// Adding an experiment means adding one row here; studyrun, schemaevod and
+// Everything() all follow.
+
+// Experiment is one named driver of the study: a stable selector key plus
+// the function rendering its text artifact.
+type Experiment struct {
+	Key string
+	Run func(*Study) string
+}
+
+// experimentTable lists every experiment in presentation order (E01–E26 of
+// DESIGN.md, paper artifacts first, extensions after).
+var experimentTable = []Experiment{
+	{"funnel", (*Study).RunFunnel},
+	{"fig1", (*Study).RunFig1},
+	{"fig2", (*Study).RunFig2},
+	{"taxonomy", (*Study).RunTaxonomy},
+	{"fig4", (*Study).RunFig4},
+	{"exemplars", (*Study).RunExemplars},
+	{"fig10", (*Study).RunFig10},
+	{"fig11", (*Study).RunFig11},
+	{"fig12", (*Study).RunFig12},
+	{"fig13", (*Study).RunFig13},
+	{"kw", (*Study).RunOverallKW},
+	{"shapiro", (*Study).RunShapiro},
+	{"durations", (*Study).RunDurations},
+	{"reedlimit", (*Study).RunReedLimit},
+	{"fkeys", (*Study).RunForeignKeys},
+	{"tables", (*Study).RunTablePatterns},
+	{"granularity", (*Study).RunGranularity},
+	{"sensitivity", (*Study).RunSensitivity},
+	{"forecast", (*Study).RunForecast},
+	{"tempo", (*Study).RunTempo},
+	{"shapes", (*Study).RunShapes},
+}
+
+// Experiments returns the full driver table in presentation order. The
+// returned slice is a copy; callers may reorder it freely.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), experimentTable...)
+}
+
+// ExperimentKeys returns the selector keys in presentation order.
+func ExperimentKeys() []string {
+	keys := make([]string, len(experimentTable))
+	for i, e := range experimentTable {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// KnownExperiment reports whether key names a registered experiment.
+func KnownExperiment(key string) bool {
+	for _, e := range experimentTable {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// RunExperiment renders the artifact for one experiment key. It reports
+// ok = false for unknown keys.
+func (s *Study) RunExperiment(key string) (text string, ok bool) {
+	for _, e := range experimentTable {
+		if e.Key == key {
+			return e.Run(s), true
+		}
+	}
+	return "", false
+}

@@ -404,27 +404,9 @@ func (s *Study) RunForeignKeys() string {
 
 // Everything runs all experiment drivers in presentation order.
 func (s *Study) Everything() []string {
-	return []string{
-		s.RunFunnel(),
-		s.RunFig1(),
-		s.RunFig2(),
-		s.RunTaxonomy(),
-		s.RunFig4(),
-		s.RunExemplars(),
-		s.RunFig10(),
-		s.RunFig11(),
-		s.RunFig12(),
-		s.RunFig13(),
-		s.RunOverallKW(),
-		s.RunShapiro(),
-		s.RunDurations(),
-		s.RunReedLimit(),
-		s.RunForeignKeys(),
-		s.RunTablePatterns(),
-		s.RunGranularity(),
-		s.RunSensitivity(),
-		s.RunForecast(),
-		s.RunTempo(),
-		s.RunShapes(),
+	out := make([]string, 0, len(experimentTable))
+	for _, e := range experimentTable {
+		out = append(out, e.Run(s))
 	}
+	return out
 }

@@ -33,6 +33,9 @@
 package schemaevo
 
 import (
+	"net/http"
+	"time"
+
 	"github.com/schemaevo/schemaevo/internal/collect"
 	"github.com/schemaevo/schemaevo/internal/core"
 	"github.com/schemaevo/schemaevo/internal/corpus"
@@ -40,6 +43,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/gitstore"
 	"github.com/schemaevo/schemaevo/internal/history"
 	"github.com/schemaevo/schemaevo/internal/schema"
+	"github.com/schemaevo/schemaevo/internal/serve"
 	"github.com/schemaevo/schemaevo/internal/smo"
 	"github.com/schemaevo/schemaevo/internal/sqlparse"
 	"github.com/schemaevo/schemaevo/internal/stats"
@@ -275,3 +279,32 @@ type Study = study.Study
 // NewStudy runs the entire pipeline — corpus synthesis, collection funnel,
 // measurement, classification — deterministically from seed.
 func NewStudy(seed int64) (*Study, error) { return study.New(seed) }
+
+// StudyExperiment is one named experiment driver: a stable selector key
+// plus the function rendering its text artifact.
+type StudyExperiment = study.Experiment
+
+// StudyExperiments returns the full experiment registry in presentation
+// order — the same table cmd/studyrun and schemaevod dispatch from.
+func StudyExperiments() []StudyExperiment { return study.Experiments() }
+
+// StudyExperimentKeys returns just the selector keys, in order.
+func StudyExperimentKeys() []string { return study.ExperimentKeys() }
+
+// --- serving (schemaevod) -------------------------------------------------------
+
+// StudyServerOptions configures a caching study server. The zero value uses
+// an 8-study LRU, a 60-second request deadline, and the real pipeline.
+type StudyServerOptions struct {
+	// CacheSize bounds the number of completed studies kept in memory.
+	CacheSize int
+	// Timeout is the per-request deadline.
+	Timeout time.Duration
+}
+
+// NewStudyServer returns the schemaevod HTTP handler: the full study served
+// per seed from a bounded LRU cache with singleflight deduplication, plus
+// /healthz and /metrics. See cmd/schemaevod for the endpoint list.
+func NewStudyServer(opts StudyServerOptions) http.Handler {
+	return serve.New(serve.Options{CacheSize: opts.CacheSize, Timeout: opts.Timeout})
+}

@@ -121,6 +121,26 @@ func TestFacadeStudySmoke(t *testing.T) {
 	}
 }
 
+func TestFacadeExperimentRegistry(t *testing.T) {
+	keys := StudyExperimentKeys()
+	exps := StudyExperiments()
+	if len(keys) == 0 || len(keys) != len(exps) {
+		t.Fatalf("%d keys, %d experiments", len(keys), len(exps))
+	}
+	for i, e := range exps {
+		if e.Key != keys[i] || e.Run == nil {
+			t.Fatalf("registry entry %d inconsistent: %q", i, e.Key)
+		}
+	}
+}
+
+func TestFacadeStudyServer(t *testing.T) {
+	// Construction only — endpoint behaviour is covered in internal/serve.
+	if NewStudyServer(StudyServerOptions{CacheSize: 1, Timeout: time.Second}) == nil {
+		t.Fatal("nil handler")
+	}
+}
+
 func TestFacadeWriteProjectRepo(t *testing.T) {
 	p := GenerateCorpus(CorpusConfig{Seed: 3, Counts: map[Taxon]int{AlmostFrozen: 1}})[0]
 	repo, err := WriteProjectRepo(p, t.TempDir(), 5)
