@@ -5,6 +5,7 @@
 package schemaevo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/schemaevo/schemaevo/internal/collect"
 	"github.com/schemaevo/schemaevo/internal/core"
 	"github.com/schemaevo/schemaevo/internal/corpus"
 	"github.com/schemaevo/schemaevo/internal/diff"
@@ -167,7 +169,7 @@ func BenchmarkE01Funnel(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := s.RunFunnel(); len(out) == 0 {
+		if out := s.RunFunnel(context.Background()); len(out) == 0 {
 			b.Fatal("empty")
 		}
 	}
@@ -177,7 +179,7 @@ func BenchmarkE02ActivePair(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig1()
+		s.RunFig1(context.Background())
 	}
 }
 
@@ -185,7 +187,7 @@ func BenchmarkE03Reference(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig2()
+		s.RunFig2(context.Background())
 	}
 }
 
@@ -193,7 +195,7 @@ func BenchmarkE04Classify(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunTaxonomy()
+		s.RunTaxonomy(context.Background())
 	}
 }
 
@@ -201,7 +203,7 @@ func BenchmarkE05Fig4(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig4()
+		s.RunFig4(context.Background())
 	}
 }
 
@@ -209,7 +211,7 @@ func BenchmarkE06Exemplars(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunExemplars()
+		s.RunExemplars(context.Background())
 	}
 }
 
@@ -217,7 +219,7 @@ func BenchmarkE11Scatter(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig10()
+		s.RunFig10(context.Background())
 	}
 }
 
@@ -233,7 +235,7 @@ func BenchmarkE13Quartiles(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig12()
+		s.RunFig12(context.Background())
 	}
 }
 
@@ -241,7 +243,7 @@ func BenchmarkE14BoxPlot(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.RunFig13()
+		s.RunFig13(context.Background())
 	}
 }
 
@@ -331,6 +333,99 @@ func BenchmarkFullStudy(b *testing.B) {
 	}
 }
 
+// --- pipeline stage benchmarks --------------------------------------------------
+//
+// One benchmark per obs stage name (the spans studyrun -trace and the
+// daemon's schemaevo_stage_* histograms report), so regressions in a single
+// stage are attributable. BENCH_pipeline.json pins the measured baseline.
+
+func BenchmarkStageCorpusGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ps := corpus.Generate(corpus.Config{Seed: 1}); len(ps) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// benchFunnelInputs rebuilds the exact funnel input of the seed-1 study.
+func benchFunnelInputs(b *testing.B) collect.GenConfig {
+	b.Helper()
+	s := setup(b)
+	var studyRepos, rigidRepos []string
+	for _, p := range s.Corpus {
+		if p.Intended == core.HistoryLess {
+			rigidRepos = append(rigidRepos, "foss/"+p.Name)
+		} else {
+			studyRepos = append(studyRepos, "foss/"+p.Name)
+		}
+	}
+	return collect.GenConfig{
+		Seed: 1, Targets: collect.DefaultTargets(),
+		StudyRepos: studyRepos, RigidRepos: rigidRepos,
+	}
+}
+
+func BenchmarkStageCollectGenerate(b *testing.B) {
+	cfg := benchFunnelInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := collect.GenerateDatasets(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStageCollectFunnel(b *testing.B) {
+	cfg := benchFunnelInputs(b)
+	files, meta, outcomes, err := collect.GenerateDatasets(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := collect.Run(files, meta, outcomes); f.StudySet == 0 {
+			b.Fatal("funnel produced empty study set")
+		}
+	}
+}
+
+func BenchmarkStageHistoryAnalyze(b *testing.B) {
+	s := setup(b)
+	// The busiest history in the corpus — the stage's worst per-project cost.
+	var busiest *history.History
+	for _, p := range s.Corpus {
+		if p.Hist != nil && (busiest == nil || len(p.Hist.Versions) > len(busiest.Versions)) {
+			busiest = p.Hist
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := history.Analyze(busiest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStageMeasureClassify(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range s.Measures {
+			remeasured := core.Measure(s.Analyses[m.Project], s.ReedLimit)
+			core.Classify(remeasured)
+		}
+	}
+}
+
+func BenchmarkStageReedLimitDerive(b *testing.B) {
+	s := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DeriveReedLimit(s.Measures)
+	}
+}
+
 // --- ablation sweeps -----------------------------------------------------------
 
 // Quantile convention ablation (DESIGN.md §4): type 2 vs type 7 on the
@@ -394,7 +489,7 @@ func BenchmarkE21Granularity(b *testing.B) {
 	b.ResetTimer()
 	windows := []time.Duration{0, 24 * time.Hour}
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Granularity(windows); err != nil {
+		if _, err := s.Granularity(context.Background(), windows); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -453,7 +548,7 @@ func BenchmarkE23Forecast(b *testing.B) {
 	s := setup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Forecast([]float64{0.5}); err != nil {
+		if _, err := s.Forecast(context.Background(), []float64{0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}

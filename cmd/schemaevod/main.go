@@ -19,15 +19,18 @@
 //	GET /v1/experiments                   list of experiment keys
 //	GET /healthz                          readiness + cached seeds
 //	GET /metrics                          Prometheus text exposition
+//	GET /debug/trace?seed=N               instrumented run, Chrome trace JSON
+//	GET /debug/pprof/                     stdlib pprof profiles
 //
-// The daemon drains gracefully on SIGINT/SIGTERM.
+// The daemon logs structured lines (log/slog) to stderr and drains
+// gracefully on SIGINT/SIGTERM.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/serve"
 )
 
@@ -45,6 +49,7 @@ func main() {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		prewarm = flag.String("prewarm", "", "comma-separated seeds to run before serving")
+		debug   = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
 	)
 	flag.Parse()
 
@@ -54,7 +59,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Options{CacheSize: *cache, Timeout: *timeout})
+	level := slog.LevelInfo
+	if *debug {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	srv := serve.New(serve.Options{CacheSize: *cache, Timeout: *timeout, Logger: logger})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,13 +73,15 @@ func main() {
 	for _, seed := range seeds {
 		start := time.Now()
 		if err := srv.Prewarm(ctx, []int64{seed}); err != nil {
-			log.Fatalf("schemaevod: %v", err)
+			logger.Error("prewarm failed", "seed", seed, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("prewarmed seed %d in %s", seed, time.Since(start).Round(time.Millisecond))
+		logger.Info("prewarmed", "seed", seed, "took", time.Since(start).Round(time.Millisecond))
 	}
 
-	if err := serve.ListenAndServe(ctx, *addr, srv, *drain, log.Printf); err != nil {
-		log.Fatalf("schemaevod: %v", err)
+	if err := serve.ListenAndServe(ctx, *addr, srv, *drain, logger); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 }
 

@@ -8,17 +8,22 @@
 //	studyrun -seed 7              # a different synthetic corpus
 //	studyrun -only fig4,fig11     # selected experiments
 //	studyrun -out results/        # one file per experiment
+//	studyrun -trace run.json      # also write a Chrome trace of the pipeline
+//	studyrun -v                   # per-stage timing tree + debug log on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	schemaevo "github.com/schemaevo/schemaevo"
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
@@ -41,9 +46,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		svgDir   = fs.String("svg", "", "also render every graphical figure as SVG into this directory")
 		htmlPath = fs.String("html", "", "also render the whole study as a self-contained HTML report")
 		seeds    = fs.Int("seeds", 0, "run the seed-robustness experiment (E24) over this many corpora and exit")
+		tracing  = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (chrome://tracing, Perfetto)")
+		verbose  = fs.Bool("v", false, "print the per-stage timing tree and debug log lines to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Observability: -trace and -v share one tracer; without either flag the
+	// pipeline runs with the free no-op path.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *tracing != "" || *verbose {
+		opts := obs.Options{Collect: true}
+		if *verbose {
+			opts.Logger = obs.NewLogger(stderr, slog.LevelDebug)
+		}
+		tracer = obs.NewTracer(opts)
+		ctx = obs.WithTracer(ctx, tracer)
+		if *verbose {
+			// study.NewContext attaches the seed correlation key itself.
+			ctx = obs.WithLogger(ctx, opts.Logger)
+		}
+	}
+	// finishTrace writes the exporters once the traced work is done.
+	finishTrace := func() int {
+		if tracer == nil {
+			return 0
+		}
+		if *tracing != "" {
+			f, err := os.Create(*tracing)
+			if err == nil {
+				err = tracer.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "studyrun:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "wrote", *tracing)
+		}
+		if *verbose {
+			fmt.Fprint(stderr, "\npipeline stages:\n"+tracer.Tree())
+		}
+		return 0
 	}
 
 	// -list is purely informational, so it wins over every run mode —
@@ -61,13 +109,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i := 1; i <= *seeds; i++ {
 			seedList = append(seedList, int64(i))
 		}
-		sums, err := study.MultiSeed(seedList)
+		sums, err := study.MultiSeedContext(ctx, seedList)
 		if err != nil {
 			fmt.Fprintln(stderr, "studyrun:", err)
 			return 1
 		}
 		fmt.Fprint(stdout, study.RenderMultiSeed(sums))
-		return 0
+		return finishTrace()
 	}
 
 	selected := map[string]bool{}
@@ -83,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	st, err := schemaevo.NewStudy(*seed)
+	st, err := schemaevo.NewStudyContext(ctx, *seed)
 	if err != nil {
 		fmt.Fprintln(stderr, "studyrun:", err)
 		return 1
@@ -125,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *htmlPath != "" {
-		html, err := st.HTMLReport()
+		html, err := st.HTMLReport(ctx)
 		if err == nil {
 			err = os.WriteFile(*htmlPath, []byte(html), 0o644)
 		}
@@ -146,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(selected) > 0 && !selected[e.Key] {
 			continue
 		}
-		text := e.Run(st)
+		text := e.Render(ctx, st)
 		if *out != "" {
 			path := filepath.Join(*out, e.Key+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
@@ -159,5 +207,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, strings.Repeat("=", 78))
 		}
 	}
-	return 0
+	return finishTrace()
 }

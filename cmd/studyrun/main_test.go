@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -74,5 +77,57 @@ func TestBadFlagExitsTwo(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestTraceFlag runs one real pipeline with -trace and -v: the trace file
+// must be valid Chrome trace_event JSON covering the whole pipeline (at
+// least 8 distinct stage names), and -v must print the timing tree.
+func TestTraceFlag(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "run.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-seed", "1", "-only", "funnel", "-trace", traceFile, "-v"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	stages := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("negative duration for %q", ev.Name)
+		}
+		stages[ev.Name] = true
+	}
+	if len(stages) < 8 {
+		t.Fatalf("trace covers %d distinct stages, want >= 8: %v", len(stages), stages)
+	}
+	for _, want := range []string{
+		"study.new", "corpus.generate", "collect.funnel",
+		"history.analyze", "experiment.funnel",
+	} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (got %v)", want, stages)
+		}
+	}
+	if !strings.Contains(errOut.String(), "pipeline stages:") {
+		t.Errorf("-v did not print the timing tree; stderr %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+traceFile) {
+		t.Errorf("stdout %q does not confirm the trace file", out.String())
 	}
 }

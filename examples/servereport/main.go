@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	html, err := st.HTMLReport()
+	html, err := st.HTMLReport(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

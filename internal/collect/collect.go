@@ -18,9 +18,12 @@
 package collect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
 )
 
 // FileRecord is one row of the (synthetic) GitHub Activity contents query:
@@ -135,6 +138,19 @@ type Outcomes map[string]Candidate
 // clone stage consults the injected outcomes (repos without an entry are
 // treated as CloneOK and non-rigid).
 func Run(files []FileRecord, meta []RepoMeta, outcomes Outcomes) *Funnel {
+	return RunContext(context.Background(), files, meta, outcomes)
+}
+
+// RunContext is Run under the obs span "collect.funnel".
+func RunContext(ctx context.Context, files []FileRecord, meta []RepoMeta, outcomes Outcomes) *Funnel {
+	_, span := obs.Start(ctx, "collect.funnel", obs.Int("files", int64(len(files))))
+	defer span.End()
+	f := run(files, meta, outcomes)
+	span.SetAttr(obs.Int("study_set", int64(f.StudySet)))
+	return f
+}
+
+func run(files []FileRecord, meta []RepoMeta, outcomes Outcomes) *Funnel {
 	f := &Funnel{}
 
 	// Stage 1: distinct repositories holding .sql files.

@@ -1,8 +1,11 @@
 package collect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
 )
 
 // Targets fixes the funnel's intermediate counts. DefaultTargets returns the
@@ -59,6 +62,20 @@ type GenConfig struct {
 // pipeline: missing metadata, URL mismatches, forks, zero stars, single
 // contributors, excluded path terms, and irreducible multi-file layouts.
 func GenerateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error) {
+	return GenerateDatasetsContext(context.Background(), cfg)
+}
+
+// GenerateDatasetsContext is GenerateDatasets under the obs span
+// "collect.generate".
+func GenerateDatasetsContext(ctx context.Context, cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error) {
+	_, span := obs.Start(ctx, "collect.generate", obs.Int("seed", cfg.Seed))
+	defer span.End()
+	files, meta, outcomes, err := generateDatasets(cfg)
+	span.SetAttr(obs.Int("files", int64(len(files))))
+	return files, meta, outcomes, err
+}
+
+func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error) {
 	t := cfg.Targets
 	if err := t.Validate(); err != nil {
 		return nil, nil, nil, err

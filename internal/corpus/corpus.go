@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/core"
 	"github.com/schemaevo/schemaevo/internal/gitstore"
 	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/obs"
 )
 
 // Project is one synthetic FOSS project: its intended taxon, the sampled
@@ -48,6 +50,19 @@ func DefaultCounts() map[core.Taxon]int {
 // Generate builds the full corpus deterministically from cfg.Seed. Projects
 // are returned in a stable order (taxon-major, then index).
 func Generate(cfg Config) []*Project {
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate under the obs span "corpus.generate".
+func GenerateContext(ctx context.Context, cfg Config) []*Project {
+	_, span := obs.Start(ctx, "corpus.generate", obs.Int("seed", cfg.Seed))
+	defer span.End()
+	out := generate(cfg)
+	span.SetAttr(obs.Int("projects", int64(len(out))))
+	return out
+}
+
+func generate(cfg Config) []*Project {
 	counts := cfg.Counts
 	if counts == nil {
 		counts = DefaultCounts()

@@ -10,11 +10,13 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/schemaevo/schemaevo/internal/diff"
 	"github.com/schemaevo/schemaevo/internal/gitstore"
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/schema"
 	"github.com/schemaevo/schemaevo/internal/sqlparse"
 )
@@ -52,6 +54,13 @@ type History struct {
 // reading the full first-parent log from HEAD. Project-level measures are
 // derived from the same walk.
 func FromRepo(repo *gitstore.Repo, project, path string) (*History, error) {
+	return FromRepoContext(context.Background(), repo, project, path)
+}
+
+// FromRepoContext is FromRepo under the obs span "gitstore.walk".
+func FromRepoContext(ctx context.Context, repo *gitstore.Repo, project, path string) (*History, error) {
+	_, span := obs.Start(ctx, "gitstore.walk", obs.String("project", project))
+	defer span.End()
 	head, err := repo.Head()
 	if err != nil {
 		return nil, fmt.Errorf("history: %s: %w", project, err)
@@ -219,15 +228,32 @@ type Analysis struct {
 // Analyze parses every version and computes all transitions. The history
 // should already be filtered; Analyze does not mutate it.
 func Analyze(h *History) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), h)
+}
+
+// AnalyzeContext is Analyze under the obs span "history.analyze", with the
+// parse loop and the transition loop as child spans ("sqlparse.parse" and
+// "diff.compute") so per-project profiles split SQL parsing from delta
+// computation.
+func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
+	ctx, span := obs.Start(ctx, "history.analyze",
+		obs.String("project", h.Project), obs.Int("versions", int64(len(h.Versions))))
+	defer span.End()
 	if len(h.Versions) == 0 {
 		return nil, fmt.Errorf("history: %s: no versions to analyze", h.Project)
 	}
 	a := &Analysis{History: h}
+	_, parseSpan := obs.Start(ctx, "sqlparse.parse")
+	var sqlBytes int64
 	for _, v := range h.Versions {
+		sqlBytes += int64(len(v.SQL))
 		res := sqlparse.Parse(v.SQL)
 		a.ParseErrors += len(res.Errors)
 		a.Schemas = append(a.Schemas, res.Schema)
 	}
+	parseSpan.SetAttr(obs.Int("bytes", sqlBytes))
+	parseSpan.End()
+	_, diffSpan := obs.Start(ctx, "diff.compute")
 	v0 := h.Versions[0].When
 	for i := 1; i < len(a.Schemas); i++ {
 		old, new := a.Schemas[i-1], a.Schemas[i]
@@ -244,6 +270,8 @@ func Analyze(h *History) (*Analysis, error) {
 		}
 		a.Transitions = append(a.Transitions, t)
 	}
+	diffSpan.SetAttr(obs.Int("transitions", int64(len(a.Transitions))))
+	diffSpan.End()
 	return a, nil
 }
 

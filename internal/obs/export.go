@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file holds the two span exporters: Chrome trace_event JSON (loadable
+// in chrome://tracing and Perfetto) and the human-readable timing tree.
+
+// chromeEvent is one complete ("X") event of the Chrome trace format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since the tracer epoch
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders every collected span as Chrome trace_event JSON.
+// Spans are assigned to lanes (tids) such that spans sharing a lane nest
+// properly: a child goes on its parent's lane unless a concurrent sibling
+// already occupies it, in which case it moves to the first free lane — so
+// the parallel per-project fan-out renders side by side instead of as a
+// bogus stack.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	records := t.Records()
+	sort.Slice(records, func(i, j int) bool {
+		if !records[i].Start.Equal(records[j].Start) {
+			return records[i].Start.Before(records[j].Start)
+		}
+		return records[i].End.After(records[j].End) // parents before children
+	})
+
+	laneOf := assignLanes(records)
+	events := make([]chromeEvent, 0, len(records))
+	for i, r := range records {
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(r.Start.Sub(t.epoch)) / float64(time.Microsecond),
+			Dur:  float64(r.Duration()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  laneOf[i],
+		}
+		if len(r.Attrs) > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range r.Attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// assignLanes greedily packs records (pre-sorted by start, parents first)
+// onto lanes where intervals either nest or are disjoint.
+func assignLanes(records []Record) []int {
+	type active struct{ start, end time.Time }
+	laneOf := make([]int, len(records))
+	laneByID := map[int64]int{}
+	var lanes [][]active // per lane: stack of open intervals
+
+	fits := func(lane int, r Record) bool {
+		stack := lanes[lane]
+		// Drop intervals that ended before this record starts.
+		for len(stack) > 0 && !stack[len(stack)-1].end.After(r.Start) {
+			stack = stack[:len(stack)-1]
+		}
+		lanes[lane] = stack
+		if len(stack) == 0 {
+			return true
+		}
+		top := stack[len(stack)-1]
+		return !top.start.After(r.Start) && !top.end.Before(r.End) // containment
+	}
+
+	for i, r := range records {
+		if len(lanes) == 0 {
+			lanes = append(lanes, nil)
+		}
+		lane := laneByID[r.Parent] // parent's lane; lane 0 for top-level spans
+		if !fits(lane, r) {
+			lane = -1
+			for li := range lanes {
+				if fits(li, r) {
+					lane = li
+					break
+				}
+			}
+			if lane == -1 {
+				lanes = append(lanes, nil)
+				lane = len(lanes) - 1
+			}
+		}
+		lanes[lane] = append(lanes[lane], active{r.Start, r.End})
+		laneOf[i] = lane
+		laneByID[r.ID] = lane
+	}
+	return laneOf
+}
+
+// Tree renders the collected spans as an indented per-stage timing tree.
+// Siblings with the same name aggregate into one line (×N, total, avg) so a
+// 195-project fan-out reads as one row instead of 195 — their children
+// aggregate recursively the same way.
+func (t *Tracer) Tree() string {
+	records := t.Records()
+	children := map[int64][]Record{}
+	for _, r := range records {
+		children[r.Parent] = append(children[r.Parent], r)
+	}
+	for id := range children {
+		rs := children[id]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Start.Before(rs[j].Start) })
+	}
+	var b strings.Builder
+	writeTreeLevel(&b, children, children[0], 0)
+	return b.String()
+}
+
+// writeTreeLevel renders one sibling set, aggregating by name.
+func writeTreeLevel(b *strings.Builder, children map[int64][]Record, siblings []Record, depth int) {
+	// Group siblings by name, preserving first-appearance order.
+	var order []string
+	groups := map[string][]Record{}
+	for _, r := range siblings {
+		if _, ok := groups[r.Name]; !ok {
+			order = append(order, r.Name)
+		}
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	indent := strings.Repeat("  ", depth)
+	for _, name := range order {
+		group := groups[name]
+		var total time.Duration
+		var sub []Record
+		for _, r := range group {
+			total += r.Duration()
+			sub = append(sub, children[r.ID]...)
+		}
+		if len(group) == 1 {
+			fmt.Fprintf(b, "%s%-*s %10s%s\n", indent, 32-2*depth, name, fmtDur(total), fmtAttrs(group[0].Attrs))
+		} else {
+			fmt.Fprintf(b, "%s%-*s %10s  ×%d avg %s\n", indent, 32-2*depth, name, fmtDur(total), len(group), fmtDur(total/time.Duration(len(group))))
+		}
+		writeTreeLevel(b, children, sub, depth+1)
+	}
+}
+
+// fmtDur rounds a duration to a readable precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// fmtAttrs renders span attributes as "  k=v k=v" or "".
+func fmtAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "  %s=%v", a.Key, a.Value())
+	}
+	return b.String()
+}

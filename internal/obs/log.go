@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// This file carries structured logging through the pipeline. The default is
+// a silent logger whose handler reports Enabled() == false, so un-configured
+// library users pay one branch per log call and nothing else. The daemon and
+// the CLI both build their loggers through NewLogger so every component logs
+// in one format, with the corpus seed as the shared correlation key.
+
+// nopHandler drops everything before formatting.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns the shared silent logger.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// NewLogHandler returns the project's shared slog handler: text format to w
+// at the given level. Both schemaevod and studyrun -v log through it, so
+// daemon lines and pipeline lines interleave coherently.
+func NewLogHandler(w io.Writer, level slog.Level) slog.Handler {
+	return slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+}
+
+// NewLogger wraps NewLogHandler in a logger.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(NewLogHandler(w, level))
+}
+
+// loggerKey carries the contextual logger.
+type loggerKey struct{}
+
+// WithLogger attaches a logger to ctx for the pipeline to find.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Logger returns the contextual logger, or the silent logger when none is
+// attached — callers never nil-check.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return nopLogger
+}

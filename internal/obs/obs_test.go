@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoopPathAllocatesZero(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c, sp := Start(ctx, "history.analyze")
+		sp.SetAttr(Int("versions", 12))
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op span path allocated %.1f objects per span, want 0", allocs)
+	}
+}
+
+func TestNoopPathWithAttrsAllocatesZero(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		_, sp := Start(ctx, "sqlparse.parse", Int("bytes", 4096), String("project", "p"))
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op span path with attrs allocated %.1f objects per span, want 0", allocs)
+	}
+}
+
+func TestSpanNestingAndRecords(t *testing.T) {
+	tr := NewTracer(Options{Collect: true})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := Start(ctx, "study.new", Int("seed", 1))
+	ctx2, child := Start(ctx1, "corpus.generate")
+	_, grand := Start(ctx2, "corpus.build", String("project", "p1"))
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("collected %d records, want 3", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["study.new"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["study.new"].Parent)
+	}
+	if byName["corpus.generate"].Parent != byName["study.new"].ID {
+		t.Errorf("child parent = %d, want root id %d", byName["corpus.generate"].Parent, byName["study.new"].ID)
+	}
+	if byName["corpus.build"].Parent != byName["corpus.generate"].ID {
+		t.Errorf("grandchild parent mismatch")
+	}
+	if len(byName["study.new"].Attrs) != 1 || byName["study.new"].Attrs[0].Value() != int64(1) {
+		t.Errorf("root attrs = %v", byName["study.new"].Attrs)
+	}
+}
+
+func TestTracingPredicate(t *testing.T) {
+	if Tracing(context.Background()) {
+		t.Error("plain context reports tracing")
+	}
+	ctx := WithTracer(context.Background(), NewTracer(Options{}))
+	if !Tracing(ctx) {
+		t.Error("traced context reports no tracing")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(Options{Collect: true, Stages: NewStageRegistry()})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "study.analyze")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := Start(ctx, "history.analyze")
+				_, inner := Start(c, "sqlparse.parse")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Records()); got != 16*50*2+1 {
+		t.Fatalf("records = %d, want %d", got, 16*50*2+1)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(Options{Collect: true})
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := Start(ctx, "study.new", Int("seed", 7))
+	_, a := Start(ctx1, "corpus.generate")
+	a.End()
+	_, b := Start(ctx1, "collect.funnel", String("outcome", "ok"))
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "study.new" && ev.Args["seed"] != float64(7) {
+			t.Errorf("seed arg = %v", ev.Args["seed"])
+		}
+	}
+}
+
+// Concurrent siblings must land on distinct lanes so the trace renders side
+// by side instead of as a false stack.
+func TestChromeTraceLaneAssignment(t *testing.T) {
+	tr := NewTracer(Options{Collect: true})
+	base := tr.epoch
+	mk := func(name string, id, parent int64, start, end time.Duration) Record {
+		return Record{Name: name, ID: id, Parent: parent, Start: base.Add(start), End: base.Add(end)}
+	}
+	tr.records = []Record{
+		mk("root", 1, 0, 0, 100*time.Millisecond),
+		mk("worker", 2, 1, 10*time.Millisecond, 50*time.Millisecond),
+		mk("worker", 3, 1, 20*time.Millisecond, 60*time.Millisecond), // overlaps span 2
+		mk("worker", 4, 1, 70*time.Millisecond, 90*time.Millisecond), // disjoint: may reuse
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[float64]int{} // ts → tid
+	for _, ev := range doc.TraceEvents {
+		tids[ev.Ts] = ev.Tid
+	}
+	t10 := tids[float64(10*time.Millisecond)/1e3]
+	t20 := tids[float64(20*time.Millisecond)/1e3]
+	if t10 == t20 {
+		t.Errorf("overlapping siblings share lane %d", t10)
+	}
+}
+
+func TestTreeAggregatesSiblings(t *testing.T) {
+	tr := NewTracer(Options{Collect: true})
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := Start(ctx, "study.new")
+	for i := 0; i < 5; i++ {
+		c, sp := Start(ctx1, "history.analyze")
+		_, p := Start(c, "sqlparse.parse")
+		p.End()
+		sp.End()
+	}
+	root.End()
+
+	tree := tr.Tree()
+	if !strings.Contains(tree, "study.new") {
+		t.Fatalf("tree missing root:\n%s", tree)
+	}
+	if !strings.Contains(tree, "×5") {
+		t.Errorf("siblings not aggregated:\n%s", tree)
+	}
+	if strings.Count(tree, "history.analyze") != 1 {
+		t.Errorf("aggregated stage listed more than once:\n%s", tree)
+	}
+	// Children of aggregated groups aggregate too.
+	if strings.Count(tree, "sqlparse.parse") != 1 {
+		t.Errorf("nested aggregation failed:\n%s", tree)
+	}
+}
+
+func TestStageRegistryObserveAndSnapshot(t *testing.T) {
+	r := NewStageRegistry()
+	r.Observe("corpus.generate", 100*time.Millisecond)
+	r.Observe("corpus.generate", 300*time.Millisecond)
+	r.Observe("diff.compute", time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("%d stages, want 2", len(snap))
+	}
+	if snap[0].Name != "corpus.generate" || snap[0].Count != 2 || snap[0].Sum != 400*time.Millisecond {
+		t.Errorf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[0].Avg() != 200*time.Millisecond {
+		t.Errorf("avg = %s", snap[0].Avg())
+	}
+}
+
+func TestStageRegistryPrometheus(t *testing.T) {
+	r := NewStageRegistry()
+	r.Observe("history.analyze", 2*time.Millisecond)
+	r.Observe("history.analyze", 8*time.Second)
+	var b strings.Builder
+	if _, err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE schemaevo_stage_duration_seconds histogram",
+		`schemaevo_stage_duration_seconds_bucket{stage="history.analyze",le="0.0025"} 1`,
+		`schemaevo_stage_duration_seconds_bucket{stage="history.analyze",le="5"} 1`,
+		`schemaevo_stage_duration_seconds_bucket{stage="history.analyze",le="10"} 2`,
+		`schemaevo_stage_duration_seconds_bucket{stage="history.analyze",le="+Inf"} 2`,
+		`schemaevo_stage_duration_seconds_count{stage="history.analyze"} 2`,
+		"# TYPE schemaevo_stage_runs_total counter",
+		`schemaevo_stage_runs_total{stage="history.analyze"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestStageRegistryEmptyWritesNothing(t *testing.T) {
+	var b strings.Builder
+	n, err := NewStageRegistry().WritePrometheus(&b)
+	if err != nil || n != 0 || b.Len() != 0 {
+		t.Fatalf("empty registry wrote %d bytes (err %v)", n, err)
+	}
+}
+
+func TestStageRegistryConcurrent(t *testing.T) {
+	r := NewStageRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe("shared", time.Duration(i)*time.Microsecond)
+				r.Observe("mine", time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	total := int64(0)
+	for _, s := range snap {
+		total += s.Count
+	}
+	if total != 8000 {
+		t.Fatalf("lost observations: %d, want 8000", total)
+	}
+}
+
+func TestLoggerDefaultsSilent(t *testing.T) {
+	l := Logger(context.Background())
+	if l == nil {
+		t.Fatal("nil logger")
+	}
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Error("default logger is not silent")
+	}
+	var buf bytes.Buffer
+	real := NewLogger(&buf, slog.LevelDebug)
+	ctx := WithLogger(context.Background(), real)
+	Logger(ctx).Info("hello", "seed", 4)
+	if !strings.Contains(buf.String(), "seed=4") {
+		t.Errorf("contextual logger lost output: %q", buf.String())
+	}
+}
+
+func TestTracerLogsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(Options{Logger: NewLogger(&buf, slog.LevelDebug)})
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "corpus.generate", Int("projects", 327))
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "stage corpus.generate") || !strings.Contains(out, "projects=327") {
+		t.Errorf("span log line missing fields: %q", out)
+	}
+}
+
+func TestMetricsOnlyTracerRetainsNothing(t *testing.T) {
+	reg := NewStageRegistry()
+	tr := NewTracer(Options{Stages: reg})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "study.new")
+		sp.End()
+	}
+	if len(tr.Records()) != 0 {
+		t.Error("metrics-only tracer retained span records")
+	}
+	if snap := reg.Snapshot(); len(snap) != 1 || snap[0].Count != 10 {
+		t.Errorf("registry snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// TestDebugTrace: the endpoint runs one instrumented pipeline execution and
+// responds with Chrome trace JSON whose events carry the stage names the
+// runner opened; the result also fills the cache (instrumented prewarm).
+func TestDebugTrace(t *testing.T) {
+	runner := func(ctx context.Context, seed int64) (*study.Study, error) {
+		ctx, span := obs.Start(ctx, "study.new", obs.Int("seed", seed))
+		_, inner := obs.Start(ctx, "corpus.generate")
+		inner.End()
+		span.End()
+		return &study.Study{Seed: seed}, nil
+	}
+	srv := New(Options{Runner: runner})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts, "/debug/trace?seed=5")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("response is not valid trace JSON: %v\n%s", err, body)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["study.new"] || !names["corpus.generate"] {
+		t.Fatalf("trace missing stage spans, got %v", names)
+	}
+	if _, ok := srv.cache.Get(5); !ok {
+		t.Error("/debug/trace must fill the cache for its seed")
+	}
+	s := srv.Metrics().Snapshot()
+	if s.PipelineRuns != 1 || s.PipelineInflight != 0 {
+		t.Errorf("runs = %d inflight = %d, want 1 and 0", s.PipelineRuns, s.PipelineInflight)
+	}
+}
+
+func TestDebugTraceBadSeed(t *testing.T) {
+	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
+		return &study.Study{Seed: seed}, nil
+	}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if code, body, _ := get(t, ts, "/debug/trace?seed=banana"); code != 400 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+}
+
+// TestPprofMounted: the server runs its own mux, so the stdlib profiles must
+// be wired explicitly — the index page is the canary.
+func TestPprofMounted(t *testing.T) {
+	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
+		return &study.Study{Seed: seed}, nil
+	}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	code, body, _ := get(t, ts, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d: %.120s", code, body)
+	}
+}
+
+// TestServerStageMetrics: a pipeline run through the normal study path must
+// populate the schemaevo_stage_* families in /metrics via the server's
+// shared metrics-only tracer.
+func TestServerStageMetrics(t *testing.T) {
+	runner := func(ctx context.Context, seed int64) (*study.Study, error) {
+		_, span := obs.Start(ctx, "history.analyze")
+		time.Sleep(time.Millisecond)
+		span.End()
+		return &study.Study{Seed: seed}, nil
+	}
+	srv := New(Options{Runner: runner})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, body, _ := get(t, ts, "/v1/study/3/export.csv"); code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	_, body, _ := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"# TYPE schemaevo_stage_duration_seconds histogram",
+		`schemaevo_stage_duration_seconds_count{stage="history.analyze"} 1`,
+		`schemaevo_stage_runs_total{stage="history.analyze"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestOrphanedRunMetrics: a request that times out while its flight keeps
+// executing must count one orphaned run, and the inflight gauge must return
+// to zero once the run completes.
+func TestOrphanedRunMetrics(t *testing.T) {
+	release := make(chan struct{})
+	runner := func(_ context.Context, seed int64) (*study.Study, error) {
+		<-release
+		return &study.Study{Seed: seed}, nil
+	}
+	srv := New(Options{Timeout: 20 * time.Millisecond, Runner: runner})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, body, _ := get(t, ts, "/v1/study/7/export.csv"); code != 504 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	s := srv.Metrics().Snapshot()
+	if s.OrphanedRuns != 1 {
+		t.Errorf("orphaned runs = %d, want 1", s.OrphanedRuns)
+	}
+	if s.PipelineInflight != 1 {
+		t.Errorf("inflight = %d while run is stuck, want 1", s.PipelineInflight)
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics().Snapshot().PipelineInflight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline inflight gauge never returned to zero")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCacheEntriesNeverNegative: concurrent inserts with constant eviction
+// must keep the entries gauge consistent — never below zero, and equal to
+// the real cache length once the dust settles.
+func TestCacheEntriesNeverNegative(t *testing.T) {
+	m := newMetricsWithStages(obs.NewStageRegistry())
+	c := newStudyCache(2, m)
+	stop := make(chan struct{})
+	var negatives sync.Map
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := m.Snapshot().CacheEntries; n < 0 {
+				negatives.Store(n, true)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Put(int64((g*500+i)%16), stubStudy(int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	watcher.Wait()
+
+	negatives.Range(func(k, _ any) bool {
+		t.Errorf("cacheEntries went negative: %v", k)
+		return true
+	})
+	if got, want := m.Snapshot().CacheEntries, int64(c.Len()); got != want {
+		t.Errorf("cacheEntries = %d, cache len = %d", got, want)
+	}
+}

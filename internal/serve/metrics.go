@@ -7,31 +7,45 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
 )
 
 // Metrics is the daemon's observability surface: request and cache counters,
 // an in-flight gauge, and per-experiment latency histograms. Everything is
 // stdlib (atomics + one mutex for the histogram map) and renders in the
 // Prometheus text exposition format so stock scrapers can read /metrics.
+// The exposition also merges the obs stage registry, so per-stage pipeline
+// histograms (schemaevo_stage_*) appear alongside the daemon counters.
 type Metrics struct {
-	requests      atomic.Int64 // all HTTP requests handled
-	errors        atomic.Int64 // responses with status >= 400
-	inflight      atomic.Int64 // requests currently being handled
-	cacheHits     atomic.Int64 // study lookups answered from the LRU
-	cacheMisses   atomic.Int64 // study lookups that had to run or join a flight
-	cacheEvicts   atomic.Int64 // studies evicted by the LRU bound
-	cacheEntries  atomic.Int64 // studies currently cached
-	pipelineRuns  atomic.Int64 // cold pipeline executions
-	flightJoins   atomic.Int64 // requests deduplicated onto an in-flight run
-	timeouts      atomic.Int64 // requests that hit the per-request deadline
-	shuttingDown  atomic.Bool  // health turns not-ready during graceful drain
-	mu            sync.Mutex
-	latencyByExp  map[string]*histogram
+	requests         atomic.Int64 // all HTTP requests handled
+	errors           atomic.Int64 // responses with status >= 400
+	inflight         atomic.Int64 // requests currently being handled
+	cacheHits        atomic.Int64 // study lookups answered from the LRU
+	cacheMisses      atomic.Int64 // study lookups that had to run or join a flight
+	cacheEvicts      atomic.Int64 // studies evicted by the LRU bound
+	cacheEntries     atomic.Int64 // studies currently cached
+	pipelineRuns     atomic.Int64 // cold pipeline executions
+	pipelineInflight atomic.Int64 // pipeline runs currently executing (incl. orphaned)
+	orphanedRuns     atomic.Int64 // runs whose waiter timed out while they kept going
+	flightJoins      atomic.Int64 // requests deduplicated onto an in-flight run
+	timeouts         atomic.Int64 // requests that hit the per-request deadline
+	shuttingDown     atomic.Bool  // health turns not-ready during graceful drain
+	mu               sync.Mutex
+	latencyByExp     map[string]*histogram
+	stages           *obs.StageRegistry
 }
 
-// NewMetrics returns an empty metrics registry.
+// NewMetrics returns a metrics registry wired to the process-wide stage
+// registry.
 func NewMetrics() *Metrics {
-	return &Metrics{latencyByExp: map[string]*histogram{}}
+	return newMetricsWithStages(obs.Stages())
+}
+
+// newMetricsWithStages injects a private stage registry — the seam tests use
+// to assert on stage families without cross-test interference.
+func newMetricsWithStages(stages *obs.StageRegistry) *Metrics {
+	return &Metrics{latencyByExp: map[string]*histogram{}, stages: stages}
 }
 
 // latencyBuckets are the histogram upper bounds in seconds: cache hits land
@@ -76,22 +90,25 @@ type Snapshot struct {
 	Requests, Errors, Inflight              int64
 	CacheHits, CacheMisses, CacheEvictions  int64
 	CacheEntries, PipelineRuns, FlightJoins int64
+	PipelineInflight, OrphanedRuns          int64
 	Timeouts                                int64
 }
 
 // Snapshot reads every counter.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Requests:       m.requests.Load(),
-		Errors:         m.errors.Load(),
-		Inflight:       m.inflight.Load(),
-		CacheHits:      m.cacheHits.Load(),
-		CacheMisses:    m.cacheMisses.Load(),
-		CacheEvictions: m.cacheEvicts.Load(),
-		CacheEntries:   m.cacheEntries.Load(),
-		PipelineRuns:   m.pipelineRuns.Load(),
-		FlightJoins:    m.flightJoins.Load(),
-		Timeouts:       m.timeouts.Load(),
+		Requests:         m.requests.Load(),
+		Errors:           m.errors.Load(),
+		Inflight:         m.inflight.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		CacheMisses:      m.cacheMisses.Load(),
+		CacheEvictions:   m.cacheEvicts.Load(),
+		CacheEntries:     m.cacheEntries.Load(),
+		PipelineRuns:     m.pipelineRuns.Load(),
+		PipelineInflight: m.pipelineInflight.Load(),
+		OrphanedRuns:     m.orphanedRuns.Load(),
+		FlightJoins:      m.flightJoins.Load(),
+		Timeouts:         m.timeouts.Load(),
 	}
 }
 
@@ -118,6 +135,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevod_cache_evictions_total", "Studies evicted by the cache bound.", s.CacheEvictions),
 		gauge("schemaevod_cache_entries", "Studies currently cached.", s.CacheEntries),
 		count("schemaevod_pipeline_runs_total", "Cold study pipeline executions.", s.PipelineRuns),
+		gauge("schemaevod_pipeline_inflight", "Pipeline runs currently executing, including runs whose requester is gone.", s.PipelineInflight),
+		count("schemaevod_orphaned_runs_total", "Pipeline runs abandoned by a timed-out request but still running to completion.", s.OrphanedRuns),
 		count("schemaevod_flight_joins_total", "Requests deduplicated onto an in-flight pipeline run.", s.FlightJoins),
 		count("schemaevod_request_timeouts_total", "Requests that exceeded the per-request deadline.", s.Timeouts),
 	} {
@@ -161,6 +180,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		written, err := fmt.Fprintf(w, "schemaevod_experiment_latency_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\nschemaevod_experiment_latency_seconds_sum{experiment=%q} %g\nschemaevod_experiment_latency_seconds_count{experiment=%q} %d\n",
 			exp, cum, exp, time.Duration(h.sum.Load()).Seconds(), exp, h.total.Load())
 		n += int64(written)
+		if err != nil {
+			return n, err
+		}
+	}
+
+	// Merge the pipeline's per-stage histograms (schemaevo_stage_*): corpus
+	// synthesis, funnel, per-project analysis, experiment rendering.
+	if m.stages != nil {
+		written, err := m.stages.WritePrometheus(w)
+		n += written
 		if err != nil {
 			return n, err
 		}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
 )
 
 func TestMetricsExposition(t *testing.T) {
@@ -35,6 +37,59 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)
 		}
+	}
+}
+
+// TestMetricsStageFamilies: the exposition merges the obs stage registry —
+// per-stage pipeline histograms appear alongside the daemon counters, with
+// every line in parseable Prometheus text format (a private registry keeps
+// the test isolated from other packages' observations).
+func TestMetricsStageFamilies(t *testing.T) {
+	reg := obs.NewStageRegistry()
+	m := newMetricsWithStages(reg)
+	reg.Observe("corpus.generate", 3*time.Millisecond)
+	reg.Observe("corpus.generate", 40*time.Millisecond)
+	reg.Observe("history.analyze", 700*time.Microsecond)
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE schemaevo_stage_duration_seconds histogram",
+		"# TYPE schemaevo_stage_runs_total counter",
+		`schemaevo_stage_duration_seconds_count{stage="corpus.generate"} 2`,
+		`schemaevo_stage_duration_seconds_count{stage="history.analyze"} 1`,
+		`schemaevo_stage_duration_seconds_bucket{stage="corpus.generate",le="+Inf"} 2`,
+		`schemaevo_stage_runs_total{stage="corpus.generate"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Each exposition line must be "# ..." or "name{labels} value" — a
+	// scraper-level sanity parse of the merged output.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// An empty stage registry must add nothing — the seed exposition stays
+// byte-identical when no pipeline has run.
+func TestMetricsStageFamiliesEmpty(t *testing.T) {
+	m := newMetricsWithStages(obs.NewStageRegistry())
+	var b strings.Builder
+	m.WriteTo(&b)
+	if strings.Contains(b.String(), "schemaevo_stage") {
+		t.Fatalf("empty registry leaked stage lines:\n%s", b.String())
 	}
 }
 

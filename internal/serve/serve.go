@@ -11,12 +11,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
@@ -30,9 +32,14 @@ type Options struct {
 	// Timeout is the per-request deadline. Requests that exceed it get 504,
 	// but an underlying pipeline run keeps going and still fills the cache.
 	Timeout time.Duration
-	// Runner executes the pipeline for one seed (default study.New).
-	// Tests substitute stubs; a future multi-backend store plugs in here.
-	Runner func(seed int64) (*study.Study, error)
+	// Runner executes the pipeline for one seed (default study.NewContext).
+	// The context carries the server's obs tracer, so pipeline stages feed
+	// the schemaevo_stage_* metric families. Tests substitute stubs; a
+	// future multi-backend store plugs in here.
+	Runner func(ctx context.Context, seed int64) (*study.Study, error)
+	// Logger receives the daemon's structured log lines (nil = silent).
+	// Pipeline runs log with the seed as correlation key.
+	Logger *slog.Logger
 }
 
 // Server serves cached studies over HTTP. Create with New; the type is an
@@ -42,6 +49,7 @@ type Server struct {
 	cache   *studyCache
 	flight  *flightGroup
 	metrics *Metrics
+	tracer  *obs.Tracer // metrics-only: feeds stage histograms, retains no spans
 	mux     *http.ServeMux
 }
 
@@ -54,7 +62,10 @@ func New(opts Options) *Server {
 		opts.Timeout = 60 * time.Second
 	}
 	if opts.Runner == nil {
-		opts.Runner = study.New
+		opts.Runner = study.NewContext
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
 	}
 	s := &Server{
 		opts:    opts,
@@ -62,6 +73,7 @@ func New(opts Options) *Server {
 		flight:  newFlightGroup(),
 	}
 	s.cache = newStudyCache(opts.CacheSize, s.metrics)
+	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -69,6 +81,7 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/study/{seed}/{artifact}", s.handleArtifact)
 	mux.HandleFunc("GET /v1/study/{seed}/figures/{name}", s.handleFigure)
+	registerDebug(mux, s)
 	s.mux = mux
 	return s
 }
@@ -122,7 +135,15 @@ func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error)
 			return st, nil
 		}
 		s.metrics.pipelineRuns.Add(1)
-		st, err := s.opts.Runner(seed)
+		s.metrics.pipelineInflight.Add(1)
+		defer s.metrics.pipelineInflight.Add(-1)
+		// The run is deliberately detached from the request context: a caller
+		// that times out must not cancel the pipeline, whose result still
+		// fills the cache. It keeps the server's tracer and logger, so even
+		// orphaned runs show up in the stage metrics and the log stream.
+		runCtx := obs.WithTracer(context.Background(), s.tracer)
+		runCtx = obs.WithLogger(runCtx, s.opts.Logger)
+		st, err := s.opts.Runner(runCtx, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -132,6 +153,11 @@ func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error)
 	select {
 	case <-ctx.Done():
 		s.metrics.timeouts.Add(1)
+		if s.flight.Inflight(seed) {
+			// The waiter gives up but the run keeps going: an orphaned run.
+			s.metrics.orphanedRuns.Add(1)
+			s.opts.Logger.Warn("request abandoned in-flight pipeline run", "seed", seed)
+		}
 		return nil, ctx.Err()
 	case res := <-ch:
 		if res.Shared {
@@ -196,6 +222,9 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	// Rendering traces into the server's metrics-only tracer, so warm-cache
+	// requests still feed the experiment.<key> stage histograms.
+	ctx := obs.WithTracer(r.Context(), s.tracer)
 	switch artifact {
 	case "export.csv":
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -209,7 +238,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprint(w, js)
 	case "report.html":
-		html, err := st.HTMLReport()
+		html, err := st.HTMLReport(ctx)
 		if err != nil {
 			fail(w, err)
 			return
@@ -217,7 +246,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, html)
 	default:
-		text, _ := st.RunExperiment(artifact)
+		text, _ := st.RunExperiment(ctx, artifact)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, text)
 	}
@@ -284,27 +313,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ListenAndServe runs srv on addr until ctx is canceled (SIGINT/SIGTERM in
 // the daemon), then drains in-flight requests for up to drain before
-// forcing connections closed. logf receives progress lines (pass a no-op
-// for silence).
-func ListenAndServe(ctx context.Context, addr string, srv *Server, drain time.Duration, logf func(format string, args ...any)) error {
+// forcing connections closed. logger receives progress lines (nil = silent).
+func ListenAndServe(ctx context.Context, addr string, srv *Server, drain time.Duration, logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	return serveListener(ctx, ln, srv, drain, logf)
+	return serveListener(ctx, ln, srv, drain, logger)
 }
 
 // serveListener is ListenAndServe on an established listener — the seam
 // tests use to get an ephemeral port.
-func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time.Duration, logf func(format string, args ...any)) error {
-	if logf == nil {
-		logf = func(string, ...any) {}
+func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time.Duration, logger *slog.Logger) error {
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	hs := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		logf("schemaevod listening on %s (cache %d studies, request timeout %s)",
-			ln.Addr(), srv.opts.CacheSize, srv.opts.Timeout)
+		logger.Info("schemaevod listening",
+			"addr", ln.Addr().String(), "cache", srv.opts.CacheSize, "timeout", srv.opts.Timeout)
 		errCh <- hs.Serve(ln)
 	}()
 	select {
@@ -313,12 +341,12 @@ func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time
 	case <-ctx.Done():
 	}
 	srv.metrics.shuttingDown.Store(true)
-	logf("shutdown signal received; draining for up to %s", drain)
+	logger.Info("shutdown signal received", "drain", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
-	logf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

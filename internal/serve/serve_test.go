@@ -23,9 +23,9 @@ var realStudy = sync.OnceValues(func() (*study.Study, error) { return study.New(
 
 // realRunner serves the shared seed-1 study for any requested seed, so
 // content tests never pay for more than one pipeline run.
-func realRunner(tb testing.TB) func(int64) (*study.Study, error) {
+func realRunner(tb testing.TB) func(context.Context, int64) (*study.Study, error) {
 	tb.Helper()
-	return func(int64) (*study.Study, error) {
+	return func(context.Context, int64) (*study.Study, error) {
 		st, err := realStudy()
 		if err != nil {
 			tb.Fatalf("pipeline: %v", err)
@@ -197,7 +197,7 @@ func TestConcurrentRequests(t *testing.T) {
 		seedCount  = 4
 	)
 	var runs [seedCount + 1]atomic.Int64
-	runner := func(seed int64) (*study.Study, error) {
+	runner := func(_ context.Context, seed int64) (*study.Study, error) {
 		runs[seed].Add(1)
 		time.Sleep(20 * time.Millisecond) // widen the dedup window
 		return &study.Study{Seed: seed}, nil
@@ -270,7 +270,7 @@ func TestConcurrentRequests(t *testing.T) {
 // the run still completes in the background and fills the cache.
 func TestRequestTimeout(t *testing.T) {
 	release := make(chan struct{})
-	runner := func(seed int64) (*study.Study, error) {
+	runner := func(_ context.Context, seed int64) (*study.Study, error) {
 		<-release
 		return &study.Study{Seed: seed}, nil
 	}
@@ -304,7 +304,7 @@ func TestRequestTimeout(t *testing.T) {
 }
 
 func TestRunnerErrorIs500(t *testing.T) {
-	runner := func(seed int64) (*study.Study, error) {
+	runner := func(_ context.Context, seed int64) (*study.Study, error) {
 		return nil, fmt.Errorf("corpus exploded")
 	}
 	srv := New(Options{Runner: runner})
@@ -324,7 +324,7 @@ func TestRunnerErrorIs500(t *testing.T) {
 
 func TestPrewarm(t *testing.T) {
 	var runs atomic.Int64
-	runner := func(seed int64) (*study.Study, error) {
+	runner := func(_ context.Context, seed int64) (*study.Study, error) {
 		runs.Add(1)
 		return &study.Study{Seed: seed}, nil
 	}
@@ -340,7 +340,7 @@ func TestPrewarm(t *testing.T) {
 // TestGracefulShutdown drives the real listener loop: cancel the context,
 // expect a clean drain.
 func TestGracefulShutdown(t *testing.T) {
-	srv := New(Options{Runner: func(seed int64) (*study.Study, error) {
+	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
 		return &study.Study{Seed: seed}, nil
 	}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

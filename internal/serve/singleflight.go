@@ -44,6 +44,15 @@ func (g *flightGroup) Do(key int64, fn func() (any, error)) (val any, err error,
 	return f.val, f.err, false
 }
 
+// Inflight reports whether a run for key is currently executing — the probe
+// the orphaned-run counter uses when a waiter times out.
+func (g *flightGroup) Inflight(key int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.flights[key]
+	return ok
+}
+
 // DoChan is the non-blocking variant: the result is delivered on the
 // returned channel, letting the caller race it against a context deadline
 // while the run keeps going (and still populates the cache) after the

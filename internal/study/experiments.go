@@ -1,5 +1,11 @@
 package study
 
+import (
+	"context"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+)
+
 // This file is the canonical experiment registry: every rendered artifact of
 // the study keyed by the selector name the CLI and the serving daemon share.
 // Adding an experiment means adding one row here; studyrun, schemaevod and
@@ -9,7 +15,16 @@ package study
 // the function rendering its text artifact.
 type Experiment struct {
 	Key string
-	Run func(*Study) string
+	Run func(*Study, context.Context) string
+}
+
+// Render runs the experiment under the obs span "experiment.<key>", so both
+// the CLI trace and the daemon's stage metrics break latency down per
+// experiment.
+func (e Experiment) Render(ctx context.Context, s *Study) string {
+	ctx, span := obs.Start(ctx, "experiment."+e.Key)
+	defer span.End()
+	return e.Run(s, ctx)
 }
 
 // experimentTable lists every experiment in presentation order (E01–E26 of
@@ -65,10 +80,10 @@ func KnownExperiment(key string) bool {
 
 // RunExperiment renders the artifact for one experiment key. It reports
 // ok = false for unknown keys.
-func (s *Study) RunExperiment(key string) (text string, ok bool) {
+func (s *Study) RunExperiment(ctx context.Context, key string) (text string, ok bool) {
 	for _, e := range experimentTable {
 		if e.Key == key {
-			return e.Run(s), true
+			return e.Render(ctx, s), true
 		}
 	}
 	return "", false

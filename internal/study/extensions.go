@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -51,7 +52,7 @@ func (s *Study) SurvivorDurationCorrelation() (stats.SpearmanResult, error) {
 }
 
 // RunTablePatterns renders E20.
-func (s *Study) RunTablePatterns() string {
+func (s *Study) RunTablePatterns(ctx context.Context) string {
 	e := s.Electrolysis()
 	var b strings.Builder
 	b.WriteString("E20 — Table-level patterns: Electrolysis (extension; refs [14], [15])\n\n")
@@ -76,7 +77,7 @@ type GranularityRow struct {
 // Granularity re-runs measurement and classification after collapsing
 // commits closer than each window, quantifying the paper's claim that
 // commit habits do not change a project's aggregate profile.
-func (s *Study) Granularity(windows []time.Duration) ([]GranularityRow, error) {
+func (s *Study) Granularity(ctx context.Context, windows []time.Duration) ([]GranularityRow, error) {
 	baseline := map[string]core.Taxon{}
 	for _, m := range s.Measures {
 		baseline[m.Project] = core.Classify(m)
@@ -87,7 +88,7 @@ func (s *Study) Granularity(windows []time.Duration) ([]GranularityRow, error) {
 		var commitCounts []float64
 		for _, m := range s.Measures {
 			h := s.Analyses[m.Project].History.Squash(w)
-			a, err := history.Analyze(h)
+			a, err := history.AnalyzeContext(ctx, h)
 			if err != nil {
 				return nil, fmt.Errorf("study: granularity %s: %w", m.Project, err)
 			}
@@ -106,9 +107,9 @@ func (s *Study) Granularity(windows []time.Duration) ([]GranularityRow, error) {
 }
 
 // RunGranularity renders E21.
-func (s *Study) RunGranularity() string {
+func (s *Study) RunGranularity(ctx context.Context) string {
 	windows := []time.Duration{0, 24 * time.Hour, 7 * 24 * time.Hour}
-	rows, err := s.Granularity(windows)
+	rows, err := s.Granularity(ctx, windows)
 	if err != nil {
 		return "E21 — error: " + err.Error() + "\n"
 	}
@@ -185,7 +186,7 @@ func (s *Study) ThresholdSensitivity() []SensitivityRow {
 }
 
 // RunSensitivity renders E22.
-func (s *Study) RunSensitivity() string {
+func (s *Study) RunSensitivity(ctx context.Context) string {
 	headers := []string{"variant", "projects moved"}
 	for _, t := range core.Taxa {
 		headers = append(headers, t.Short())
@@ -232,7 +233,7 @@ func (s *Study) ShapeDistribution() map[core.Taxon]map[core.Shape]float64 {
 }
 
 // RunShapes renders E26.
-func (s *Study) RunShapes() string {
+func (s *Study) RunShapes(ctx context.Context) string {
 	shapes := []core.Shape{core.FlatLine, core.SingleStepUp, core.MultiStepRise, core.DroppingLine, core.TurbulentLine}
 	headers := []string{"taxon"}
 	for _, sh := range shapes {
@@ -316,7 +317,7 @@ func (s *Study) Tempo() []TempoRow {
 }
 
 // RunTempo renders E25.
-func (s *Study) RunTempo() string {
+func (s *Study) RunTempo(ctx context.Context) string {
 	tb := report.NewTable("", "taxon", "median activity Gini", "median longest-calm share of SUP")
 	for _, r := range s.Tempo() {
 		gini := "—"
@@ -349,7 +350,7 @@ type ForecastRow struct {
 }
 
 // Forecast evaluates prefix-based taxon prediction at the given horizons.
-func (s *Study) Forecast(horizons []float64) ([]ForecastRow, error) {
+func (s *Study) Forecast(ctx context.Context, horizons []float64) ([]ForecastRow, error) {
 	var out []ForecastRow
 	for _, h := range horizons {
 		row := ForecastRow{Horizon: h, Confusion: map[core.Taxon]map[core.Taxon]int{}}
@@ -361,7 +362,7 @@ func (s *Study) Forecast(horizons []float64) ([]ForecastRow, error) {
 				k = 2 // need at least one transition to observe anything
 			}
 			prefix := s.Analyses[m.Project].History.Prefix(k)
-			a, err := history.Analyze(prefix)
+			a, err := history.AnalyzeContext(ctx, prefix)
 			if err != nil {
 				return nil, fmt.Errorf("study: forecast %s: %w", m.Project, err)
 			}
@@ -381,9 +382,9 @@ func (s *Study) Forecast(horizons []float64) ([]ForecastRow, error) {
 }
 
 // RunForecast renders E23.
-func (s *Study) RunForecast() string {
+func (s *Study) RunForecast(ctx context.Context) string {
 	horizons := []float64{0.25, 0.5, 0.75, 1.0}
-	rows, err := s.Forecast(horizons)
+	rows, err := s.Forecast(ctx, horizons)
 	if err != nil {
 		return "E23 — error: " + err.Error() + "\n"
 	}

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"html/template"
 	"sort"
@@ -11,7 +12,7 @@ import (
 // the headline summary, every experiment's text artifact, and every figure
 // inline as SVG. The output has no external dependencies — it opens directly
 // in a browser.
-func (s *Study) HTMLReport() (string, error) {
+func (s *Study) HTMLReport(ctx context.Context) (string, error) {
 	type section struct {
 		Title string
 		Body  string
@@ -32,7 +33,7 @@ func (s *Study) HTMLReport() (string, error) {
 		Taxa:    s.TaxonCounts(),
 	}
 
-	for _, body := range s.Everything() {
+	for _, body := range s.Everything(ctx) {
 		title := body
 		if i := strings.IndexByte(body, '\n'); i > 0 {
 			title = body[:i]

@@ -1,11 +1,13 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/report"
 )
 
@@ -16,6 +18,14 @@ import (
 // MultiSeed runs a full study per seed (in parallel) and returns the
 // summaries in seed order.
 func MultiSeed(seeds []int64) ([]Summary, error) {
+	return MultiSeedContext(context.Background(), seeds)
+}
+
+// MultiSeedContext is MultiSeed under the obs span "study.multiseed"; each
+// seed's pipeline traces as a concurrent study.new subtree.
+func MultiSeedContext(ctx context.Context, seeds []int64) ([]Summary, error) {
+	ctx, span := obs.Start(ctx, "study.multiseed", obs.Int("seeds", int64(len(seeds))))
+	defer span.End()
 	out := make([]Summary, len(seeds))
 	errs := make([]error, len(seeds))
 	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)/2))
@@ -26,7 +36,7 @@ func MultiSeed(seeds []int64) ([]Summary, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s, err := New(seed)
+			s, err := NewContext(ctx, seed)
 			if err != nil {
 				errs[i] = err
 				return

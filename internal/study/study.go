@@ -7,6 +7,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/core"
 	"github.com/schemaevo/schemaevo/internal/corpus"
 	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/report"
 	"github.com/schemaevo/schemaevo/internal/stats"
 )
@@ -47,8 +49,24 @@ type Study struct {
 
 // New runs the full pipeline deterministically from seed.
 func New(seed int64) (*Study, error) {
+	return NewContext(context.Background(), seed)
+}
+
+// NewContext is New with observability: when ctx carries an obs tracer,
+// every pipeline stage opens a span (study.new → corpus.generate,
+// collect.generate, collect.funnel, study.analyze → per-project
+// history.analyze, measure.classify, reedlimit.derive). Without a tracer the
+// instrumentation is free.
+func NewContext(ctx context.Context, seed int64) (*Study, error) {
+	ctx, span := obs.Start(ctx, "study.new", obs.Int("seed", seed))
+	defer span.End()
+	// The seed is the correlation key: attach it here, once, so every log
+	// line of this run — including per-stage debug events — carries it.
+	ctx = obs.WithLogger(ctx, obs.Logger(ctx).With("seed", seed))
+	obs.Logger(ctx).Info("pipeline start")
+
 	s := &Study{Seed: seed, Analyses: map[string]*history.Analysis{}}
-	s.Corpus = corpus.Generate(corpus.Config{Seed: seed})
+	s.Corpus = corpus.GenerateContext(ctx, corpus.Config{Seed: seed})
 
 	// Split corpus into study-set and rigid names for the funnel.
 	var studyRepos, rigidRepos []string
@@ -60,13 +78,13 @@ func New(seed int64) (*Study, error) {
 		}
 	}
 	targets := collect.DefaultTargets()
-	files, meta, outcomes, err := collect.GenerateDatasets(collect.GenConfig{
+	files, meta, outcomes, err := collect.GenerateDatasetsContext(ctx, collect.GenConfig{
 		Seed: seed, Targets: targets, StudyRepos: studyRepos, RigidRepos: rigidRepos,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("study: funnel generation: %w", err)
 	}
-	s.Funnel = collect.Run(files, meta, outcomes)
+	s.Funnel = collect.RunContext(ctx, files, meta, outcomes)
 
 	s.ReedLimit = core.DefaultReedLimit
 
@@ -79,6 +97,7 @@ func New(seed int64) (*Study, error) {
 			studySet = append(studySet, p)
 		}
 	}
+	actx, analyzeSpan := obs.Start(ctx, "study.analyze", obs.Int("projects", int64(len(studySet))))
 	analyses := make([]*history.Analysis, len(studySet))
 	errs := make([]error, len(studySet))
 	var wg sync.WaitGroup
@@ -89,21 +108,28 @@ func New(seed int64) (*Study, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			analyses[i], errs[i] = history.Analyze(p.Hist)
+			analyses[i], errs[i] = history.AnalyzeContext(actx, p.Hist)
 		}(i, p)
 	}
 	wg.Wait()
+	analyzeSpan.End()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("study: analyze %s: %w", studySet[i].Name, err)
 		}
 	}
+	_, measureSpan := obs.Start(ctx, "measure.classify")
 	for i, p := range studySet {
 		s.Analyses[p.Name] = analyses[i]
 		s.Measures = append(s.Measures, core.Measure(analyses[i], s.ReedLimit))
 	}
+	measureSpan.End()
+	_, reedSpan := obs.Start(ctx, "reedlimit.derive")
 	s.DerivedLimit = core.DeriveReedLimit(s.Measures)
 	s.ByTaxon = core.ByTaxon(s.Measures)
+	reedSpan.End()
+	obs.Logger(ctx).Info("pipeline done",
+		"cloned", s.Funnel.Cloned, "study_set", s.Funnel.StudySet)
 	return s, nil
 }
 
@@ -123,7 +149,7 @@ func activeOf(m core.Measures) float64   { return float64(m.ActiveCommits) }
 // --- E01: the collection funnel (§III.A) ------------------------------------
 
 // RunFunnel renders the data-collection funnel.
-func (s *Study) RunFunnel() string {
+func (s *Study) RunFunnel(ctx context.Context) string {
 	return "E01 — Data collection funnel (§III.A)\n" + s.Funnel.String()
 }
 
@@ -145,7 +171,7 @@ func (s *Study) TaxonCounts() []TaxonCount {
 }
 
 // RunTaxonomy renders the classification tree and the resulting population.
-func (s *Study) RunTaxonomy() string {
+func (s *Study) RunTaxonomy(ctx context.Context) string {
 	var b strings.Builder
 	b.WriteString("E04 — Taxa of schema evolution (Fig. 3, Table I)\n\n")
 	b.WriteString("Classification tree (applied reed limit " + fmt.Sprint(s.ReedLimit) + "):\n")
@@ -216,7 +242,7 @@ func (s *Study) Fig4() map[string]map[core.Taxon]Fig4Cell {
 }
 
 // RunFig4 renders the per-taxon measurement table.
-func (s *Study) RunFig4() string {
+func (s *Study) RunFig4(ctx context.Context) string {
 	fig4 := s.Fig4()
 	var b strings.Builder
 	b.WriteString("E05 — Measurements per taxon (Fig. 4): min / med / max / avg\n\n")
@@ -279,7 +305,7 @@ func (s *Study) renderProject(m core.Measures, title string) string {
 }
 
 // RunFig1 renders schema size and monthly activity for two active projects.
-func (s *Study) RunFig1() string {
+func (s *Study) RunFig1(ctx context.Context) string {
 	actives := s.mostActive(core.Active)
 	if len(actives) < 2 {
 		return "E02 — insufficient active projects\n"
@@ -306,7 +332,7 @@ func (s *Study) RunFig1() string {
 
 // RunFig2 renders the reference example (builderscon_octav-like): the most
 // commit-rich active project.
-func (s *Study) RunFig2() string {
+func (s *Study) RunFig2(ctx context.Context) string {
 	actives := s.mostActive(core.Active)
 	if len(actives) == 0 {
 		return "E03 — no active projects\n"
@@ -317,7 +343,7 @@ func (s *Study) RunFig2() string {
 
 // RunExemplars renders one typical project per taxon (Figs. 5–9): the
 // project whose activity is the taxon median.
-func (s *Study) RunExemplars() string {
+func (s *Study) RunExemplars(ctx context.Context) string {
 	var b strings.Builder
 	b.WriteString("E06–E10 — Exemplars per taxon (Figs. 5–9)\n\n")
 	figNo := 5
@@ -335,7 +361,7 @@ func (s *Study) RunExemplars() string {
 }
 
 // RunFig10 renders the activity × active-commits log-log scatter.
-func (s *Study) RunFig10() string {
+func (s *Study) RunFig10(ctx context.Context) string {
 	markers := map[core.Taxon]rune{
 		core.AlmostFrozen:      'd',
 		core.FocusedShotFrozen: 'c',

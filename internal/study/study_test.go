@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -237,7 +238,7 @@ func TestDurations(t *testing.T) {
 
 func TestEverythingRenders(t *testing.T) {
 	s := getStudy(t)
-	outputs := s.Everything()
+	outputs := s.Everything(context.Background())
 	if len(outputs) != 21 {
 		t.Fatalf("Everything() = %d sections", len(outputs))
 	}
@@ -322,7 +323,7 @@ func TestGranularityStability(t *testing.T) {
 	// profile; squashing within a day must leave the vast majority of
 	// projects in their taxon.
 	s := getStudy(t)
-	rows, err := s.Granularity([]time.Duration{0, 24 * time.Hour})
+	rows, err := s.Granularity(context.Background(), []time.Duration{0, 24 * time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestSVGFigures(t *testing.T) {
 
 func TestForecastAccuracyImprovesWithHorizon(t *testing.T) {
 	s := getStudy(t)
-	rows, err := s.Forecast([]float64{0.25, 0.5, 1.0})
+	rows, err := s.Forecast(context.Background(), []float64{0.25, 0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +459,7 @@ func TestForecastAccuracyImprovesWithHorizon(t *testing.T) {
 
 func TestHTMLReport(t *testing.T) {
 	s := getStudy(t)
-	html, err := s.HTMLReport()
+	html, err := s.HTMLReport(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ func (s *Study) OverallKWExcludingFrozen(get func(core.Measures) float64) (stats
 }
 
 // RunOverallKW renders E15.
-func (s *Study) RunOverallKW() string {
+func (s *Study) RunOverallKW(ctx context.Context) string {
 	var b strings.Builder
 	b.WriteString("E15 — Overall Kruskal–Wallis across taxa (§V)\n\n")
 	for _, metric := range []struct {
@@ -99,7 +100,7 @@ func (s *Study) PairwiseKW() ([][]float64, []core.Taxon) {
 }
 
 // RunFig11 renders the pairwise p-value matrix.
-func (s *Study) RunFig11() string {
+func (s *Study) RunFig11(ctx context.Context) string {
 	matrix, taxa := s.PairwiseKW()
 	headers := []string{""}
 	for _, t := range taxa {
@@ -167,7 +168,7 @@ func (s *Study) Quartiles(get func(core.Measures) float64, typ stats.QuantileTyp
 }
 
 // RunFig12 renders the quartile tables.
-func (s *Study) RunFig12() string {
+func (s *Study) RunFig12(ctx context.Context) string {
 	var b strings.Builder
 	b.WriteString("E13 — Quartiles of activity and active commits per taxon (Fig. 12)\n\n")
 	for _, metric := range []struct {
@@ -204,7 +205,7 @@ func (s *Study) RunFig12() string {
 
 // RunFig13 renders the double box plot (as per-taxon box summaries on both
 // dimensions — the textual equivalent of Fig. 13).
-func (s *Study) RunFig13() string {
+func (s *Study) RunFig13(ctx context.Context) string {
 	var b strings.Builder
 	b.WriteString("E14 — Double box plot: activity (x) × active commits (y) (Fig. 13)\n\n")
 	actQ := s.Quartiles(activityOf, stats.Type2)
@@ -251,7 +252,7 @@ func (s *Study) Shapiro() (*ShapiroResults, error) {
 }
 
 // RunShapiro renders E16.
-func (s *Study) RunShapiro() string {
+func (s *Study) RunShapiro(ctx context.Context) string {
 	res, err := s.Shapiro()
 	if err != nil {
 		return "E16 — Shapiro–Wilk: error: " + err.Error() + "\n"
@@ -320,7 +321,7 @@ func (s *Study) Durations() []DurationRow {
 }
 
 // RunDurations renders E17.
-func (s *Study) RunDurations() string {
+func (s *Study) RunDurations(ctx context.Context) string {
 	tb := report.NewTable("", "taxon", ">12 months", ">24 months", "DDL commit share", "median SUP (months)")
 	for _, r := range s.Durations() {
 		tb.AddRow(r.Taxon.String(),
@@ -333,7 +334,7 @@ func (s *Study) RunDurations() string {
 }
 
 // RunReedLimit renders E18: the reed-limit derivation.
-func (s *Study) RunReedLimit() string {
+func (s *Study) RunReedLimit(ctx context.Context) string {
 	single := 0
 	var pool []float64
 	for _, m := range s.Measures {
@@ -390,7 +391,7 @@ func (s *Study) ForeignKeys() []FKRow {
 }
 
 // RunForeignKeys renders E19.
-func (s *Study) RunForeignKeys() string {
+func (s *Study) RunForeignKeys(ctx context.Context) string {
 	tb := report.NewTable("", "taxon", "projects w/ FKs", "median #FKs", "FKs added", "FKs removed")
 	for _, r := range s.ForeignKeys() {
 		tb.AddRow(r.Taxon.String(),
@@ -403,10 +404,10 @@ func (s *Study) RunForeignKeys() string {
 }
 
 // Everything runs all experiment drivers in presentation order.
-func (s *Study) Everything() []string {
+func (s *Study) Everything(ctx context.Context) []string {
 	out := make([]string, 0, len(experimentTable))
 	for _, e := range experimentTable {
-		out = append(out, e.Run(s))
+		out = append(out, e.Render(ctx, s))
 	}
 	return out
 }

@@ -27,12 +27,16 @@
 // # Reproducing the study
 //
 //	st, _ := schemaevo.NewStudy(1)
-//	for _, section := range st.Everything() {
+//	for _, section := range st.Everything(context.Background()) {
 //	    fmt.Println(section)
 //	}
+//
+// Pass a context prepared with NewTracer/WithTracer (or use
+// NewStudyContext) to capture a per-stage timing trace of the run.
 package schemaevo
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -279,6 +283,13 @@ type Study = study.Study
 // NewStudy runs the entire pipeline — corpus synthesis, collection funnel,
 // measurement, classification — deterministically from seed.
 func NewStudy(seed int64) (*Study, error) { return study.New(seed) }
+
+// NewStudyContext is NewStudy with a caller-supplied context: cancellation
+// aside, attach a tracer (internal/obs via the studyrun -trace flag, or the
+// daemon's /debug/trace endpoint) to record per-stage spans of the run.
+func NewStudyContext(ctx context.Context, seed int64) (*Study, error) {
+	return study.NewContext(ctx, seed)
+}
 
 // StudyExperiment is one named experiment driver: a stable selector key
 // plus the function rendering its text artifact.

@@ -1,6 +1,7 @@
 package schemaevo
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -115,7 +116,7 @@ func TestFacadeStudySmoke(t *testing.T) {
 	if len(st.Measures) != 195 {
 		t.Fatalf("study set = %d", len(st.Measures))
 	}
-	out := strings.Join(st.Everything(), "\n")
+	out := strings.Join(st.Everything(context.Background()), "\n")
 	if !strings.Contains(out, "E05") || !strings.Contains(out, "Kruskal") {
 		t.Error("study output incomplete")
 	}
