@@ -28,6 +28,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/smo"
 	"github.com/schemaevo/schemaevo/internal/sqlparse"
 	"github.com/schemaevo/schemaevo/internal/stats"
+	"github.com/schemaevo/schemaevo/internal/store"
 	"github.com/schemaevo/schemaevo/internal/study"
 	"github.com/schemaevo/schemaevo/internal/tables"
 )
@@ -320,6 +321,53 @@ func BenchmarkServeCached(b *testing.B) {
 	if ratio < 100 {
 		b.Fatalf("cache hit only %.1fx faster than cold (cold %s, hit %s); want >= 100x", ratio, cold, hit)
 	}
+}
+
+// BenchmarkWarmRestart measures the daemon's restart story: populate a
+// persistent snapshot store once, then time how long a *fresh* server —
+// empty LRU, same store directory — takes to answer its first request for
+// the seed. This is the latency a restarted deployment pays instead of the
+// full pipeline; the cold pipeline cost is reported alongside for contrast.
+func BenchmarkWarmRestart(b *testing.B) {
+	dir := b.TempDir()
+	populate, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeder := serve.New(serve.Options{CacheSize: 2, Timeout: 5 * time.Minute, Store: populate})
+	coldStart := time.Now()
+	if err := seeder.Prewarm(context.Background(), []int64{1}); err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := store.Open(dir) // a restarted process re-reads the index
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := serve.New(serve.Options{CacheSize: 2, Timeout: 5 * time.Minute, Store: d,
+			Runner: serve.RunnerFunc(func(context.Context, int64) (*study.Study, error) {
+				b.Fatal("warm restart must not run the pipeline")
+				return nil, nil
+			})})
+		ts := httptest.NewServer(srv)
+		resp, err := http.Get(ts.URL + "/v1/seeds/1/artifacts/export.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		ts.Close()
+	}
+	b.StopTimer()
+	warm := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(cold.Nanoseconds()), "cold-populate-ns")
+	b.ReportMetric(float64(cold)/float64(warm), "cold/warm")
 }
 
 // BenchmarkFullStudy measures the entire pipeline end to end (corpus

@@ -2,28 +2,37 @@
 // experiment artifact, the dataset exports, the SVG figures and the HTML
 // report, per corpus seed, from a bounded LRU cache with singleflight
 // deduplication — concurrent requests for one seed run the pipeline once.
+// With -store-dir, completed studies persist as checksummed snapshots and a
+// restarted daemon serves every previously-seen seed without a single
+// pipeline run.
 //
 // Usage:
 //
-//	schemaevod                         # listen on 127.0.0.1:8080
-//	schemaevod -addr :9090 -cache 16   # bigger cache, all interfaces
-//	schemaevod -prewarm 1,2,3          # run these seeds before serving
+//	schemaevod                          # listen on 127.0.0.1:8080, memory only
+//	schemaevod -addr :9090 -cache 16    # bigger cache, all interfaces
+//	schemaevod -store-dir /var/schemaevo -prewarm 1,2,3
+//	                                    # persistent store, parallel prewarm
 //
-// Endpoints:
+// Endpoints (canonical /v1 surface; errors are JSON {error, code, seed}):
 //
-//	GET /v1/study/{seed}/{experiment}     one experiment's text artifact
-//	GET /v1/study/{seed}/export.csv       per-project dataset
-//	GET /v1/study/{seed}/export.json      machine-readable summary
-//	GET /v1/study/{seed}/report.html      self-contained HTML report
-//	GET /v1/study/{seed}/figures/{name}   one SVG figure
-//	GET /v1/experiments                   list of experiment keys
-//	GET /healthz                          readiness + cached seeds
-//	GET /metrics                          Prometheus text exposition
-//	GET /debug/trace?seed=N               instrumented run, Chrome trace JSON
-//	GET /debug/pprof/                     stdlib pprof profiles
+//	GET /v1/seeds                             cached + stored seeds
+//	GET /v1/seeds/{seed}/artifacts/{key}      experiment text, export.csv,
+//	                                          export.json or report.html
+//	GET /v1/seeds/{seed}/figures/{name}       one SVG figure
+//	GET /v1/experiments                       list of experiment keys
+//	GET /v1/healthz                           readiness + cache digest
+//	GET /v1/metrics                           Prometheus text exposition
+//	GET /v1/debug/trace?seed=N                instrumented run, Chrome trace JSON
+//	GET /debug/pprof/                         stdlib pprof profiles
+//
+// The pre-/v1 flat routes (/healthz, /metrics, /debug/trace,
+// /v1/study/{seed}/...) remain as deprecated aliases: identical behaviour
+// plus a Deprecation header; hits count into
+// schemaevod_legacy_requests_total.
 //
 // The daemon logs structured lines (log/slog) to stderr and drains
-// gracefully on SIGINT/SIGTERM.
+// gracefully on SIGINT/SIGTERM, flushing pending snapshot saves before
+// exiting.
 package main
 
 import (
@@ -40,16 +49,19 @@ import (
 
 	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/serve"
+	"github.com/schemaevo/schemaevo/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		cache   = flag.Int("cache", 8, "max completed studies kept in memory")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request deadline")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
-		prewarm = flag.String("prewarm", "", "comma-separated seeds to run before serving")
-		debug   = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cache    = flag.Int("cache", 8, "max completed studies kept in memory")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		prewarm  = flag.String("prewarm", "", "comma-separated seeds to make servable before traffic")
+		workers  = flag.Int("prewarm-workers", 0, "parallel prewarm workers (0 = GOMAXPROCS/2)")
+		storeDir = flag.String("store-dir", "", "directory for persistent study snapshots (empty = memory only)")
+		debug    = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
 	)
 	flag.Parse()
 
@@ -65,18 +77,36 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
-	srv := serve.New(serve.Options{CacheSize: *cache, Timeout: *timeout, Logger: logger})
+	opts := serve.Options{
+		CacheSize:      *cache,
+		Timeout:        *timeout,
+		PrewarmWorkers: *workers,
+		Logger:         logger,
+	}
+	if *storeDir != "" {
+		disk, err := store.Open(*storeDir)
+		if err != nil {
+			logger.Error("store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		stored, _ := disk.List(context.Background())
+		logger.Info("snapshot store open",
+			"dir", disk.Dir(), "stored_seeds", len(stored), "invalid_entries_skipped", disk.CorruptAtOpen())
+		opts.Store = disk
+	}
+	srv := serve.New(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	for _, seed := range seeds {
+	if len(seeds) > 0 {
 		start := time.Now()
-		if err := srv.Prewarm(ctx, []int64{seed}); err != nil {
-			logger.Error("prewarm failed", "seed", seed, "err", err)
+		if err := srv.Prewarm(ctx, seeds); err != nil {
+			logger.Error("prewarm failed", "err", err)
 			os.Exit(1)
 		}
-		logger.Info("prewarmed", "seed", seed, "took", time.Since(start).Round(time.Millisecond))
+		logger.Info("prewarm complete",
+			"seeds", len(seeds), "took", time.Since(start).Round(time.Millisecond))
 	}
 
 	if err := serve.ListenAndServe(ctx, *addr, srv, *drain, logger); err != nil {

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// This file is the artifact layer: one namespace of artifact keys shared by
+// the HTTP handlers, the per-(seed, artifact) memo in the LRU, and the
+// persistent store's snapshots. Keys are the experiment selector keys, the
+// three whole-study exports, and "figures/<name>.svg" for the SVG figures.
+
+// Reserved artifact keys beyond the experiment registry.
+const (
+	artifactCSV  = "export.csv"
+	artifactJSON = "export.json"
+	artifactHTML = "report.html"
+	figurePrefix = "figures/"
+)
+
+// knownArtifact reports whether key names a servable whole-study artifact
+// (figures go through their own route and prefix).
+func knownArtifact(key string) bool {
+	switch key {
+	case artifactCSV, artifactJSON, artifactHTML:
+		return true
+	}
+	return study.KnownExperiment(key)
+}
+
+// contentTypeFor maps an artifact key to its Content-Type header.
+func contentTypeFor(key string) string {
+	switch {
+	case key == artifactCSV:
+		return "text/csv; charset=utf-8"
+	case key == artifactJSON:
+		return "application/json"
+	case key == artifactHTML:
+		return "text/html; charset=utf-8"
+	case strings.HasPrefix(key, figurePrefix):
+		return "image/svg+xml"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// renderArtifact renders one artifact from a completed study. Figure keys
+// are not accepted here — figures render as a set via SVGFigures.
+func renderArtifact(ctx context.Context, st *study.Study, key string) ([]byte, error) {
+	switch key {
+	case artifactCSV:
+		return []byte(st.ExportCSV()), nil
+	case artifactJSON:
+		js, err := st.ExportJSON()
+		if err != nil {
+			return nil, err
+		}
+		return []byte(js), nil
+	case artifactHTML:
+		html, err := st.HTMLReport(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(html), nil
+	}
+	if text, ok := st.RunExperiment(ctx, key); ok {
+		return []byte(text), nil
+	}
+	return nil, fmt.Errorf("unknown artifact %q", key)
+}
+
+// renderAll produces the complete artifact set of a study — every
+// registered experiment, the three exports, and all SVG figures — keyed the
+// way the memo and the store snapshots share. This is what the write-behind
+// persists, so a warm restart can serve any artifact without a pipeline run.
+func renderAll(ctx context.Context, st *study.Study) (map[string][]byte, error) {
+	keys := study.ExperimentKeys()
+	out := make(map[string][]byte, len(keys)+3)
+	for _, key := range append(keys, artifactCSV, artifactJSON, artifactHTML) {
+		b, err := renderArtifact(ctx, st, key)
+		if err != nil {
+			return nil, fmt.Errorf("render %s: %w", key, err)
+		}
+		out[key] = b
+	}
+	for name, svg := range st.SVGFigures() {
+		out[figurePrefix+name] = []byte(svg)
+	}
+	return out, nil
+}
+
+// artifactBytes resolves one (seed, artifact) to rendered bytes through the
+// full read path: memo hit → store snapshot restore → live study render
+// (cache / singleflight / pipeline). Rendering memoizes, so each artifact is
+// produced at most once per cached entry.
+func (s *Server) artifactBytes(ctx context.Context, seed int64, key string) ([]byte, error) {
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		// A memo hit is a cache hit: hits + misses stays balanced with the
+		// request count even when getStudy is skipped entirely.
+		s.metrics.cacheHits.Add(1)
+		s.metrics.memoHits.Add(1)
+		return b, nil
+	}
+	s.restoreSnapshot(ctx, seed)
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		s.metrics.cacheMisses.Add(1) // the LRU missed; the store answered
+		return b, nil
+	}
+	st, err := s.getStudy(ctx, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Rendering traces into the server's metrics-only tracer, so warm-cache
+	// requests still feed the experiment.<key> stage histograms.
+	rctx := obs.WithTracer(ctx, s.tracer)
+	b, err := renderArtifact(rctx, st, key)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.PutArtifact(seed, key, b)
+	return b, nil
+}
+
+// figureBytes is artifactBytes for the figure namespace: figures render as
+// a complete set, so a miss renders and memoizes every figure at once.
+// The bool reports whether the figure name exists at all.
+func (s *Server) figureBytes(ctx context.Context, seed int64, name string) ([]byte, bool, error) {
+	key := figurePrefix + name
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.metrics.memoHits.Add(1)
+		return b, true, nil
+	}
+	s.restoreSnapshot(ctx, seed)
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		s.metrics.cacheMisses.Add(1)
+		return b, true, nil
+	}
+	// A restored snapshot carries the full figure set: a name missing there
+	// is unknown, and a pipeline run would not change that.
+	if s.cache.MissingStoredFigure(seed, key) {
+		return nil, false, nil
+	}
+	st, err := s.getStudy(ctx, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	figs := st.SVGFigures()
+	memo := make(map[string][]byte, len(figs))
+	for n, svg := range figs {
+		memo[figurePrefix+n] = []byte(svg)
+	}
+	s.cache.MergeArtifacts(seed, memo)
+	svg, ok := figs[name]
+	return []byte(svg), ok, nil
+}

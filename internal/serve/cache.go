@@ -2,30 +2,37 @@ package serve
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
-// studyCache is a bounded LRU of completed studies keyed by seed. Studies
-// are immutable once built (every Run* driver only reads), so a single
-// cached *study.Study can back any number of concurrent renders; the cache
-// itself is guarded by one mutex — the critical sections are pointer moves,
-// never pipeline work.
+// studyCache is a bounded LRU keyed by seed. Each entry carries up to two
+// layers: the completed *study.Study (immutable once built — every Run*
+// driver only reads, so one cached study can back any number of concurrent
+// renders) and the artifact memo — rendered bytes per artifact key, so a
+// cache hit never re-renders report.html or export.csv. Entries restored
+// from the persistent store hold only the memo (study == nil); the study
+// layer is filled in if a later request needs a live pipeline result. The
+// cache is guarded by one mutex — critical sections are pointer moves and
+// map lookups, never pipeline work or rendering.
 type studyCache struct {
 	mu      sync.Mutex
 	cap     int
-	order   *list.List               // front = most recently used
-	entries map[int64]*list.Element  // seed → element whose Value is *cacheEntry
+	order   *list.List              // front = most recently used
+	entries map[int64]*list.Element // seed → element whose Value is *cacheEntry
 	metrics *Metrics
 }
 
 type cacheEntry struct {
-	seed  int64
-	study *study.Study
+	seed      int64
+	study     *study.Study      // nil for snapshot-only entries
+	artifacts map[string][]byte // rendered artifact memo, keyed like store snapshots
+	fromStore bool              // artifacts came from a full persisted snapshot
 }
 
-// newStudyCache returns an LRU holding at most capacity studies. Capacity
+// newStudyCache returns an LRU holding at most capacity entries. Capacity
 // is clamped to at least 1.
 func newStudyCache(capacity int, m *Metrics) *studyCache {
 	if capacity < 1 {
@@ -39,12 +46,14 @@ func newStudyCache(capacity int, m *Metrics) *studyCache {
 	}
 }
 
-// Get returns the cached study for seed, refreshing its recency.
+// Get returns the cached study for seed, refreshing its recency. Snapshot-
+// only entries (no live study) report a miss — callers needing a *study.Study
+// must run the pipeline.
 func (c *studyCache) Get(seed int64) (*study.Study, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[seed]
-	if !ok {
+	if !ok || el.Value.(*cacheEntry).study == nil {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
@@ -52,7 +61,8 @@ func (c *studyCache) Get(seed int64) (*study.Study, bool) {
 }
 
 // Put inserts (or refreshes) a study, evicting the least recently used
-// entry beyond capacity.
+// entry beyond capacity. An existing snapshot-only entry is upgraded in
+// place — its artifact memo survives.
 func (c *studyCache) Put(seed int64, s *study.Study) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -61,7 +71,95 @@ func (c *studyCache) Put(seed int64, s *study.Study) {
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[seed] = c.order.PushFront(&cacheEntry{seed: seed, study: s})
+	c.insertLocked(&cacheEntry{seed: seed, study: s})
+}
+
+// GetArtifact returns the memoized bytes for (seed, key), refreshing the
+// entry's recency.
+func (c *studyCache) GetArtifact(seed int64, key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[seed]
+	if !ok {
+		return nil, false
+	}
+	b, ok := el.Value.(*cacheEntry).artifacts[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return b, true
+}
+
+// PutArtifact memoizes one rendered artifact on an existing entry. A seed
+// evicted since its render is dropped silently — the memo never resurrects
+// entries past the LRU bound.
+func (c *studyCache) PutArtifact(seed int64, key string, b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[seed]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.artifacts == nil {
+		e.artifacts = map[string][]byte{}
+	}
+	e.artifacts[key] = b
+}
+
+// MergeArtifacts memoizes a batch of rendered artifacts on an existing
+// entry without overwriting keys already present.
+func (c *studyCache) MergeArtifacts(seed int64, arts map[string][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[seed]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.artifacts == nil {
+		e.artifacts = make(map[string][]byte, len(arts))
+	}
+	for k, v := range arts {
+		if _, dup := e.artifacts[k]; !dup {
+			e.artifacts[k] = v
+		}
+	}
+}
+
+// InstallSnapshot inserts a snapshot-only entry for a seed restored from
+// the persistent store: all artifacts, no live study. It counts toward the
+// LRU bound like any pipeline result. If the seed is already cached the
+// snapshot's artifacts merge into it.
+func (c *studyCache) InstallSnapshot(seed int64, arts map[string][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[seed]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.artifacts == nil {
+			e.artifacts = make(map[string][]byte, len(arts))
+		}
+		for k, v := range arts {
+			if _, dup := e.artifacts[k]; !dup {
+				e.artifacts[k] = v
+			}
+		}
+		e.fromStore = true
+		c.order.MoveToFront(el)
+		return
+	}
+	memo := make(map[string][]byte, len(arts))
+	for k, v := range arts {
+		memo[k] = v
+	}
+	c.insertLocked(&cacheEntry{seed: seed, artifacts: memo, fromStore: true})
+}
+
+// insertLocked pushes a fresh entry and enforces the capacity bound.
+// Caller holds c.mu.
+func (c *studyCache) insertLocked(e *cacheEntry) {
+	c.entries[e.seed] = c.order.PushFront(e)
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -75,7 +173,41 @@ func (c *studyCache) Put(seed int64, s *study.Study) {
 	}
 }
 
-// Len reports the current number of cached studies.
+// Has reports whether seed is present at all — as a live study, a snapshot
+// restore, or both. It does not refresh recency.
+func (c *studyCache) Has(seed int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[seed]
+	return ok
+}
+
+// MissingStoredFigure reports whether seed's entry is a store-restored
+// snapshot that carries figures but not the named one — the case where the
+// figure name is simply unknown and a pipeline run would not help.
+func (c *studyCache) MissingStoredFigure(seed int64, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[seed]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.fromStore || e.study != nil {
+		return false
+	}
+	if _, ok := e.artifacts[key]; ok {
+		return false
+	}
+	for k := range e.artifacts {
+		if strings.HasPrefix(k, "figures/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the current number of cached entries.
 func (c *studyCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -11,7 +11,7 @@ import (
 
 // This file is the daemon's debugging surface: the stdlib pprof handlers
 // (mounted explicitly because the server runs its own mux, not
-// http.DefaultServeMux) and /debug/trace, which executes one fully
+// http.DefaultServeMux) and the trace endpoint, which executes one fully
 // instrumented pipeline run and returns the Chrome trace_event JSON — load
 // it in chrome://tracing or https://ui.perfetto.dev to see the stage
 // breakdown of a live deployment.
@@ -23,39 +23,45 @@ func registerDebug(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace(true))
+	mux.HandleFunc("GET /debug/trace", s.legacy("/v1/debug/trace", s.handleDebugTrace(false)))
 }
 
-// handleDebugTrace serves /debug/trace?seed=N: it runs one pipeline
+// handleDebugTrace serves the trace endpoint (?seed=N): it runs one pipeline
 // execution for the seed with a collecting tracer attached and responds with
 // the Chrome trace JSON. The run bypasses the cache on purpose — a cached
-// study has no spans to show — but its result still fills the cache, so the
-// endpoint doubles as an instrumented prewarm. Stage durations feed the
-// shared /metrics histograms like any other run.
-func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
-	seed := int64(1)
-	if q := r.URL.Query().Get("seed"); q != "" {
-		parsed, err := strconv.ParseInt(q, 10, 64)
+// study has no spans to show — but its result still fills the cache and
+// schedules a snapshot save, so the endpoint doubles as an instrumented
+// prewarm. Stage durations feed the shared /metrics histograms like any
+// other run.
+func (s *Server) handleDebugTrace(jsonErr bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		seed := int64(1)
+		if q := r.URL.Query().Get("seed"); q != "" {
+			parsed, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				respondError(w, jsonErr, http.StatusBadRequest,
+					fmt.Sprintf("seed must be an integer, got %q", q), 0)
+				return
+			}
+			seed = parsed
+		}
+		tr := obs.NewTracer(obs.Options{Collect: true, Stages: s.metrics.stages, Logger: s.opts.Logger})
+		ctx := obs.WithTracer(r.Context(), tr)
+		ctx = obs.WithLogger(ctx, s.opts.Logger)
+		s.metrics.pipelineRuns.Add(1)
+		s.metrics.pipelineInflight.Add(1)
+		st, err := s.opts.Runner.Run(ctx, seed)
+		s.metrics.pipelineInflight.Add(-1)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("seed must be an integer, got %q", q), http.StatusBadRequest)
+			failErr(w, jsonErr, seed, err)
 			return
 		}
-		seed = parsed
-	}
-	tr := obs.NewTracer(obs.Options{Collect: true, Stages: s.metrics.stages, Logger: s.opts.Logger})
-	ctx := obs.WithTracer(r.Context(), tr)
-	ctx = obs.WithLogger(ctx, s.opts.Logger)
-	s.metrics.pipelineRuns.Add(1)
-	s.metrics.pipelineInflight.Add(1)
-	st, err := s.opts.Runner(ctx, seed)
-	s.metrics.pipelineInflight.Add(-1)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	s.cache.Put(seed, st)
-	w.Header().Set("Content-Type", "application/json")
-	if err := tr.WriteChromeTrace(w); err != nil {
-		s.opts.Logger.Error("debug trace export failed", "seed", seed, "err", err)
+		s.cache.Put(seed, st)
+		s.schedulePersist(seed, st)
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			s.opts.Logger.Error("debug trace export failed", "seed", seed, "err", err)
+		}
 	}
 }

@@ -24,7 +24,7 @@ func TestDebugTrace(t *testing.T) {
 		span.End()
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{Runner: runner})
+	srv := New(Options{Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -63,9 +63,9 @@ func TestDebugTrace(t *testing.T) {
 }
 
 func TestDebugTraceBadSeed(t *testing.T) {
-	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
+	srv := New(Options{Runner: RunnerFunc(func(_ context.Context, seed int64) (*study.Study, error) {
 		return &study.Study{Seed: seed}, nil
-	}})
+	})})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	if code, body, _ := get(t, ts, "/debug/trace?seed=banana"); code != 400 {
@@ -76,9 +76,9 @@ func TestDebugTraceBadSeed(t *testing.T) {
 // TestPprofMounted: the server runs its own mux, so the stdlib profiles must
 // be wired explicitly — the index page is the canary.
 func TestPprofMounted(t *testing.T) {
-	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
+	srv := New(Options{Runner: RunnerFunc(func(_ context.Context, seed int64) (*study.Study, error) {
 		return &study.Study{Seed: seed}, nil
-	}})
+	})})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	code, body, _ := get(t, ts, "/debug/pprof/")
@@ -97,7 +97,7 @@ func TestServerStageMetrics(t *testing.T) {
 		span.End()
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{Runner: runner})
+	srv := New(Options{Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -125,7 +125,7 @@ func TestOrphanedRunMetrics(t *testing.T) {
 		<-release
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{Timeout: 20 * time.Millisecond, Runner: runner})
+	srv := New(Options{Timeout: 20 * time.Millisecond, Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

@@ -30,6 +30,12 @@ type Metrics struct {
 	orphanedRuns     atomic.Int64 // runs whose waiter timed out while they kept going
 	flightJoins      atomic.Int64 // requests deduplicated onto an in-flight run
 	timeouts         atomic.Int64 // requests that hit the per-request deadline
+	storeHits        atomic.Int64 // seeds restored from a persisted snapshot
+	storeMisses      atomic.Int64 // store lookups that found no snapshot
+	storeCorrupt     atomic.Int64 // snapshots rejected as corrupt (degraded to cold run)
+	storeSaves       atomic.Int64 // write-behind snapshot saves that reached the store
+	memoHits         atomic.Int64 // artifacts served from the per-(seed, key) render memo
+	legacyRequests   atomic.Int64 // hits on deprecated pre-/v1 routes
 	shuttingDown     atomic.Bool  // health turns not-ready during graceful drain
 	mu               sync.Mutex
 	latencyByExp     map[string]*histogram
@@ -92,6 +98,8 @@ type Snapshot struct {
 	CacheEntries, PipelineRuns, FlightJoins int64
 	PipelineInflight, OrphanedRuns          int64
 	Timeouts                                int64
+	StoreHits, StoreMisses, StoreCorrupt    int64
+	StoreSaves, MemoHits, LegacyRequests    int64
 }
 
 // Snapshot reads every counter.
@@ -109,6 +117,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		OrphanedRuns:     m.orphanedRuns.Load(),
 		FlightJoins:      m.flightJoins.Load(),
 		Timeouts:         m.timeouts.Load(),
+		StoreHits:        m.storeHits.Load(),
+		StoreMisses:      m.storeMisses.Load(),
+		StoreCorrupt:     m.storeCorrupt.Load(),
+		StoreSaves:       m.storeSaves.Load(),
+		MemoHits:         m.memoHits.Load(),
+		LegacyRequests:   m.legacyRequests.Load(),
 	}
 }
 
@@ -139,6 +153,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevod_orphaned_runs_total", "Pipeline runs abandoned by a timed-out request but still running to completion.", s.OrphanedRuns),
 		count("schemaevod_flight_joins_total", "Requests deduplicated onto an in-flight pipeline run.", s.FlightJoins),
 		count("schemaevod_request_timeouts_total", "Requests that exceeded the per-request deadline.", s.Timeouts),
+		count("schemaevod_store_hits_total", "Seeds restored from a persisted snapshot without a pipeline run.", s.StoreHits),
+		count("schemaevod_store_misses_total", "Store lookups that found no snapshot.", s.StoreMisses),
+		count("schemaevod_store_corrupt_total", "Snapshots rejected as corrupt and degraded to a cold pipeline run.", s.StoreCorrupt),
+		count("schemaevod_store_saves_total", "Write-behind snapshot saves that reached the store.", s.StoreSaves),
+		count("schemaevod_artifact_memo_hits_total", "Artifacts served from the per-seed render memo.", s.MemoHits),
+		count("schemaevod_legacy_requests_total", "Hits on deprecated pre-/v1 routes.", s.LegacyRequests),
 	} {
 		if e != nil {
 			return n, e

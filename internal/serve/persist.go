@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/store"
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// This file wires the persistence subsystem (internal/store) into the
+// serving layer as a read-through / write-behind cache tier under the LRU:
+//
+//   - read-through: a seed missing from the LRU is first looked up in the
+//     store; a verified snapshot restores the full artifact memo without a
+//     pipeline run (the warm-restart path).
+//   - write-behind: every completed pipeline run schedules an asynchronous
+//     snapshot save — all artifacts are rendered once and persisted, so the
+//     next daemon generation serves this seed from disk.
+//
+// A corrupt snapshot is counted, logged, and treated as a miss: the request
+// degrades to a cold run whose write-behind replaces the damaged entry.
+
+// restoreSnapshot attempts the store read-through for a seed not yet in the
+// cache. Concurrent callers collapse onto one disk load. It never fails the
+// request: every store error degrades to "not restored".
+func (s *Server) restoreSnapshot(ctx context.Context, seed int64) {
+	if s.opts.Store == nil || s.cache.Has(seed) {
+		return
+	}
+	s.loads.Do(seed, func() (any, error) {
+		if s.cache.Has(seed) { // restored (or run) while we queued on the flight
+			return nil, nil
+		}
+		lctx := obs.WithTracer(ctx, s.tracer)
+		snap, err := s.opts.Store.Get(lctx, seed)
+		switch {
+		case err == nil:
+			s.metrics.storeHits.Add(1)
+			s.cache.InstallSnapshot(seed, snap.Artifacts)
+			s.opts.Logger.Info("snapshot restored from store",
+				"seed", seed, "artifacts", len(snap.Artifacts), "saved_at", snap.SavedAt)
+		case errors.Is(err, store.ErrNotFound):
+			s.metrics.storeMisses.Add(1)
+		default:
+			// Corruption or I/O damage: degrade to a cold run, never fail.
+			s.metrics.storeCorrupt.Add(1)
+			s.opts.Logger.Warn("store snapshot unusable; falling back to pipeline",
+				"seed", seed, "err", err)
+		}
+		return nil, nil
+	})
+}
+
+// schedulePersist queues the write-behind for a freshly completed pipeline
+// run. At most one persist per seed is in flight; failures clear the mark so
+// a later run can retry.
+func (s *Server) schedulePersist(seed int64, st *study.Study) {
+	if s.opts.Store == nil {
+		return
+	}
+	s.persistMu.Lock()
+	if s.persisting[seed] {
+		s.persistMu.Unlock()
+		return
+	}
+	s.persisting[seed] = true
+	s.persistMu.Unlock()
+
+	s.persistWG.Add(1)
+	go func() {
+		defer s.persistWG.Done()
+		if err := s.persistStudy(seed, st); err != nil {
+			s.opts.Logger.Error("snapshot save failed", "seed", seed, "err", err)
+			s.persistMu.Lock()
+			delete(s.persisting, seed)
+			s.persistMu.Unlock()
+			return
+		}
+		s.metrics.storeSaves.Add(1)
+	}()
+}
+
+// persistStudy renders the study's complete artifact set and writes the
+// snapshot. The render also warms the artifact memo of the seed's cache
+// entry (if it is still resident), so the renders are paid once. A panic in
+// an experiment driver is contained here — persistence must never take the
+// daemon down.
+func (s *Server) persistStudy(seed int64, st *study.Study) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("render panicked: %v", r)
+		}
+	}()
+	// Deliberately detached from any request context: the save belongs to
+	// the daemon, not to the request that happened to trigger the run.
+	ctx := obs.WithTracer(context.Background(), s.tracer)
+	ctx = obs.WithLogger(ctx, s.opts.Logger)
+	start := time.Now()
+	arts, err := renderAll(ctx, st)
+	if err != nil {
+		return err
+	}
+	s.cache.MergeArtifacts(seed, arts)
+	snap := &store.Snapshot{
+		Seed:      seed,
+		SavedAt:   time.Now().UTC(),
+		Summary:   st.Summary(),
+		Artifacts: arts,
+	}
+	if err := s.opts.Store.Put(ctx, seed, snap); err != nil {
+		return err
+	}
+	s.opts.Logger.Info("snapshot saved to store",
+		"seed", seed, "artifacts", len(arts), "took", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// SyncStore blocks until every scheduled write-behind snapshot save has
+// finished. Prewarm calls it so prewarmed seeds are durable before traffic;
+// the graceful-shutdown path calls it so a drained daemon leaves a complete
+// store behind.
+func (s *Server) SyncStore() { s.persistWG.Wait() }

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"context"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// Runner executes the study pipeline for one seed. It is the composition
+// seam of the serving layer: the cache read-through, singleflight
+// deduplication and the persistence write-behind all decorate a Runner, and
+// tests substitute fakes the same way.
+type Runner interface {
+	Run(ctx context.Context, seed int64) (*study.Study, error)
+}
+
+// RunnerFunc adapts a plain function to the Runner interface — the
+// compatibility shim for the original func-typed Options.Runner field.
+type RunnerFunc func(ctx context.Context, seed int64) (*study.Study, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, seed int64) (*study.Study, error) {
+	return f(ctx, seed)
+}
+
+// pipelineRunner is the production Runner: the real study pipeline.
+type pipelineRunner struct{}
+
+func (pipelineRunner) Run(ctx context.Context, seed int64) (*study.Study, error) {
+	return study.NewContext(ctx, seed)
+}

@@ -1,9 +1,29 @@
 // Package serve is the HTTP layer of schemaevod: it exposes the full study
-// pipeline as versioned endpoints backed by a bounded LRU cache of completed
-// studies with singleflight deduplication, so any number of concurrent
-// requests for one seed trigger exactly one pipeline run. The package also
-// carries the daemon's observability surface (/healthz, /metrics) and the
-// graceful-shutdown loop. Pure stdlib.
+// pipeline as a versioned /v1 API backed by a bounded LRU cache of completed
+// studies, a per-(seed, artifact) render memo, singleflight deduplication,
+// and an optional persistent snapshot store — so any number of concurrent
+// requests for one seed trigger exactly one pipeline run, and a restarted
+// daemon serves previously-seen seeds without any run at all. The package
+// also carries the daemon's observability surface (/v1/healthz, /v1/metrics)
+// and the graceful-shutdown loop. Pure stdlib.
+//
+// # API versioning
+//
+// The canonical surface lives under /v1:
+//
+//	GET /v1/seeds                              cached + stored seeds
+//	GET /v1/seeds/{seed}/artifacts/{key}       one whole-study artifact
+//	GET /v1/seeds/{seed}/figures/{name}        one SVG figure
+//	GET /v1/experiments                        experiment key list
+//	GET /v1/healthz                            readiness + cache digest
+//	GET /v1/metrics                            Prometheus text exposition
+//	GET /v1/debug/trace                        instrumented pipeline run
+//
+// Errors on /v1 routes use a uniform JSON envelope {error, code, seed}.
+// The original flat routes (/healthz, /metrics, /debug/trace,
+// /v1/study/{seed}/...) remain as deprecated aliases: same behaviour and
+// plain-text errors, plus a Deprecation header and a hit counter
+// (schemaevod_legacy_requests_total).
 package serve
 
 import (
@@ -14,29 +34,41 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/store"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
 // Options configures a Server. The zero value serves with sensible
-// defaults: an 8-study cache, a 60-second request deadline, and the real
-// pipeline as runner.
+// defaults: an 8-study cache, a 60-second request deadline, the real
+// pipeline as runner, and no persistence.
 type Options struct {
-	// CacheSize bounds the number of completed studies kept in memory
-	// (default 8; a full study is a few MB).
+	// CacheSize bounds the number of seeds kept in memory — live studies and
+	// store-restored snapshots alike (default 8; a full entry is a few MB).
 	CacheSize int
 	// Timeout is the per-request deadline. Requests that exceed it get 504,
 	// but an underlying pipeline run keeps going and still fills the cache.
 	Timeout time.Duration
-	// Runner executes the pipeline for one seed (default study.NewContext).
-	// The context carries the server's obs tracer, so pipeline stages feed
-	// the schemaevo_stage_* metric families. Tests substitute stubs; a
-	// future multi-backend store plugs in here.
-	Runner func(ctx context.Context, seed int64) (*study.Study, error)
+	// Runner executes the pipeline for one seed (default: the real
+	// pipeline, study.NewContext). The context carries the server's obs
+	// tracer, so pipeline stages feed the schemaevo_stage_* metric families.
+	// Tests substitute fakes; wrap a plain function with RunnerFunc.
+	Runner Runner
+	// Store persists completed studies as snapshots (nil = memory only).
+	// It sits under the LRU as a read-through / write-behind tier: misses
+	// consult it before running the pipeline, completed runs are snapshotted
+	// asynchronously, and a restarted daemon serves every stored seed
+	// without a single run.
+	Store store.Store
+	// PrewarmWorkers bounds the parallel Prewarm worker pool
+	// (default GOMAXPROCS/2, minimum 1).
+	PrewarmWorkers int
 	// Logger receives the daemon's structured log lines (nil = silent).
 	// Pipeline runs log with the seed as correlation key.
 	Logger *slog.Logger
@@ -47,11 +79,19 @@ type Options struct {
 type Server struct {
 	opts    Options
 	cache   *studyCache
-	flight  *flightGroup
+	flight  *flightGroup // one pipeline run per seed
+	loads   *flightGroup // one store restore per seed
 	metrics *Metrics
 	tracer  *obs.Tracer // metrics-only: feeds stage histograms, retains no spans
 	mux     *http.ServeMux
+
+	persistMu  sync.Mutex
+	persisting map[int64]bool
+	persistWG  sync.WaitGroup
 }
+
+// deprecationDate is the RFC 9745 Deprecation value sent on legacy routes.
+var deprecationDate = "@1767225600" // 2026-01-01T00:00:00Z
 
 // New builds a Server from opts.
 func New(opts Options) *Server {
@@ -62,25 +102,34 @@ func New(opts Options) *Server {
 		opts.Timeout = 60 * time.Second
 	}
 	if opts.Runner == nil {
-		opts.Runner = study.NewContext
+		opts.Runner = pipelineRunner{}
 	}
 	if opts.Logger == nil {
 		opts.Logger = obs.NopLogger()
 	}
 	s := &Server{
-		opts:    opts,
-		metrics: NewMetrics(),
-		flight:  newFlightGroup(),
+		opts:       opts,
+		metrics:    NewMetrics(),
+		flight:     newFlightGroup(),
+		loads:      newFlightGroup(),
+		persisting: map[int64]bool{},
 	}
 	s.cache = newStudyCache(opts.CacheSize, s.metrics)
 	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger})
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Canonical /v1 surface: JSON error envelope.
+	mux.HandleFunc("GET /v1/seeds", s.handleSeeds)
+	mux.HandleFunc("GET /v1/seeds/{seed}/artifacts/{key}", s.handleArtifact(true))
+	mux.HandleFunc("GET /v1/seeds/{seed}/figures/{name}", s.handleFigure(true))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /v1/study/{seed}/{artifact}", s.handleArtifact)
-	mux.HandleFunc("GET /v1/study/{seed}/figures/{name}", s.handleFigure)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	// Deprecated flat aliases: original behaviour, plain-text errors.
+	mux.HandleFunc("GET /v1/study/{seed}/{key}", s.legacy("/v1/seeds/{seed}/artifacts/{key}", s.handleArtifact(false)))
+	mux.HandleFunc("GET /v1/study/{seed}/figures/{name}", s.legacy("/v1/seeds/{seed}/figures/{name}", s.handleFigure(false)))
+	mux.HandleFunc("GET /healthz", s.legacy("/v1/healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.legacy("/v1/metrics", s.handleMetrics))
 	registerDebug(mux, s)
 	s.mux = mux
 	return s
@@ -89,6 +138,17 @@ func New(opts Options) *Server {
 // Metrics exposes the server's counters, mainly for tests and prewarm
 // reporting.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// legacy wraps a deprecated flat route: hits are counted and the response
+// advertises the successor under /v1 (RFC 9745 Deprecation header).
+func (s *Server) legacy(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.legacyRequests.Add(1)
+		w.Header().Set("Deprecation", deprecationDate)
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
 
 // statusRecorder captures the response code for the error counter.
 type statusRecorder struct {
@@ -118,9 +178,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// getStudy resolves one seed: cache hit, join of an in-flight run, or a
-// fresh pipeline execution. The context only bounds this caller's wait —
-// a pipeline run that loses its caller still completes and fills the cache.
+// getStudy resolves one seed to a live study: cache hit, join of an
+// in-flight run, or a fresh pipeline execution. The context only bounds this
+// caller's wait — a pipeline run that loses its caller still completes,
+// fills the cache, and schedules its snapshot save.
 func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error) {
 	if st, ok := s.cache.Get(seed); ok {
 		s.metrics.cacheHits.Add(1)
@@ -143,11 +204,12 @@ func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error)
 		// orphaned runs show up in the stage metrics and the log stream.
 		runCtx := obs.WithTracer(context.Background(), s.tracer)
 		runCtx = obs.WithLogger(runCtx, s.opts.Logger)
-		st, err := s.opts.Runner(runCtx, seed)
+		st, err := s.opts.Runner.Run(runCtx, seed)
 		if err != nil {
 			return nil, err
 		}
 		s.cache.Put(seed, st)
+		s.schedulePersist(seed, st)
 		return st, nil
 	})
 	select {
@@ -170,15 +232,63 @@ func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error)
 	}
 }
 
-// Prewarm runs and caches the given seeds ahead of traffic, deduplicated
-// like any other lookup.
+// ensureSeed makes a seed servable warm: already cached, restored from the
+// store, or — as the last resort — computed by the pipeline.
+func (s *Server) ensureSeed(ctx context.Context, seed int64) error {
+	if s.cache.Has(seed) {
+		return nil
+	}
+	s.restoreSnapshot(ctx, seed)
+	if s.cache.Has(seed) {
+		return nil
+	}
+	_, err := s.getStudy(ctx, seed)
+	return err
+}
+
+// Prewarm makes the given seeds servable ahead of traffic using a bounded
+// parallel worker pool (the study.MultiSeed semaphore pattern). Seeds
+// present in the store are restored without a pipeline run; the rest run
+// concurrently, deduplicated like any other lookup. Prewarm returns once
+// every seed is warm and every snapshot save has reached the store.
 func (s *Server) Prewarm(ctx context.Context, seeds []int64) error {
-	for _, seed := range seeds {
-		if _, err := s.getStudy(ctx, seed); err != nil {
-			return fmt.Errorf("serve: prewarm seed %d: %w", seed, err)
+	workers := s.opts.PrewarmWorkers
+	if workers <= 0 {
+		workers = maxInt(1, runtime.GOMAXPROCS(0)/2)
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			if err := s.ensureSeed(ctx, seed); err != nil {
+				errs[i] = fmt.Errorf("serve: prewarm seed %d: %w", seed, err)
+				return
+			}
+			s.opts.Logger.Info("prewarmed", "seed", seed,
+				"took", time.Since(start).Round(time.Millisecond))
+		}(i, seed)
+	}
+	wg.Wait()
+	s.SyncStore() // prewarmed seeds are durable once Prewarm returns
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // parseSeed reads the {seed} path value.
@@ -190,101 +300,113 @@ func parseSeed(r *http.Request) (int64, error) {
 	return seed, nil
 }
 
-// fail writes a plain-text error with the right status for err.
-func fail(w http.ResponseWriter, err error) {
+// errEnvelope is the uniform /v1 error body.
+type errEnvelope struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// respondError writes one error either as the /v1 JSON envelope or in the
+// legacy plain-text form, depending on the route generation.
+func respondError(w http.ResponseWriter, jsonErr bool, code int, msg string, seed int64) {
+	if !jsonErr {
+		http.Error(w, msg, code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errEnvelope{Error: msg, Code: code, Seed: seed})
+}
+
+// failErr maps a resolution error to the right status for either route
+// generation.
+func failErr(w http.ResponseWriter, jsonErr bool, seed int64, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "study run exceeded the request deadline; retry — the run continues and will be cached", http.StatusGatewayTimeout)
+		respondError(w, jsonErr, http.StatusGatewayTimeout,
+			"study run exceeded the request deadline; retry — the run continues and will be cached", seed)
 	case errors.Is(err, context.Canceled):
-		http.Error(w, "request canceled", 499) // nginx-style client-closed-request
+		respondError(w, jsonErr, 499, "request canceled", seed) // nginx-style client-closed-request
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		respondError(w, jsonErr, http.StatusInternalServerError, err.Error(), seed)
 	}
 }
 
-// handleArtifact serves /v1/study/{seed}/{artifact}: the three whole-study
-// exports or any experiment key's text artifact.
-func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	artifact := r.PathValue("artifact")
-	if artifact != "export.csv" && artifact != "export.json" && artifact != "report.html" &&
-		!study.KnownExperiment(artifact) {
-		http.Error(w, fmt.Sprintf("unknown artifact %q; experiment keys are listed at /v1/experiments", artifact), http.StatusNotFound)
-		return
-	}
-	seed, err := parseSeed(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	start := time.Now()
-	st, err := s.getStudy(r.Context(), seed)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	// Rendering traces into the server's metrics-only tracer, so warm-cache
-	// requests still feed the experiment.<key> stage histograms.
-	ctx := obs.WithTracer(r.Context(), s.tracer)
-	switch artifact {
-	case "export.csv":
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		fmt.Fprint(w, st.ExportCSV())
-	case "export.json":
-		js, err := st.ExportJSON()
-		if err != nil {
-			fail(w, err)
+// handleArtifact serves one whole-study artifact — the three exports or any
+// experiment key — on both route generations.
+func (s *Server) handleArtifact(jsonErr bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !knownArtifact(key) {
+			respondError(w, jsonErr, http.StatusNotFound,
+				fmt.Sprintf("unknown artifact %q; experiment keys are listed at /v1/experiments", key), 0)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprint(w, js)
-	case "report.html":
-		html, err := st.HTMLReport(ctx)
+		seed, err := parseSeed(r)
 		if err != nil {
-			fail(w, err)
+			respondError(w, jsonErr, http.StatusBadRequest, err.Error(), 0)
 			return
 		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, html)
-	default:
-		text, _ := st.RunExperiment(ctx, artifact)
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, text)
+		start := time.Now()
+		b, err := s.artifactBytes(r.Context(), seed, key)
+		if err != nil {
+			failErr(w, jsonErr, seed, err)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeFor(key))
+		w.Write(b)
+		s.metrics.ObserveLatency(key, time.Since(start))
 	}
-	s.metrics.ObserveLatency(artifact, time.Since(start))
 }
 
-// handleFigure serves /v1/study/{seed}/figures/{name}: one SVG figure.
-func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !strings.HasSuffix(name, ".svg") {
-		http.Error(w, "figure names end in .svg", http.StatusNotFound)
-		return
+// handleFigure serves one SVG figure on both route generations.
+func (s *Server) handleFigure(jsonErr bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !strings.HasSuffix(name, ".svg") {
+			respondError(w, jsonErr, http.StatusNotFound, "figure names end in .svg", 0)
+			return
+		}
+		seed, err := parseSeed(r)
+		if err != nil {
+			respondError(w, jsonErr, http.StatusBadRequest, err.Error(), 0)
+			return
+		}
+		start := time.Now()
+		svg, ok, err := s.figureBytes(r.Context(), seed, name)
+		if err != nil {
+			failErr(w, jsonErr, seed, err)
+			return
+		}
+		if !ok {
+			respondError(w, jsonErr, http.StatusNotFound, fmt.Sprintf("unknown figure %q", name), seed)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		w.Write(svg)
+		s.metrics.ObserveLatency("figures", time.Since(start))
 	}
-	seed, err := parseSeed(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	start := time.Now()
-	st, err := s.getStudy(r.Context(), seed)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	svg, ok := st.SVGFigures()[name]
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown figure %q", name), http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	fmt.Fprint(w, svg)
-	s.metrics.ObserveLatency("figures", time.Since(start))
 }
 
 // handleExperiments lists the experiment keys the artifact endpoint accepts.
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(study.ExperimentKeys())
+}
+
+// handleSeeds reports which seeds are warm (cached, most recent first) and
+// which are durable in the store.
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"cached": s.cache.Seeds()}
+	if s.opts.Store != nil {
+		stored, err := s.opts.Store.List(r.Context())
+		if err == nil {
+			resp["stored"] = stored
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleHealth reports readiness plus a cache digest. During graceful
@@ -297,12 +419,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":       status,
 		"cached_seeds": s.cache.Seeds(),
 		"inflight":     s.metrics.inflight.Load(),
-	})
+	}
+	if s.opts.Store != nil {
+		if stored, err := s.opts.Store.List(r.Context()); err == nil {
+			body["stored_seeds"] = len(stored)
+		}
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleMetrics renders the Prometheus text exposition.
@@ -344,7 +472,12 @@ func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time
 	logger.Info("shutdown signal received", "drain", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := hs.Shutdown(shutdownCtx); err != nil {
+	err := hs.Shutdown(shutdownCtx)
+	// Let in-flight snapshot saves land — even after a forced drain: the
+	// next daemon generation starts warm from whatever this one finished
+	// computing, and abandoning a save wastes the render it already paid for.
+	srv.SyncStore()
+	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
 	logger.Info("drained cleanly")

@@ -49,7 +49,7 @@ func get(t *testing.T, ts *httptest.Server, path string) (int, string, http.Head
 }
 
 func TestEndpoints(t *testing.T) {
-	srv := New(Options{Runner: realRunner(t)})
+	srv := New(Options{Runner: RunnerFunc(realRunner(t))})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -202,7 +202,7 @@ func TestConcurrentRequests(t *testing.T) {
 		time.Sleep(20 * time.Millisecond) // widen the dedup window
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{CacheSize: seedCount, Timeout: 30 * time.Second, Runner: runner})
+	srv := New(Options{CacheSize: seedCount, Timeout: 30 * time.Second, Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -274,7 +274,7 @@ func TestRequestTimeout(t *testing.T) {
 		<-release
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{Timeout: 30 * time.Millisecond, Runner: runner})
+	srv := New(Options{Timeout: 30 * time.Millisecond, Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -307,7 +307,7 @@ func TestRunnerErrorIs500(t *testing.T) {
 	runner := func(_ context.Context, seed int64) (*study.Study, error) {
 		return nil, fmt.Errorf("corpus exploded")
 	}
-	srv := New(Options{Runner: runner})
+	srv := New(Options{Runner: RunnerFunc(runner)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	code, body, _ := get(t, ts, "/v1/study/1/export.csv")
@@ -328,7 +328,7 @@ func TestPrewarm(t *testing.T) {
 		runs.Add(1)
 		return &study.Study{Seed: seed}, nil
 	}
-	srv := New(Options{CacheSize: 4, Runner: runner})
+	srv := New(Options{CacheSize: 4, Runner: RunnerFunc(runner)})
 	if err := srv.Prewarm(context.Background(), []int64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -340,9 +340,9 @@ func TestPrewarm(t *testing.T) {
 // TestGracefulShutdown drives the real listener loop: cancel the context,
 // expect a clean drain.
 func TestGracefulShutdown(t *testing.T) {
-	srv := New(Options{Runner: func(_ context.Context, seed int64) (*study.Study, error) {
+	srv := New(Options{Runner: RunnerFunc(func(_ context.Context, seed int64) (*study.Study, error) {
 		return &study.Study{Seed: seed}, nil
-	}})
+	})})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

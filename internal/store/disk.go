@@ -1,0 +1,314 @@
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// Disk is the durable snapshot backend. On-disk layout:
+//
+//	<dir>/index.json            seed → entry (blob references + checksums)
+//	<dir>/objects/<sha256>      content-addressed artifact/summary blobs
+//
+// Blobs are written once and addressed by their SHA-256, so identical
+// artifacts across seeds share storage and a rewrite of an unchanged
+// snapshot costs only the index. Every write lands via temp-file + rename,
+// so a crash mid-save leaves the previous state intact. Every read verifies
+// size and checksum; damage surfaces as a CorruptError (never a panic and
+// never a partial snapshot), which the serving layer treats as a cache miss.
+type Disk struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[int64]*diskEntry
+	skipped int64 // index entries dropped as invalid at Open
+}
+
+const (
+	indexFile   = "index.json"
+	objectsDir  = "objects"
+	indexFormat = 1
+)
+
+// blobRef locates one content-addressed blob and pins its expected identity.
+type blobRef struct {
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// diskEntry is one seed's row in the index.
+type diskEntry struct {
+	Seed      int64              `json:"seed"`
+	SavedAt   time.Time          `json:"saved_at"`
+	Summary   blobRef            `json:"summary"`
+	Artifacts map[string]blobRef `json:"artifacts"`
+}
+
+// diskIndex is the serialized index file.
+type diskIndex struct {
+	Version int          `json:"version"`
+	Entries []*diskEntry `json:"entries"`
+}
+
+// Open loads (or creates) a snapshot store rooted at dir. Loading is
+// corruption-tolerant by design: an unreadable or undecodable index starts
+// the store empty, and a structurally invalid entry is skipped and counted —
+// Open only fails when the directory itself cannot be created.
+func Open(dir string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, entries: map[int64]*diskEntry{}}
+	data, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return d, nil // fresh store
+		}
+		d.skipped++
+		return d, nil
+	}
+	var idx diskIndex
+	if err := json.Unmarshal(data, &idx); err != nil || idx.Version != indexFormat {
+		d.skipped++
+		return d, nil
+	}
+	for _, e := range idx.Entries {
+		if !validEntry(e) {
+			d.skipped++
+			continue
+		}
+		d.entries[e.Seed] = e
+	}
+	return d, nil
+}
+
+// validEntry rejects rows the loader must not trust: missing blob
+// references, malformed checksums, nil maps.
+func validEntry(e *diskEntry) bool {
+	if e == nil || e.Artifacts == nil || !validRef(e.Summary) {
+		return false
+	}
+	for _, ref := range e.Artifacts {
+		if !validRef(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+func validRef(r blobRef) bool {
+	if len(r.SHA256) != sha256.Size*2 || r.Size < 0 {
+		return false
+	}
+	_, err := hex.DecodeString(r.SHA256)
+	return err == nil
+}
+
+// CorruptAtOpen reports how many index entries were dropped as invalid when
+// the store was opened (plus one if the index file itself was undecodable).
+func (d *Disk) CorruptAtOpen() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.skipped
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Get loads and verifies one seed's snapshot under the obs span
+// "store.load". Any verification failure — missing blob, size drift,
+// checksum mismatch, undecodable summary — returns a CorruptError; the
+// caller degrades to a cold pipeline run.
+func (d *Disk) Get(ctx context.Context, seed int64) (*Snapshot, error) {
+	_, span := obs.Start(ctx, "store.load", obs.Int("seed", seed))
+	defer span.End()
+
+	d.mu.Lock()
+	e, ok := d.entries[seed]
+	d.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+
+	sumBytes, err := d.readBlob(e.Summary)
+	if err != nil {
+		return nil, &CorruptError{Seed: seed, Part: "summary", Err: err}
+	}
+	var sum study.Summary
+	if err := json.Unmarshal(sumBytes, &sum); err != nil {
+		return nil, &CorruptError{Seed: seed, Part: "summary", Err: err}
+	}
+	arts := make(map[string][]byte, len(e.Artifacts))
+	for name, ref := range e.Artifacts {
+		b, err := d.readBlob(ref)
+		if err != nil {
+			return nil, &CorruptError{Seed: seed, Part: name, Err: err}
+		}
+		arts[name] = b
+	}
+	span.SetAttr(obs.Int("artifacts", int64(len(arts))))
+	return &Snapshot{Seed: seed, SavedAt: e.SavedAt, Summary: sum, Artifacts: arts}, nil
+}
+
+// readBlob reads one content-addressed blob and verifies size + checksum.
+func (d *Disk) readBlob(ref blobRef) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(d.dir, objectsDir, ref.SHA256))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) != ref.Size {
+		return nil, fmt.Errorf("blob %s: size %d, want %d", ref.SHA256, len(b), ref.Size)
+	}
+	if sum := sha256.Sum256(b); hex.EncodeToString(sum[:]) != ref.SHA256 {
+		return nil, fmt.Errorf("blob %s: checksum mismatch", ref.SHA256)
+	}
+	return b, nil
+}
+
+// Put persists one snapshot under the obs span "store.save": every blob is
+// written content-addressed (temp + rename, dedup on hash), then the index
+// is atomically replaced. A Put for an existing seed supersedes its entry.
+func (d *Disk) Put(ctx context.Context, seed int64, snap *Snapshot) error {
+	_, span := obs.Start(ctx, "store.save",
+		obs.Int("seed", seed), obs.Int("artifacts", int64(len(snap.Artifacts))))
+	defer span.End()
+
+	sumBytes, err := json.Marshal(snap.Summary)
+	if err != nil {
+		return fmt.Errorf("store: marshal summary for seed %d: %w", seed, err)
+	}
+	sumRef, err := d.writeBlob(sumBytes)
+	if err != nil {
+		return fmt.Errorf("store: save seed %d: %w", seed, err)
+	}
+	refs := make(map[string]blobRef, len(snap.Artifacts))
+	for name, b := range snap.Artifacts {
+		ref, err := d.writeBlob(b)
+		if err != nil {
+			return fmt.Errorf("store: save seed %d artifact %s: %w", seed, name, err)
+		}
+		refs[name] = ref
+	}
+	savedAt := snap.SavedAt
+	if savedAt.IsZero() {
+		savedAt = time.Now().UTC()
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[seed] = &diskEntry{Seed: seed, SavedAt: savedAt, Summary: sumRef, Artifacts: refs}
+	return d.writeIndexLocked()
+}
+
+// writeBlob stores b content-addressed and returns its reference. A blob
+// already present at the right size is not rewritten.
+func (d *Disk) writeBlob(b []byte) (blobRef, error) {
+	sum := sha256.Sum256(b)
+	ref := blobRef{SHA256: hex.EncodeToString(sum[:]), Size: int64(len(b))}
+	path := filepath.Join(d.dir, objectsDir, ref.SHA256)
+	if fi, err := os.Stat(path); err == nil && fi.Size() == ref.Size {
+		return ref, nil
+	}
+	if err := atomicWrite(filepath.Join(d.dir, objectsDir), path, b); err != nil {
+		return blobRef{}, err
+	}
+	return ref, nil
+}
+
+// writeIndexLocked atomically replaces index.json with the current entry
+// map, in seed order for deterministic bytes. Caller holds d.mu.
+func (d *Disk) writeIndexLocked() error {
+	idx := diskIndex{Version: indexFormat, Entries: make([]*diskEntry, 0, len(d.entries))}
+	for _, e := range d.entries {
+		idx.Entries = append(idx.Entries, e)
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Seed < idx.Entries[j].Seed })
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal index: %w", err)
+	}
+	return atomicWrite(d.dir, filepath.Join(d.dir, indexFile), append(data, '\n'))
+}
+
+// atomicWrite lands content at path via a temp file in dir plus rename, so
+// readers never observe a partial file.
+func atomicWrite(dir, path string, content []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Delete removes a seed's entry and any blobs no other entry references.
+// Deleting an absent seed is a no-op.
+func (d *Disk) Delete(_ context.Context, seed int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[seed]
+	if !ok {
+		return nil
+	}
+	delete(d.entries, seed)
+	if err := d.writeIndexLocked(); err != nil {
+		d.entries[seed] = e // keep index and memory consistent
+		return err
+	}
+	// Sweep the deleted entry's blobs unless still referenced elsewhere.
+	live := map[string]bool{}
+	for _, other := range d.entries {
+		live[other.Summary.SHA256] = true
+		for _, ref := range other.Artifacts {
+			live[ref.SHA256] = true
+		}
+	}
+	remove := func(ref blobRef) {
+		if !live[ref.SHA256] {
+			os.Remove(filepath.Join(d.dir, objectsDir, ref.SHA256))
+		}
+	}
+	remove(e.Summary)
+	for _, ref := range e.Artifacts {
+		remove(ref)
+	}
+	return nil
+}
+
+// List returns the stored seeds in ascending order.
+func (d *Disk) List(context.Context) ([]int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int64, 0, len(d.entries))
+	for seed := range d.entries {
+		out = append(out, seed)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,451 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// testSnapshot builds a small but structurally complete snapshot for seed.
+func testSnapshot(seed int64) *Snapshot {
+	return &Snapshot{
+		Seed:    seed,
+		SavedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		Summary: study.Summary{
+			Seed:        seed,
+			ReedLimit:   130,
+			Cloned:      195,
+			StudySet:    159,
+			TaxonCounts: map[string]int{"FF": 30, "CG": 40},
+		},
+		Artifacts: map[string][]byte{
+			"export.csv":          []byte(fmt.Sprintf("seed,%d\n", seed)),
+			"export.json":         []byte(fmt.Sprintf(`{"seed": %d}`, seed)),
+			"report.html":         []byte("<html>report</html>"),
+			"funnel":              []byte("funnel text"),
+			"figures/heatmap.svg": []byte("<svg>heat</svg>"),
+			"shared":              []byte("identical across seeds"), // dedup probe
+		},
+	}
+}
+
+// assertSnapshotEqual compares everything a warm restart depends on.
+func assertSnapshotEqual(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Seed != want.Seed {
+		t.Errorf("seed = %d, want %d", got.Seed, want.Seed)
+	}
+	if !got.SavedAt.Equal(want.SavedAt) {
+		t.Errorf("saved_at = %v, want %v", got.SavedAt, want.SavedAt)
+	}
+	if got.Summary.StudySet != want.Summary.StudySet || got.Summary.Cloned != want.Summary.Cloned {
+		t.Errorf("summary = %+v, want %+v", got.Summary, want.Summary)
+	}
+	if len(got.Artifacts) != len(want.Artifacts) {
+		t.Errorf("artifact count = %d, want %d", len(got.Artifacts), len(want.Artifacts))
+	}
+	for k, v := range want.Artifacts {
+		if string(got.Artifacts[k]) != string(v) {
+			t.Errorf("artifact %s = %q, want %q", k, got.Artifacts[k], v)
+		}
+	}
+}
+
+// TestDiskRoundTrip: Put then Get returns byte-identical artifacts and the
+// summary, across a re-Open of the same directory (the warm-restart
+// substrate).
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testSnapshot(7)
+	if err := d.Put(ctx, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotEqual(t, got, want)
+
+	// A second Open of the same directory — the restarted-daemon case — must
+	// see the identical snapshot.
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d2.CorruptAtOpen(); n != 0 {
+		t.Errorf("corrupt at open = %d, want 0", n)
+	}
+	got2, err := d2.Get(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotEqual(t, got2, want)
+}
+
+// TestDiskNotFound: an absent seed is ErrNotFound, never ErrCorrupt.
+func TestDiskNotFound(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Get(context.Background(), 99)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("not-found must not match ErrCorrupt")
+	}
+}
+
+// TestDiskNoTempLeftovers: atomic writes must not strand temp files in the
+// store directory.
+func TestDiskNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := d.Put(ctx, seed, testSnapshot(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskDedup: identical artifact bytes across seeds share one blob.
+func TestDiskDedup(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := countObjects(t, dir)
+	if err := d.Put(ctx, 2, testSnapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	after := countObjects(t, dir)
+	// Seed 2 shares "report.html", "funnel", "figures/heatmap.svg" and
+	// "shared" with seed 1 — only the seed-dependent blobs are new.
+	if grew := after - before; grew >= len(testSnapshot(2).Artifacts)+1 {
+		t.Errorf("objects grew by %d — content addressing did not dedup", grew)
+	}
+}
+
+func countObjects(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(des)
+}
+
+// TestDiskCorruptBlob: flipped bytes and truncation are both detected at
+// read time and surface as ErrCorrupt, not as bad data or a panic.
+func TestDiskCorruptBlob(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(b []byte) []byte
+	}{
+		{"flip", func(b []byte) []byte {
+			b[0] ^= 0xff
+			return b
+		}},
+		{"truncate", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := d.Put(ctx, 5, testSnapshot(5)); err != nil {
+				t.Fatal(err)
+			}
+			damageOneObject(t, dir, tc.corrupt)
+			_, err = d.Get(ctx, 5)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) || ce.Seed != 5 || ce.Part == "" {
+				t.Fatalf("err = %#v, want CorruptError with seed and part", err)
+			}
+		})
+	}
+}
+
+// damageOneObject rewrites the first blob in objects/ through corrupt.
+func damageOneObject(t *testing.T, dir string, corrupt func([]byte) []byte) {
+	t.Helper()
+	objects := filepath.Join(dir, "objects")
+	des, err := os.ReadDir(objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) == 0 {
+		t.Fatal("no objects to damage")
+	}
+	path := filepath.Join(objects, des[0].Name())
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, corrupt(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskMissingBlob: a deleted object file is corruption, not not-found.
+func TestDiskMissingBlob(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 3, testSnapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "objects", des[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(ctx, 3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDiskCorruptIndex: a mangled or wrong-version index starts the store
+// empty — counted, never fatal.
+func TestDiskCorruptIndex(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		index string
+	}{
+		{"garbage", "not json at all {{{"},
+		{"wrong-version", `{"version": 999, "entries": []}`},
+		{"empty-file", ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte(tc.index), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open must tolerate a corrupt index, got %v", err)
+			}
+			if n := d.CorruptAtOpen(); n != 1 {
+				t.Errorf("corrupt at open = %d, want 1", n)
+			}
+			seeds, err := d.List(context.Background())
+			if err != nil || len(seeds) != 0 {
+				t.Errorf("List = %v, %v — want empty, nil", seeds, err)
+			}
+			// The store must still accept writes after a bad index.
+			if err := d.Put(context.Background(), 1, testSnapshot(1)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDiskInvalidEntrySkipped: one bad row in an otherwise valid index is
+// dropped and counted; the good rows load.
+func TestDiskInvalidEntrySkipped(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Splice an entry with a malformed checksum into the decoded index.
+	idxPath := filepath.Join(dir, "index.json")
+	b, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx map[string]any
+	if err := json.Unmarshal(b, &idx); err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]any{
+		"seed":      2,
+		"saved_at":  "2026-08-01T00:00:00Z",
+		"summary":   map[string]any{"sha256": "nothex", "size": 4},
+		"artifacts": map[string]any{},
+	}
+	idx["entries"] = append([]any{bad}, idx["entries"].([]any)...)
+	patched, err := json.Marshal(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idxPath, patched, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d2.CorruptAtOpen(); n != 1 {
+		t.Errorf("corrupt at open = %d, want 1", n)
+	}
+	if _, err := d2.Get(ctx, 1); err != nil {
+		t.Errorf("valid entry lost after skipping invalid one: %v", err)
+	}
+	if _, err := d2.Get(ctx, 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("invalid entry served: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDiskDeleteSweeps: Delete drops the entry and garbage-collects blobs no
+// surviving entry references, while shared blobs stay.
+func TestDiskDeleteSweeps(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(ctx, 2, testSnapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	before := countObjects(t, dir)
+	if err := d.Delete(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := countObjects(t, dir)
+	if after >= before {
+		t.Errorf("objects %d -> %d: delete swept nothing", before, after)
+	}
+	if _, err := d.Get(ctx, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted seed still served: %v", err)
+	}
+	// Seed 2 must survive intact — its shared blobs must not be swept.
+	got, err := d.Get(ctx, 2)
+	if err != nil {
+		t.Fatalf("shared blobs swept with seed 1: %v", err)
+	}
+	assertSnapshotEqual(t, got, testSnapshot(2))
+	if err := d.Delete(ctx, 42); err != nil {
+		t.Errorf("deleting an absent seed must be a no-op, got %v", err)
+	}
+}
+
+// TestDiskList: seeds come back sorted ascending and reflect puts/deletes.
+func TestDiskList(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, seed := range []int64{9, 2, 5} {
+		if err := d.Put(ctx, seed, testSnapshot(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds, err := d.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 || seeds[0] != 2 || seeds[1] != 5 || seeds[2] != 9 {
+		t.Fatalf("List = %v, want [2 5 9]", seeds)
+	}
+}
+
+// TestNop: the no-persistence backend misses on every Get and accepts every
+// write silently.
+func TestNop(t *testing.T) {
+	var n Nop
+	ctx := context.Background()
+	if err := n.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(ctx, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if seeds, err := n.List(ctx); err != nil || len(seeds) != 0 {
+		t.Fatalf("List = %v, %v", seeds, err)
+	}
+	if err := n.Delete(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMem: the in-memory backend round-trips and detaches its snapshots from
+// caller-held maps.
+func TestMem(t *testing.T) {
+	m := NewMem()
+	ctx := context.Background()
+	snap := testSnapshot(4)
+	if err := m.Put(ctx, 4, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Artifacts["late-addition"] = []byte("must not appear") // aliasing probe
+	got, err := m.Get(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Artifacts["late-addition"]; ok {
+		t.Error("stored snapshot aliases the caller's artifact map")
+	}
+	got.Artifacts["reader-side"] = nil
+	again, _ := m.Get(ctx, 4)
+	if _, ok := again.Artifacts["reader-side"]; ok {
+		t.Error("returned snapshot aliases the stored artifact map")
+	}
+	if seeds, _ := m.List(ctx); len(seeds) != 1 || seeds[0] != 4 {
+		t.Errorf("List = %v, want [4]", seeds)
+	}
+	if err := m.Delete(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(ctx, 4); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err after delete = %v, want ErrNotFound", err)
+	}
+}
