@@ -370,6 +370,60 @@ func BenchmarkWarmRestart(b *testing.B) {
 	b.ReportMetric(float64(cold)/float64(warm), "cold/warm")
 }
 
+// BenchmarkStoreGC measures one full retention sweep over a store of 64
+// synthetic snapshots: eviction of the oldest half, plus the
+// whole-directory orphan/temp-file sweep. The sweep holds the store's write
+// gate exclusively, so its latency bounds how long concurrent Get/Put
+// traffic can stall behind one background GC tick.
+func BenchmarkStoreGC(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		d, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for seed := int64(0); seed < 64; seed++ {
+			snap := &store.Snapshot{
+				Seed:    seed,
+				SavedAt: time.Unix(1700000000+seed*3600, 0).UTC(),
+				Summary: study.Summary{Seed: seed},
+				Artifacts: map[string][]byte{
+					"export.csv":  []byte(fmt.Sprintf("seed,%d\n", seed)),
+					"funnel":      []byte(fmt.Sprintf("funnel for seed %d", seed)),
+					"report.html": []byte(fmt.Sprintf("<html>report %d</html>", seed)),
+				},
+			}
+			if err := d.Put(ctx, seed, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Debris the sweep must collect: unreferenced blobs and interrupted
+		// writes.
+		objects := filepath.Join(dir, "objects")
+		for j := 0; j < 8; j++ {
+			if err := os.WriteFile(filepath.Join(objects, fmt.Sprintf("%064d", j)), []byte("orphan"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(objects, fmt.Sprintf(".tmp-%d", j)), []byte("partial"), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		res, err := d.GC(ctx, store.GCPolicy{MaxSnapshots: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Each evicted snapshot contributes its 4 now-unreferenced blobs
+		// (summary + 3 artifacts) to the orphan count, on top of the 8 planted.
+		if res.Evicted != 32 || res.OrphanBlobs != 32*4+8 || res.TmpFiles != 8 {
+			b.Fatalf("GC = %+v, want 32 evicted, 136 orphans, 8 tmp files", res)
+		}
+	}
+}
+
 // BenchmarkFullStudy measures the entire pipeline end to end (corpus
 // synthesis through classification) — the cost of one complete reproduction.
 func BenchmarkFullStudy(b *testing.B) {

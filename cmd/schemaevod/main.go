@@ -12,6 +12,11 @@
 //	schemaevod -addr :9090 -cache 16    # bigger cache, all interfaces
 //	schemaevod -store-dir /var/schemaevo -prewarm 1,2,3
 //	                                    # persistent store, parallel prewarm
+//	schemaevod -store-dir /var/schemaevo -store-max-snapshots 32 -store-max-age 720h
+//	                                    # bounded retention: oldest snapshots
+//	                                    # GC'd at startup and hourly (jittered)
+//	schemaevod -store-dir /var/schemaevo -store-scrub
+//	                                    # verify every blob at startup
 //
 // Endpoints (canonical /v1 surface; errors are JSON {error, code, seed}):
 //
@@ -23,6 +28,7 @@
 //	GET /v1/healthz                           readiness + cache digest
 //	GET /v1/metrics                           Prometheus text exposition
 //	GET /v1/debug/trace?seed=N                instrumented run, Chrome trace JSON
+//	GET /v1/debug/scrub                       on-demand store integrity scrub
 //	GET /debug/pprof/                         stdlib pprof profiles
 //
 // The pre-/v1 flat routes (/healthz, /metrics, /debug/trace,
@@ -61,6 +67,10 @@ func main() {
 		prewarm  = flag.String("prewarm", "", "comma-separated seeds to make servable before traffic")
 		workers  = flag.Int("prewarm-workers", 0, "parallel prewarm workers (0 = GOMAXPROCS/2)")
 		storeDir = flag.String("store-dir", "", "directory for persistent study snapshots (empty = memory only)")
+		maxSnaps = flag.Int("store-max-snapshots", 0, "retention bound: keep at most this many snapshots, evicting oldest first (0 = unlimited)")
+		maxAge   = flag.Duration("store-max-age", 0, "retention bound: evict snapshots older than this (0 = unlimited)")
+		gcEvery  = flag.Duration("store-gc-interval", time.Hour, "cadence of the background retention sweep when a bound is set (jittered; 0 = sweep at startup only)")
+		scrub    = flag.Bool("store-scrub", false, "verify every stored blob's size+checksum at startup, deleting damaged snapshots")
 		debug    = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
 	)
 	flag.Parse()
@@ -81,6 +91,8 @@ func main() {
 		CacheSize:      *cache,
 		Timeout:        *timeout,
 		PrewarmWorkers: *workers,
+		GC:             store.GCPolicy{MaxSnapshots: *maxSnaps, MaxAge: *maxAge},
+		GCInterval:     *gcEvery,
 		Logger:         logger,
 	}
 	if *storeDir != "" {
@@ -91,13 +103,36 @@ func main() {
 		}
 		stored, _ := disk.List(context.Background())
 		logger.Info("snapshot store open",
-			"dir", disk.Dir(), "stored_seeds", len(stored), "invalid_entries_skipped", disk.CorruptAtOpen())
+			"dir", disk.Dir(), "stored_seeds", len(stored),
+			"invalid_entries_skipped", disk.CorruptAtOpen(), "migrated_entries", disk.Migrated())
 		opts.Store = disk
+	} else if opts.GC.Enabled() || *scrub {
+		logger.Warn("store lifecycle flags ignored without -store-dir")
 	}
 	srv := serve.New(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Lifecycle maintenance runs once at startup: the scrub (opt-in) clears
+	// damaged snapshots before they can serve, and the retention sweep
+	// reclaims anything a previous generation left over — evicted index rows,
+	// orphaned blobs, interrupted-write temp files. The periodic sweep
+	// (jittered -store-gc-interval) is started by the serving loop.
+	if opts.Store != nil {
+		if *scrub {
+			if _, err := srv.RunStoreScrub(ctx); err != nil {
+				logger.Error("startup scrub failed", "err", err)
+				os.Exit(1)
+			}
+		}
+		if opts.GC.Enabled() {
+			if _, err := srv.RunStoreGC(ctx); err != nil {
+				logger.Error("startup store gc failed", "err", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if len(seeds) > 0 {
 		start := time.Now()

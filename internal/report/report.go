@@ -9,6 +9,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -283,8 +284,17 @@ func ScatterLogLog(series map[rune][][2]float64, rows, cols int) string {
 	for i := range grid {
 		grid[i] = []byte(strings.Repeat(".", cols))
 	}
-	for marker, pts := range series {
-		for _, p := range pts {
+	// Plot in sorted marker order: when two series collide on a grid cell
+	// the winner must not depend on map iteration order, or the rendered
+	// bytes differ run to run and every byte-identity check downstream
+	// (golden files, snapshot store round-trips) turns flaky.
+	markers := make([]rune, 0, len(series))
+	for marker := range series {
+		markers = append(markers, marker)
+	}
+	sort.Slice(markers, func(i, j int) bool { return markers[i] < markers[j] })
+	for _, marker := range markers {
+		for _, p := range series[marker] {
 			x, y := math.Max(p[0], 1), math.Max(p[1], 1)
 			c := int((math.Log(x) - lminX) / (lmaxX - lminX) * float64(cols-1))
 			r := rows - 1 - int((math.Log(y)-lminY)/(lmaxY-lminY)*float64(rows-1))

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -25,6 +27,25 @@ func registerDebug(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace(true))
 	mux.HandleFunc("GET /debug/trace", s.legacy("/v1/debug/trace", s.handleDebugTrace(false)))
+	mux.HandleFunc("GET /v1/debug/scrub", s.handleDebugScrub)
+}
+
+// handleDebugScrub runs one on-demand integrity scrub of the snapshot store
+// and reports its accounting as JSON. Damaged snapshots are deleted, so the
+// next request for an affected seed degrades to a clean cold run instead of
+// a corrupt read. Stores without a lifecycle surface respond 501.
+func (s *Server) handleDebugScrub(w http.ResponseWriter, r *http.Request) {
+	res, err := s.RunStoreScrub(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoLifecycle) {
+			code = http.StatusNotImplemented
+		}
+		respondError(w, true, code, err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
 }
 
 // handleDebugTrace serves the trace endpoint (?seed=N): it runs one pipeline

@@ -36,6 +36,13 @@ type Metrics struct {
 	storeSaves       atomic.Int64 // write-behind snapshot saves that reached the store
 	memoHits         atomic.Int64 // artifacts served from the per-(seed, key) render memo
 	legacyRequests   atomic.Int64 // hits on deprecated pre-/v1 routes
+	gcRuns           atomic.Int64 // store retention sweeps completed
+	gcEvicted        atomic.Int64 // snapshots evicted by the retention policy
+	gcOrphanBlobs    atomic.Int64 // unreferenced blobs collected by GC
+	gcTmpFiles       atomic.Int64 // stray temp files collected by GC
+	scrubRuns        atomic.Int64 // integrity scrubs completed
+	scrubBlobs       atomic.Int64 // blobs checked by the scrubber
+	scrubDamaged     atomic.Int64 // snapshots the scrubber found damaged (and removed)
 	shuttingDown     atomic.Bool  // health turns not-ready during graceful drain
 	mu               sync.Mutex
 	latencyByExp     map[string]*histogram
@@ -100,6 +107,9 @@ type Snapshot struct {
 	Timeouts                                int64
 	StoreHits, StoreMisses, StoreCorrupt    int64
 	StoreSaves, MemoHits, LegacyRequests    int64
+	GCRuns, GCEvicted, GCOrphanBlobs        int64
+	GCTmpFiles                              int64
+	ScrubRuns, ScrubBlobs, ScrubDamaged     int64
 }
 
 // Snapshot reads every counter.
@@ -123,6 +133,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreSaves:       m.storeSaves.Load(),
 		MemoHits:         m.memoHits.Load(),
 		LegacyRequests:   m.legacyRequests.Load(),
+		GCRuns:           m.gcRuns.Load(),
+		GCEvicted:        m.gcEvicted.Load(),
+		GCOrphanBlobs:    m.gcOrphanBlobs.Load(),
+		GCTmpFiles:       m.gcTmpFiles.Load(),
+		ScrubRuns:        m.scrubRuns.Load(),
+		ScrubBlobs:       m.scrubBlobs.Load(),
+		ScrubDamaged:     m.scrubDamaged.Load(),
 	}
 }
 
@@ -159,6 +176,13 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevod_store_saves_total", "Write-behind snapshot saves that reached the store.", s.StoreSaves),
 		count("schemaevod_artifact_memo_hits_total", "Artifacts served from the per-seed render memo.", s.MemoHits),
 		count("schemaevod_legacy_requests_total", "Hits on deprecated pre-/v1 routes.", s.LegacyRequests),
+		count("schemaevo_store_gc_runs_total", "Store retention/orphan sweeps completed.", s.GCRuns),
+		count("schemaevo_store_gc_evicted_snapshots_total", "Snapshots evicted by the retention policy.", s.GCEvicted),
+		count("schemaevo_store_gc_orphan_blobs_total", "Unreferenced blobs collected by the GC sweep.", s.GCOrphanBlobs),
+		count("schemaevo_store_gc_tmp_files_total", "Stray temp files collected by the GC sweep.", s.GCTmpFiles),
+		count("schemaevo_store_scrub_runs_total", "Store integrity scrubs completed.", s.ScrubRuns),
+		count("schemaevo_store_scrub_blobs_checked_total", "Blobs size/checksum-verified by the scrubber.", s.ScrubBlobs),
+		count("schemaevo_store_scrub_damaged_total", "Snapshots the scrubber found damaged and removed.", s.ScrubDamaged),
 	} {
 		if e != nil {
 			return n, e

@@ -56,8 +56,11 @@ func (s *Server) restoreSnapshot(ctx context.Context, seed int64) {
 }
 
 // schedulePersist queues the write-behind for a freshly completed pipeline
-// run. At most one persist per seed is in flight; failures clear the mark so
-// a later run can retry.
+// run. The persisting mark is in-flight dedup only — at most one save per
+// seed runs at a time — and is cleared when the save finishes, win or lose.
+// Clearing on success matters: a snapshot later damaged on disk or evicted
+// by the retention GC must be re-persistable by the next run within the same
+// daemon generation, or the degrade-and-replace contract above breaks.
 func (s *Server) schedulePersist(seed int64, st *study.Study) {
 	if s.opts.Store == nil {
 		return
@@ -73,11 +76,12 @@ func (s *Server) schedulePersist(seed int64, st *study.Study) {
 	s.persistWG.Add(1)
 	go func() {
 		defer s.persistWG.Done()
-		if err := s.persistStudy(seed, st); err != nil {
+		err := s.persistStudy(seed, st)
+		s.persistMu.Lock()
+		delete(s.persisting, seed)
+		s.persistMu.Unlock()
+		if err != nil {
 			s.opts.Logger.Error("snapshot save failed", "seed", seed, "err", err)
-			s.persistMu.Lock()
-			delete(s.persisting, seed)
-			s.persistMu.Unlock()
 			return
 		}
 		s.metrics.storeSaves.Add(1)
@@ -100,7 +104,7 @@ func (s *Server) persistStudy(seed int64, st *study.Study) (err error) {
 	ctx := obs.WithTracer(context.Background(), s.tracer)
 	ctx = obs.WithLogger(ctx, s.opts.Logger)
 	start := time.Now()
-	arts, err := renderAll(ctx, st)
+	arts, err := s.render(ctx, st)
 	if err != nil {
 		return err
 	}

@@ -66,6 +66,16 @@ type Options struct {
 	// asynchronously, and a restarted daemon serves every stored seed
 	// without a single run.
 	Store store.Store
+	// GC bounds the persistent store's retention (snapshot count and age).
+	// It is applied by RunStoreGC and by the periodic background sweep, and
+	// only has effect when Store implements store.Lifecycler (the Disk
+	// backend does).
+	GC store.GCPolicy
+	// GCInterval is the cadence of the background retention sweep started by
+	// the serving loop; each tick is jittered by up to +10% so a fleet
+	// sharing a store directory doesn't sweep in lockstep. 0 disables the
+	// background sweep (RunStoreGC can still be called explicitly).
+	GCInterval time.Duration
 	// PrewarmWorkers bounds the parallel Prewarm worker pool
 	// (default GOMAXPROCS/2, minimum 1).
 	PrewarmWorkers int
@@ -88,6 +98,11 @@ type Server struct {
 	persistMu  sync.Mutex
 	persisting map[int64]bool
 	persistWG  sync.WaitGroup
+
+	// render produces a study's complete artifact set for the write-behind.
+	// It is renderAll in production; tests substitute a stub so persistence
+	// mechanics can be exercised without paying for real renders.
+	render func(ctx context.Context, st *study.Study) (map[string][]byte, error)
 }
 
 // deprecationDate is the RFC 9745 Deprecation value sent on legacy routes.
@@ -113,6 +128,7 @@ func New(opts Options) *Server {
 		flight:     newFlightGroup(),
 		loads:      newFlightGroup(),
 		persisting: map[int64]bool{},
+		render:     renderAll,
 	}
 	s.cache = newStudyCache(opts.CacheSize, s.metrics)
 	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger})
@@ -456,6 +472,7 @@ func serveListener(ctx context.Context, ln net.Listener, srv *Server, drain time
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
+	srv.StartGC(ctx) // periodic retention sweep, if configured
 	hs := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {

@@ -32,16 +32,33 @@ import (
 type Disk struct {
 	dir string
 
-	mu      sync.Mutex
-	entries map[int64]*diskEntry
-	skipped int64 // index entries dropped as invalid at Open
+	// gate serializes the GC's whole-directory orphan sweep against every
+	// other operation: Get/Put/Delete hold it shared, GC holds it exclusive.
+	// Without it a sweep could collect a blob written by an in-flight Put
+	// whose index row has not landed yet, or yank a blob out from under a
+	// reader mid-Get.
+	gate sync.RWMutex
+
+	mu       sync.Mutex
+	entries  map[int64]*diskEntry
+	skipped  int64 // index entries dropped as invalid at Open
+	migrated int64 // entries carried over from an older index format
+	stale    int64 // Gets refused because the entry predates SnapshotVersion
 }
 
 const (
-	indexFile   = "index.json"
-	objectsDir  = "objects"
-	indexFormat = 1
+	indexFile  = "index.json"
+	objectsDir = "objects"
+	// indexFormat is the shape of index.json itself. Format 1 (PR 4) lacked
+	// per-entry snapshot versions; Open migrates it instead of dropping it.
+	indexFormat = 2
 )
+
+// SnapshotVersion is the schema version stamped into every index entry at
+// Put. It derives from the summary struct's declared version, so a change to
+// study.Summary invalidates stored snapshots: a version-mismatched entry is
+// served as a miss and the next pipeline run supersedes it.
+const SnapshotVersion = study.SummaryVersion
 
 // blobRef locates one content-addressed blob and pins its expected identity.
 type blobRef struct {
@@ -49,9 +66,12 @@ type blobRef struct {
 	Size   int64  `json:"size"`
 }
 
-// diskEntry is one seed's row in the index.
+// diskEntry is one seed's row in the index. Version is the SnapshotVersion
+// the entry was written under; rows from a migrated format-1 index decode it
+// as 0 and are therefore served as misses until re-persisted.
 type diskEntry struct {
 	Seed      int64              `json:"seed"`
+	Version   int                `json:"snapshot_version"`
 	SavedAt   time.Time          `json:"saved_at"`
 	Summary   blobRef            `json:"summary"`
 	Artifacts map[string]blobRef `json:"artifacts"`
@@ -81,7 +101,21 @@ func Open(dir string) (*Disk, error) {
 		return d, nil
 	}
 	var idx diskIndex
-	if err := json.Unmarshal(data, &idx); err != nil || idx.Version != indexFormat {
+	if err := json.Unmarshal(data, &idx); err != nil {
+		d.skipped++
+		return d, nil
+	}
+	fromV1 := false
+	switch idx.Version {
+	case indexFormat:
+	case 1:
+		// Format 1 rows share this format's shape minus snapshot_version, so
+		// they decode with Version 0: structurally valid, loadable, but
+		// version-stale — every Get misses until a fresh run re-persists the
+		// seed. Migrating beats dropping the index wholesale: List/GC still
+		// see the old entries, and their blobs are swept once superseded.
+		fromV1 = true
+	default:
 		d.skipped++
 		return d, nil
 	}
@@ -89,6 +123,9 @@ func Open(dir string) (*Disk, error) {
 		if !validEntry(e) {
 			d.skipped++
 			continue
+		}
+		if fromV1 {
+			d.migrated++
 		}
 		d.entries[e.Seed] = e
 	}
@@ -125,6 +162,23 @@ func (d *Disk) CorruptAtOpen() int64 {
 	return d.skipped
 }
 
+// Migrated reports how many entries were carried over from an older index
+// format at Open. Migrated entries list and GC normally but serve as misses
+// until a fresh run re-persists them under the current SnapshotVersion.
+func (d *Disk) Migrated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.migrated
+}
+
+// Stale reports how many Gets were refused because the stored snapshot was
+// written under a different SnapshotVersion.
+func (d *Disk) Stale() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stale
+}
+
 // Dir returns the store's root directory.
 func (d *Disk) Dir() string { return d.dir }
 
@@ -136,8 +190,21 @@ func (d *Disk) Get(ctx context.Context, seed int64) (*Snapshot, error) {
 	_, span := obs.Start(ctx, "store.load", obs.Int("seed", seed))
 	defer span.End()
 
+	// Shared gate for the whole read: a concurrent GC sweep cannot collect
+	// blobs out from under us between the index lookup and the blob reads.
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+
 	d.mu.Lock()
 	e, ok := d.entries[seed]
+	if ok && e.Version != SnapshotVersion {
+		// Version skew is a miss, not corruption: the snapshot was valid when
+		// written, it just predates the current summary shape. The caller
+		// re-runs the pipeline and its write-behind supersedes this entry.
+		d.stale++
+		d.mu.Unlock()
+		return nil, ErrNotFound
+	}
 	d.mu.Unlock()
 	if !ok {
 		return nil, ErrNotFound
@@ -186,6 +253,9 @@ func (d *Disk) Put(ctx context.Context, seed int64, snap *Snapshot) error {
 		obs.Int("seed", seed), obs.Int("artifacts", int64(len(snap.Artifacts))))
 	defer span.End()
 
+	d.gate.RLock()
+	defer d.gate.RUnlock()
+
 	sumBytes, err := json.Marshal(snap.Summary)
 	if err != nil {
 		return fmt.Errorf("store: marshal summary for seed %d: %w", seed, err)
@@ -209,17 +279,24 @@ func (d *Disk) Put(ctx context.Context, seed int64, snap *Snapshot) error {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.entries[seed] = &diskEntry{Seed: seed, SavedAt: savedAt, Summary: sumRef, Artifacts: refs}
+	d.entries[seed] = &diskEntry{
+		Seed: seed, Version: SnapshotVersion, SavedAt: savedAt,
+		Summary: sumRef, Artifacts: refs,
+	}
 	return d.writeIndexLocked()
 }
 
 // writeBlob stores b content-addressed and returns its reference. A blob
-// already present at the right size is not rewritten.
+// already present is not rewritten — but only if its bytes actually verify:
+// deduping on size alone would let a same-length corrupted blob survive
+// every future Put, so a damaged entry could never heal and the documented
+// degrade-and-replace contract would be a lie.
 func (d *Disk) writeBlob(b []byte) (blobRef, error) {
 	sum := sha256.Sum256(b)
 	ref := blobRef{SHA256: hex.EncodeToString(sum[:]), Size: int64(len(b))}
 	path := filepath.Join(d.dir, objectsDir, ref.SHA256)
-	if fi, err := os.Stat(path); err == nil && fi.Size() == ref.Size {
+	if existing, err := os.ReadFile(path); err == nil &&
+		int64(len(existing)) == ref.Size && sha256.Sum256(existing) == sum {
 		return ref, nil
 	}
 	if err := atomicWrite(filepath.Join(d.dir, objectsDir), path, b); err != nil {
@@ -244,7 +321,10 @@ func (d *Disk) writeIndexLocked() error {
 }
 
 // atomicWrite lands content at path via a temp file in dir plus rename, so
-// readers never observe a partial file.
+// readers never observe a partial file. The temp file is fsynced before the
+// rename and the directory after it: rename alone only orders the namespace
+// change, not the data writeback, so a crash right after the rename could
+// otherwise surface a zero-length or partial blob behind a committed name.
 func atomicWrite(dir, path string, content []byte) error {
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
@@ -252,6 +332,11 @@ func atomicWrite(dir, path string, content []byte) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return err
@@ -264,12 +349,24 @@ func atomicWrite(dir, path string, content []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename inside it is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }
 
 // Delete removes a seed's entry and any blobs no other entry references.
 // Deleting an absent seed is a no-op.
 func (d *Disk) Delete(_ context.Context, seed int64) error {
+	d.gate.RLock()
+	defer d.gate.RUnlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	e, ok := d.entries[seed]
@@ -282,13 +379,7 @@ func (d *Disk) Delete(_ context.Context, seed int64) error {
 		return err
 	}
 	// Sweep the deleted entry's blobs unless still referenced elsewhere.
-	live := map[string]bool{}
-	for _, other := range d.entries {
-		live[other.Summary.SHA256] = true
-		for _, ref := range other.Artifacts {
-			live[ref.SHA256] = true
-		}
-	}
+	live := d.liveBlobsLocked()
 	remove := func(ref blobRef) {
 		if !live[ref.SHA256] {
 			os.Remove(filepath.Join(d.dir, objectsDir, ref.SHA256))
@@ -299,6 +390,19 @@ func (d *Disk) Delete(_ context.Context, seed int64) error {
 		remove(ref)
 	}
 	return nil
+}
+
+// liveBlobsLocked returns the set of blob hashes referenced by any entry.
+// Caller holds d.mu.
+func (d *Disk) liveBlobsLocked() map[string]bool {
+	live := make(map[string]bool, len(d.entries)*8)
+	for _, e := range d.entries {
+		live[e.Summary.SHA256] = true
+		for _, ref := range e.Artifacts {
+			live[ref.SHA256] = true
+		}
+	}
+	return live
 }
 
 // List returns the stored seeds in ascending order.

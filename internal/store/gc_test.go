@@ -1,0 +1,476 @@
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flipFirstByte corrupts a blob in place without changing its length — the
+// damage the size-only dedup of writeBlob used to be blind to.
+func flipFirstByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatalf("blob %s is empty, cannot flip", path)
+	}
+	b[0] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskRePutHealsCorruptBlob is the regression test for the write-path
+// half of self-healing: after a snapshot's blobs are damaged in place
+// (same length, different bytes), re-Putting the same snapshot must rewrite
+// them. Deduping on size alone would skip the rewrite and the corruption
+// would survive every future save.
+func TestDiskRePutHealsCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want := testSnapshot(5)
+	if err := d.Put(ctx, 5, want); err != nil {
+		t.Fatal(err)
+	}
+	objects := filepath.Join(dir, objectsDir)
+	des, err := os.ReadDir(objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		flipFirstByte(t, filepath.Join(objects, de.Name()))
+	}
+	if _, err := d.Get(ctx, 5); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("pre-heal Get err = %v, want ErrCorrupt", err)
+	}
+	// The heal: same snapshot, same bytes, same hashes — every blob must be
+	// rewritten despite already "existing" at the right size.
+	if err := d.Put(ctx, 5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get(ctx, 5)
+	if err != nil {
+		t.Fatalf("post-heal Get err = %v — corrupt blob survived the re-Put", err)
+	}
+	assertSnapshotEqual(t, got, want)
+}
+
+// putAt stores a snapshot whose SavedAt is pinned, so retention tests can
+// construct a known age ordering.
+func putAt(t *testing.T, d *Disk, seed int64, at time.Time) {
+	t.Helper()
+	snap := testSnapshot(seed)
+	snap.SavedAt = at
+	if err := d.Put(context.Background(), seed, snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskGCCountBound: MaxSnapshots keeps the newest N, evicts the rest
+// oldest-first, and sweeps the blobs only the victims referenced.
+func TestDiskGCCountBound(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for seed := int64(1); seed <= 5; seed++ {
+		putAt(t, d, seed, base.Add(time.Duration(seed)*time.Hour))
+	}
+	before := countObjects(t, dir)
+	res, err := d.GC(ctx, GCPolicy{MaxSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 3 || res.Remaining != 2 {
+		t.Errorf("GC = %+v, want 3 evicted, 2 remaining", res)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := d.Get(ctx, seed); !errors.Is(err, ErrNotFound) {
+			t.Errorf("evicted seed %d: err = %v, want ErrNotFound", seed, err)
+		}
+	}
+	// The two newest survive intact — shared blobs must not have been swept.
+	for seed := int64(4); seed <= 5; seed++ {
+		got, err := d.Get(ctx, seed)
+		if err != nil {
+			t.Fatalf("surviving seed %d: %v", seed, err)
+		}
+		want := testSnapshot(seed)
+		want.SavedAt = base.Add(time.Duration(seed) * time.Hour)
+		assertSnapshotEqual(t, got, want)
+	}
+	if after := countObjects(t, dir); after >= before {
+		t.Errorf("objects %d -> %d: eviction swept no blobs", before, after)
+	}
+	// Eviction is durable: a restarted store sees only the survivors.
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeds, _ := d2.List(ctx); len(seeds) != 2 || seeds[0] != 4 || seeds[1] != 5 {
+		t.Errorf("after re-open List = %v, want [4 5]", seeds)
+	}
+}
+
+// TestDiskGCAgeBound: MaxAge evicts exactly the snapshots older than the
+// cutoff, regardless of how many remain.
+func TestDiskGCAgeBound(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	now := time.Now().UTC()
+	putAt(t, d, 1, now.Add(-48*time.Hour))
+	putAt(t, d, 2, now.Add(-30*time.Hour))
+	putAt(t, d, 3, now.Add(-time.Minute))
+	res, err := d.GC(ctx, GCPolicy{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 2 || res.Remaining != 1 {
+		t.Errorf("GC = %+v, want 2 evicted, 1 remaining", res)
+	}
+	if _, err := d.Get(ctx, 3); err != nil {
+		t.Errorf("fresh seed evicted by age bound: %v", err)
+	}
+	for _, seed := range []int64{1, 2} {
+		if _, err := d.Get(ctx, seed); !errors.Is(err, ErrNotFound) {
+			t.Errorf("expired seed %d: err = %v, want ErrNotFound", seed, err)
+		}
+	}
+}
+
+// TestDiskGCSweepsOrphansAndTmp: the sweep always runs — even with no
+// retention bounds — collecting unreferenced blobs and interrupted-write
+// temp files while leaving everything live untouched.
+func TestDiskGCSweepsOrphansAndTmp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	objects := filepath.Join(dir, objectsDir)
+	// An orphan (a blob no index entry references), a half-written object
+	// from a crashed Put, and a stranded index temp file in the root.
+	orphan := strings.Repeat("ab", sha256.Size)
+	for path, content := range map[string]string{
+		filepath.Join(objects, orphan):     "unreferenced",
+		filepath.Join(objects, ".tmp-123"): "half-written blob",
+		filepath.Join(dir, ".tmp-456"):     "half-written index",
+	} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.GC(ctx, GCPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 0 || res.Remaining != 1 {
+		t.Errorf("GC = %+v, want 0 evicted, 1 remaining", res)
+	}
+	if res.OrphanBlobs != 1 || res.TmpFiles != 2 {
+		t.Errorf("GC = %+v, want 1 orphan, 2 tmp files", res)
+	}
+	for _, path := range []string{
+		filepath.Join(objects, orphan),
+		filepath.Join(objects, ".tmp-123"),
+		filepath.Join(dir, ".tmp-456"),
+	} {
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s survived the sweep", path)
+		}
+	}
+	got, err := d.Get(ctx, 1)
+	if err != nil {
+		t.Fatalf("live snapshot damaged by sweep: %v", err)
+	}
+	assertSnapshotEqual(t, got, testSnapshot(1))
+}
+
+// TestDiskVersionStaleMiss: an entry written under a different
+// SnapshotVersion serves as ErrNotFound — a miss the caller heals with a
+// fresh run — and is counted, not treated as corruption.
+func TestDiskVersionStaleMiss(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 7, testSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a snapshot from a different summary generation.
+	idxPath := filepath.Join(dir, indexFile)
+	b, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(b),
+		fmt.Sprintf(`"snapshot_version": %d`, SnapshotVersion),
+		fmt.Sprintf(`"snapshot_version": %d`, SnapshotVersion+999), 1)
+	if patched == string(b) {
+		t.Fatal("index does not carry snapshot_version — patch failed")
+	}
+	if err := os.WriteFile(idxPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Get(ctx, 7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale-version Get err = %v, want ErrNotFound", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("version skew must not read as corruption")
+	}
+	if n := d2.Stale(); n != 1 {
+		t.Errorf("Stale() = %d, want 1", n)
+	}
+	// The stale entry still lists (GC can see and bound it) …
+	if seeds, _ := d2.List(ctx); len(seeds) != 1 {
+		t.Errorf("List = %v, want the stale seed to remain visible", seeds)
+	}
+	// … and a re-Put supersedes it under the current version.
+	if err := d2.Put(ctx, 7, testSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Get(ctx, 7); err != nil {
+		t.Errorf("re-Put did not heal the stale entry: %v", err)
+	}
+}
+
+// TestDiskIndexV1Migration: a format-1 index (no per-entry version) loads
+// instead of being dropped; its entries list and GC but serve as misses
+// until re-persisted, and the first write upgrades the file to the current
+// format.
+func TestDiskIndexV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 3, testSnapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the index as the PR-4 on-disk shape: format 1, no
+	// snapshot_version field on entries.
+	idxPath := filepath.Join(dir, indexFile)
+	b, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(string(b),
+		fmt.Sprintf(`"version": %d`, indexFormat), `"version": 1`, 1)
+	v1 = strings.Replace(v1,
+		fmt.Sprintf(`"snapshot_version": %d,`, SnapshotVersion), "", 1)
+	if err := os.WriteFile(idxPath, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open must migrate a format-1 index, got %v", err)
+	}
+	if n := d2.Migrated(); n != 1 {
+		t.Errorf("Migrated() = %d, want 1", n)
+	}
+	if n := d2.CorruptAtOpen(); n != 0 {
+		t.Errorf("CorruptAtOpen() = %d — migration must not count as corruption", n)
+	}
+	if seeds, _ := d2.List(ctx); len(seeds) != 1 || seeds[0] != 3 {
+		t.Fatalf("List = %v, want [3]", seeds)
+	}
+	if _, err := d2.Get(ctx, 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("migrated entry Get err = %v, want ErrNotFound (stale)", err)
+	}
+	// Re-persisting writes format 2; a third open sees a current-version
+	// snapshot with nothing left to migrate.
+	if err := d2.Put(ctx, 3, testSnapshot(3)); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d3.Migrated(); n != 0 {
+		t.Errorf("Migrated() after upgrade = %d, want 0", n)
+	}
+	got, err := d3.Get(ctx, 3)
+	if err != nil {
+		t.Fatalf("upgraded entry unreadable: %v", err)
+	}
+	assertSnapshotEqual(t, got, testSnapshot(3))
+}
+
+// TestDiskScrub: the scrubber finds a damaged snapshot at rest, deletes it
+// (turning future reads into clean misses), and leaves healthy snapshots
+// alone. A second pass over the healed store reports zero damage.
+func TestDiskScrub(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := d.Put(ctx, 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(ctx, 2, testSnapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Damage a blob only seed 1 references: its export.csv content is
+	// seed-dependent, so its hash is computable here.
+	csv := sha256.Sum256([]byte("seed,1\n"))
+	flipFirstByte(t, filepath.Join(dir, objectsDir, hex.EncodeToString(csv[:])))
+
+	res, err := d.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshots != 2 || res.Damaged != 1 || res.Removed != 1 {
+		t.Errorf("Scrub = %+v, want 2 snapshots, 1 damaged, 1 removed", res)
+	}
+	if res.Blobs == 0 {
+		t.Error("Scrub verified zero blobs")
+	}
+	if _, err := d.Get(ctx, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("damaged seed after scrub: err = %v, want ErrNotFound (clean miss)", err)
+	}
+	got, err := d.Get(ctx, 2)
+	if err != nil {
+		t.Fatalf("healthy seed removed by scrub: %v", err)
+	}
+	assertSnapshotEqual(t, got, testSnapshot(2))
+
+	again, err := d.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Snapshots != 1 || again.Damaged != 0 || again.Removed != 0 {
+		t.Errorf("second Scrub = %+v, want 1 clean snapshot", again)
+	}
+}
+
+// TestDiskScrubCanceled: a canceled context stops the scrub with its error.
+func TestDiskScrubCanceled(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(context.Background(), 1, testSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.Scrub(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Scrub on canceled ctx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDiskGCConcurrentWithTraffic: GC's exclusive directory sweep versus
+// concurrent readers and writers. Run under -race. The invariant: a Get
+// during GC returns either a complete snapshot or ErrNotFound — never
+// ErrCorrupt, which would mean the sweep collected a blob out from under a
+// live entry or an in-flight Put.
+func TestDiskGCConcurrentWithTraffic(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for seed := int64(0); seed < 4; seed++ {
+		if err := d.Put(ctx, seed, testSnapshot(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: keeps churning entries through the bound
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			seed := int64(i % 8)
+			if err := d.Put(ctx, seed, testSnapshot(seed)); err != nil {
+				t.Errorf("Put seed %d: %v", seed, err)
+				return
+			}
+		}
+	}()
+	go func() { // reader: must only ever see complete snapshots or misses
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			seed := int64(i % 8)
+			snap, err := d.Get(ctx, seed)
+			switch {
+			case err == nil:
+				if snap.Seed != seed || len(snap.Artifacts) == 0 {
+					t.Errorf("Get seed %d returned a partial snapshot", seed)
+					return
+				}
+			case errors.Is(err, ErrNotFound):
+			default:
+				t.Errorf("Get seed %d during GC: %v", seed, err)
+				return
+			}
+		}
+	}()
+	go func() { // GC: exclusive sweeps interleaved with the traffic
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := d.GC(ctx, GCPolicy{MaxSnapshots: 4}); err != nil {
+				t.Errorf("GC: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// Whatever survived must be fully readable.
+	seeds, err := d.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		if _, err := d.Get(ctx, seed); err != nil {
+			t.Errorf("surviving seed %d unreadable after churn: %v", seed, err)
+		}
+	}
+}
+
+// TestGCPolicyEnabled pins the zero-value semantics the daemon's flag
+// plumbing relies on.
+func TestGCPolicyEnabled(t *testing.T) {
+	if (GCPolicy{}).Enabled() {
+		t.Error("zero policy must be disabled")
+	}
+	if !(GCPolicy{MaxSnapshots: 1}).Enabled() || !(GCPolicy{MaxAge: time.Hour}).Enabled() {
+		t.Error("a bounded policy must be enabled")
+	}
+}

@@ -420,6 +420,13 @@ func (s *Study) RunForecast(ctx context.Context) string {
 	return b.String()
 }
 
+// SummaryVersion identifies the wire shape of Summary. Bump it whenever a
+// field is added, removed, renamed, or changes meaning: the snapshot store
+// embeds this number in every persisted entry and treats a mismatch as a
+// cache miss, so stale snapshots fall back to a fresh pipeline run instead
+// of deserializing into the wrong shape.
+const SummaryVersion = 1
+
 // Summary is the machine-readable digest of a study run.
 type Summary struct {
 	Seed          int64                 `json:"seed"`
