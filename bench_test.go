@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -432,6 +433,63 @@ func BenchmarkFullStudy(b *testing.B) {
 		if _, err := study.New(int64(i + 1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkColdPipelineParallel is BenchmarkFullStudy on the pooled
+// entry point: the cold pipeline fanned out over GOMAXPROCS workers
+// (corpus builds, corpus/funnel overlap, per-project analysis). The
+// artifacts are byte-identical to the sequential run — the pool buys
+// wall clock only.
+func BenchmarkColdPipelineParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := study.NewWithOptions(context.Background(), int64(i+1), study.Options{Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Measures) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+}
+
+// TestParseDiffAllocBudget pins the allocation footprint of the parse →
+// diff token path, which the zero-copy lexer, the cached normalized
+// names and the merge-based Computer are responsible for keeping flat.
+// The budget has ~25% headroom over the measured cost; an accidental
+// per-token or per-name allocation multiplies it and fails loudly.
+func TestParseDiffAllocBudget(t *testing.T) {
+	oldSQL := `CREATE TABLE users (
+  id INT UNSIGNED NOT NULL AUTO_INCREMENT,
+  email VARCHAR(255) NOT NULL,
+  created_at DATETIME,
+  PRIMARY KEY (id)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8;
+CREATE TABLE orders (
+  id BIGINT NOT NULL,
+  user_id INT UNSIGNED,
+  total DECIMAL(10,2) DEFAULT '0.00',
+  PRIMARY KEY (id),
+  CONSTRAINT fk_orders_user FOREIGN KEY (user_id) REFERENCES users (id) ON DELETE CASCADE
+);`
+	newSQL := strings.Replace(oldSQL, "total DECIMAL(10,2)", "total DECIMAL(12,2),\n  note TEXT", 1)
+
+	cp := diff.NewComputer(diff.Options{})
+	allocs := testing.AllocsPerRun(200, func() {
+		oldRes := sqlparse.Parse(oldSQL)
+		newRes := sqlparse.Parse(newSQL)
+		d := cp.Compute(oldRes.Schema, newRes.Schema)
+		if d.TypeChange != 1 || d.Injected != 1 {
+			t.Fatal("diff miscounted")
+		}
+	})
+	// Measured: ~110 allocs for two parses + one diff of this fixture
+	// (schemas, tables, columns, FK identity strings and delta rows —
+	// no per-token, per-keyword or per-lookup allocations).
+	const budget = 140
+	if allocs > budget {
+		t.Errorf("parse→diff path allocates %.0f objects per run, budget %d", allocs, budget)
 	}
 }
 

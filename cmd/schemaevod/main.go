@@ -66,6 +66,7 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		prewarm  = flag.String("prewarm", "", "comma-separated seeds to make servable before traffic")
 		workers  = flag.Int("prewarm-workers", 0, "parallel prewarm workers (0 = GOMAXPROCS/2)")
+		pipeWork = flag.Int("pipeline-workers", 0, "per-study pipeline worker pool (0 = GOMAXPROCS); deterministic for any value")
 		storeDir = flag.String("store-dir", "", "directory for persistent study snapshots (empty = memory only)")
 		maxSnaps = flag.Int("store-max-snapshots", 0, "retention bound: keep at most this many snapshots, evicting oldest first (0 = unlimited)")
 		maxAge   = flag.Duration("store-max-age", 0, "retention bound: evict snapshots older than this (0 = unlimited)")
@@ -88,12 +89,13 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level)
 
 	opts := serve.Options{
-		CacheSize:      *cache,
-		Timeout:        *timeout,
-		PrewarmWorkers: *workers,
-		GC:             store.GCPolicy{MaxSnapshots: *maxSnaps, MaxAge: *maxAge},
-		GCInterval:     *gcEvery,
-		Logger:         logger,
+		CacheSize:       *cache,
+		Timeout:         *timeout,
+		PrewarmWorkers:  *workers,
+		PipelineWorkers: *pipeWork,
+		GC:              store.GCPolicy{MaxSnapshots: *maxSnaps, MaxAge: *maxAge},
+		GCInterval:      *gcEvery,
+		Logger:          logger,
 	}
 	if *storeDir != "" {
 		disk, err := store.Open(*storeDir)

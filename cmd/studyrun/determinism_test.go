@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/study"
+)
+
+// TestDeterminismAcrossWorkerCounts is the parallel pipeline's contract
+// test: the worker pool must never change a single output byte. The full
+// study runs at workers=1, workers=4 and workers=GOMAXPROCS for seeds
+// 1–3, and every rendered artifact must be byte-identical across the
+// three pools. For seed 1 the artifacts are additionally pinned against
+// the golden fixtures, so the sequential baseline itself cannot drift
+// behind the cross-worker comparison's back.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full pipeline runs")
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	goldenDir := filepath.Join("testdata", "golden")
+
+	for seed := 1; seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// reference holds the artifacts of the first worker count;
+			// every later pool must reproduce them byte for byte.
+			var reference map[string][]byte
+			var refWorkers int
+			ran := map[int]bool{}
+			for _, w := range workerCounts {
+				if ran[w] {
+					continue // e.g. GOMAXPROCS == 1 or == 4
+				}
+				ran[w] = true
+				got := runArtifacts(t, seed, w)
+				if reference == nil {
+					reference, refWorkers = got, w
+					continue
+				}
+				for key, want := range reference {
+					if string(got[key]) != string(want) {
+						t.Errorf("seed %d: artifact %s differs between workers=%d and workers=%d\n%s",
+							seed, key, refWorkers, w, firstDiff(string(want), string(got[key])))
+					}
+				}
+			}
+			if seed != 1 {
+				return
+			}
+			for _, key := range study.ExperimentKeys() {
+				want, err := os.ReadFile(filepath.Join(goldenDir, key+".txt"))
+				if err != nil {
+					t.Fatalf("golden fixture missing: %v", err)
+				}
+				if string(reference[key]) != string(want) {
+					t.Errorf("seed 1: artifact %s drifted from golden fixture\n%s",
+						key, firstDiff(string(want), string(reference[key])))
+				}
+			}
+		})
+	}
+}
+
+// runArtifacts executes the CLI end to end (exercising the -workers flag)
+// and returns every rendered artifact keyed by experiment.
+func runArtifacts(t *testing.T, seed, workers int) map[string][]byte {
+	t.Helper()
+	outDir := t.TempDir()
+	var stdout, stderr strings.Builder
+	args := []string{"-seed", fmt.Sprint(seed), "-workers", fmt.Sprint(workers), "-out", outDir}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("studyrun %v exited %d: %s", args, code, stderr.String())
+	}
+	out := make(map[string][]byte, len(study.ExperimentKeys()))
+	for _, key := range study.ExperimentKeys() {
+		data, err := os.ReadFile(filepath.Join(outDir, key+".txt"))
+		if err != nil {
+			t.Fatalf("seed %d workers %d: artifact missing: %v", seed, workers, err)
+		}
+		out[key] = data
+	}
+	return out
+}

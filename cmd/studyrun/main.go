@@ -10,6 +10,8 @@
 //	studyrun -out results/        # one file per experiment
 //	studyrun -trace run.json      # also write a Chrome trace of the pipeline
 //	studyrun -v                   # per-stage timing tree + debug log on stderr
+//	studyrun -workers 8           # pipeline worker pool (output is identical
+//	                              # for any worker count)
 package main
 
 import (
@@ -22,7 +24,6 @@ import (
 	"path/filepath"
 	"strings"
 
-	schemaevo "github.com/schemaevo/schemaevo"
 	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds    = fs.Int("seeds", 0, "run the seed-robustness experiment (E24) over this many corpora and exit")
 		tracing  = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (chrome://tracing, Perfetto)")
 		verbose  = fs.Bool("v", false, "print the per-stage timing tree and debug log lines to stderr")
+		workers  = fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS); any value yields byte-identical artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -131,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	st, err := schemaevo.NewStudyContext(ctx, *seed)
+	st, err := study.NewWithOptions(ctx, *seed, study.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(stderr, "studyrun:", err)
 		return 1

@@ -132,6 +132,14 @@ func pathVendor(path string) string {
 // layer decides which repos are rigid and which fail extraction).
 type Outcomes map[string]Candidate
 
+// pathGroup collects one repository's .sql paths. The first path is held
+// inline so the overwhelmingly common single-file repo costs no slice.
+type pathGroup struct {
+	n     int
+	first string
+	rest  []string
+}
+
 // Run executes the funnel over the source datasets. The relational steps —
 // distinct-repo aggregation, the metadata join, the quality filters, the
 // path post-processing — are computed from the records themselves; only the
@@ -153,54 +161,66 @@ func RunContext(ctx context.Context, files []FileRecord, meta []RepoMeta, outcom
 func run(files []FileRecord, meta []RepoMeta, outcomes Outcomes) *Funnel {
 	f := &Funnel{}
 
-	// Stage 1: distinct repositories holding .sql files.
-	byRepo := map[string][]string{}
+	// Stage 1: distinct repositories holding .sql files. Most repos hold
+	// exactly one .sql file, so the group keeps the first path inline and
+	// only multi-file repos pay for a slice.
+	byRepo := make(map[string]pathGroup, len(files))
 	for _, fr := range files {
-		byRepo[fr.Repo] = append(byRepo[fr.Repo], fr.Path)
+		g := byRepo[fr.Repo]
+		if g.n == 0 {
+			g.first = fr.Path
+		} else {
+			g.rest = append(g.rest, fr.Path)
+		}
+		g.n++
+		byRepo[fr.Repo] = g
 	}
 	f.SQLCollectionRepos = len(byRepo)
 
-	// Stage 2: join with Libraries.io on repo name and URL; keep originals
-	// with >0 stars and >1 contributor.
-	metaByRepo := map[string]RepoMeta{}
+	metaByRepo := make(map[string]RepoMeta, len(meta))
 	for _, m := range meta {
 		metaByRepo[m.Repo] = m
 	}
-	joined := map[string][]string{}
-	for repo, paths := range byRepo {
+
+	// Stages 2–4 in one relational pass per repo. Each stage used to
+	// materialise its own intermediate map over >100k repos; the stages
+	// are per-repo independent, so only the counters and the final
+	// candidate set need to exist. Map iteration order is irrelevant:
+	// every count is order-free and stage 5 sorts.
+	candidates := make(map[string]string, 512) // repo -> chosen DDL path
+	for repo, g := range byRepo {
+		// Stage 2: join with Libraries.io on repo name and URL; keep
+		// originals with >0 stars and >1 contributor.
 		m, ok := metaByRepo[repo]
 		if !ok {
 			continue
 		}
-		if m.URL != "https://github.com/"+repo {
+		if len(m.URL) != len("https://github.com/")+len(repo) ||
+			m.URL[:len("https://github.com/")] != "https://github.com/" ||
+			m.URL[len("https://github.com/"):] != repo {
 			continue // URL join mismatch
 		}
 		if m.Fork || m.Stars <= 0 || m.Contributors <= 1 {
 			continue
 		}
-		joined[repo] = paths
-	}
-	f.JoinedOriginal = len(joined)
+		f.JoinedOriginal++
 
-	// Stage 3: drop test/demo/example paths.
-	filtered := map[string][]string{}
-	for repo, paths := range joined {
-		var keep []string
-		for _, p := range paths {
+		// Stage 3: drop test/demo/example paths (the rest slice is
+		// filtered in place: byRepo is not read again).
+		firstOK := !pathExcluded(g.first)
+		keep := g.rest[:0]
+		for _, p := range g.rest {
 			if !pathExcluded(p) {
 				keep = append(keep, p)
 			}
 		}
-		if len(keep) > 0 {
-			filtered[repo] = keep
+		if !firstOK && len(keep) == 0 {
+			continue
 		}
-	}
-	f.AfterPathFilter = len(filtered)
+		f.AfterPathFilter++
 
-	// Stage 4: vendor choice and multi-file reduction.
-	candidates := map[string]string{} // repo -> chosen DDL path
-	for repo, paths := range filtered {
-		path, ok := reduceToSingleDDL(paths)
+		// Stage 4: vendor choice and multi-file reduction.
+		path, ok := reduceToSingleDDL(g.first, firstOK, keep)
 		if !ok {
 			continue
 		}
@@ -238,30 +258,55 @@ func run(files []FileRecord, meta []RepoMeta, outcomes Outcomes) *Funnel {
 	return f
 }
 
-// reduceToSingleDDL applies the paper's multi-file rules: a single path
-// wins outright; multi-vendor layouts reduce to the MySQL file; a remaining
+// reduceToSingleDDL applies the paper's multi-file rules over a repo's
+// surviving paths (first when firstOK, plus rest): a single path wins
+// outright; multi-vendor layouts reduce to the MySQL file; a remaining
 // multi-file layout (file-per-table, incremental migrations, vendor ×
 // language products) is omitted unless all extra files are clearly
 // reducible (here: a lone non-vendor file among vendor files).
-func reduceToSingleDDL(paths []string) (string, bool) {
-	if len(paths) == 1 {
-		return paths[0], true
+func reduceToSingleDDL(first string, firstOK bool, rest []string) (string, bool) {
+	n := len(rest)
+	if firstOK {
+		n++
 	}
-	// Multi-vendor: keep MySQL files only.
-	var mysql, unvendored []string
-	for _, p := range paths {
+	if n == 1 {
+		if firstOK {
+			return first, true
+		}
+		return rest[0], true
+	}
+	// Multi-vendor: keep MySQL files only. Only the first file of each
+	// class and the class counts matter, so no sub-slices are built.
+	var nMySQL, nUnvendored int
+	var firstMySQL, firstUnvendored string
+	for i := -1; i < len(rest); i++ {
+		var p string
+		if i < 0 {
+			if !firstOK {
+				continue
+			}
+			p = first
+		} else {
+			p = rest[i]
+		}
 		switch pathVendor(p) {
 		case "mysql":
-			mysql = append(mysql, p)
+			if nMySQL == 0 {
+				firstMySQL = p
+			}
+			nMySQL++
 		case "":
-			unvendored = append(unvendored, p)
+			if nUnvendored == 0 {
+				firstUnvendored = p
+			}
+			nUnvendored++
 		}
 	}
-	if len(mysql) == 1 {
-		return mysql[0], true
+	if nMySQL == 1 {
+		return firstMySQL, true
 	}
-	if len(mysql) == 0 && len(unvendored) == 1 {
-		return unvendored[0], true
+	if nMySQL == 0 && nUnvendored == 1 {
+		return firstUnvendored, true
 	}
 	// file-per-table / incremental / vendor×language: omitted.
 	return "", false

@@ -130,7 +130,7 @@ func TestReduceToSingleDDL(t *testing.T) {
 		{[]string{"db/postgres/s.sql", "main.sql"}, "main.sql", true},
 	}
 	for _, c := range cases {
-		got, ok := reduceToSingleDDL(c.paths)
+		got, ok := reduceToSingleDDL(c.paths[0], true, c.paths[1:])
 		if got != c.want || ok != c.ok {
 			t.Errorf("reduceToSingleDDL(%v) = %q,%v want %q,%v", c.paths, got, ok, c.want, c.ok)
 		}

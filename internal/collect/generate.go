@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"github.com/schemaevo/schemaevo/internal/obs"
 )
@@ -87,7 +89,7 @@ func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error)
 	rigid := cfg.RigidRepos
 	if rigid == nil {
 		for i := 0; i < t.Rigid; i++ {
-			rigid = append(rigid, fmt.Sprintf("rigid-org/rigid_%03d", i))
+			rigid = append(rigid, numberedRepo("rigid-org/rigid_", i, 3))
 		}
 	}
 	if len(rigid) != t.Rigid {
@@ -95,9 +97,13 @@ func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error)
 	}
 
 	r := rand.New(rand.NewSource(cfg.Seed))
-	var files []FileRecord
-	var meta []RepoMeta
-	outcomes := Outcomes{}
+	// Sizing: every repo contributes at least one file row (a third of
+	// the good ones contribute three, some padding classes two or
+	// three), and all but the unmonitored padding class contribute one
+	// metadata row. Over-reserving a little beats regrowing ~20 times.
+	files := make([]FileRecord, 0, t.SQLCollectionRepos+2*t.LibIoDataset+t.SQLCollectionRepos/2)
+	meta := make([]RepoMeta, 0, t.SQLCollectionRepos)
+	outcomes := make(Outcomes, t.LibIoDataset)
 
 	goodMeta := func(repo string) RepoMeta {
 		return RepoMeta{
@@ -132,12 +138,12 @@ func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error)
 		outcomes[repo] = Candidate{Outcome: CloneOK, Rigid: true}
 	}
 	for i := 0; i < t.ZeroVersions; i++ {
-		repo := fmt.Sprintf("ghost-org/gone_%03d", i)
+		repo := numberedRepo("ghost-org/gone_", i, 3)
 		addGood(repo)
 		outcomes[repo] = Candidate{Outcome: CloneZeroVersions}
 	}
 	for i := 0; i < t.NoCreateTable; i++ {
-		repo := fmt.Sprintf("noddl-org/datafile_%03d", i)
+		repo := numberedRepo("noddl-org/datafile_", i, 3)
 		addGood(repo)
 		outcomes[repo] = Candidate{Outcome: CloneNoCreateTable}
 	}
@@ -145,7 +151,7 @@ func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error)
 	// Rejected padding up to the SQL-Collection size.
 	pad := t.SQLCollectionRepos - t.LibIoDataset
 	for i := 0; i < pad; i++ {
-		repo := fmt.Sprintf("pad-org/repo_%06d", i)
+		repo := numberedRepo("pad-org/repo_", i, 6)
 		switch r.Intn(7) {
 		case 0: // not monitored by Libraries.io
 			files = append(files, FileRecord{repo, "schema.sql"})
@@ -185,4 +191,19 @@ func generateDatasets(cfg GenConfig) ([]FileRecord, []RepoMeta, Outcomes, error)
 		}
 	}
 	return files, meta, outcomes, nil
+}
+
+// numberedRepo is fmt.Sprintf("%s%0*d", prefix, width, i) without the
+// fmt machinery: the padding loop emits >100k of these names per run.
+func numberedRepo(prefix string, i, width int) string {
+	var tmp [20]byte
+	digits := strconv.AppendInt(tmp[:0], int64(i), 10)
+	var b strings.Builder
+	b.Grow(len(prefix) + max(width, len(digits)))
+	b.WriteString(prefix)
+	for pad := width - len(digits); pad > 0; pad-- {
+		b.WriteByte('0')
+	}
+	b.Write(digits)
+	return b.String()
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/gitstore"
 	"github.com/schemaevo/schemaevo/internal/history"
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/pool"
 )
 
 // Project is one synthetic FOSS project: its intended taxon, the sampled
@@ -31,6 +32,11 @@ type Config struct {
 	// BaseYear anchors project start dates (default 2012, matching the
 	// study's observation window ending in 2019).
 	BaseYear int
+	// Workers bounds the parallel per-project builds (0 = GOMAXPROCS).
+	// The corpus is identical for every worker count: each project's
+	// rand seed is drawn sequentially from the master stream before the
+	// fan-out, and every build writes only its own roster slot.
+	Workers int
 }
 
 // DefaultCounts reproduces the paper's population: 327 cloned repositories,
@@ -53,35 +59,75 @@ func Generate(cfg Config) []*Project {
 	return GenerateContext(context.Background(), cfg)
 }
 
-// GenerateContext is Generate under the obs span "corpus.generate".
+// GenerateContext is Generate under the obs span "corpus.generate". If
+// ctx is cancelled mid-generation it returns nil; callers that pass a
+// cancellable context must check ctx.Err().
 func GenerateContext(ctx context.Context, cfg Config) []*Project {
-	_, span := obs.Start(ctx, "corpus.generate", obs.Int("seed", cfg.Seed))
+	ctx, span := obs.Start(ctx, "corpus.generate", obs.Int("seed", cfg.Seed))
 	defer span.End()
-	out := generate(cfg)
+	out := generate(ctx, cfg)
 	span.SetAttr(obs.Int("projects", int64(len(out))))
 	return out
 }
 
-func generate(cfg Config) []*Project {
+// Member names one project of the corpus roster: its stable name and
+// intended taxon.
+type Member struct {
+	Name     string
+	Intended core.Taxon
+}
+
+// Roster returns, for cfg, the exact names and taxa (in the exact
+// order) that Generate will produce — without materialising any
+// history. Project names depend only on the per-taxon counts, which is
+// what lets the collection funnel run concurrently with corpus
+// generation: the funnel needs the names, not the histories.
+func Roster(cfg Config) []Member {
 	counts := cfg.Counts
 	if counts == nil {
 		counts = DefaultCounts()
 	}
+	order := append([]core.Taxon{core.HistoryLess}, core.Taxa...)
+	total := 0
+	for _, taxon := range order {
+		total += counts[taxon]
+	}
+	out := make([]Member, 0, total)
+	for _, taxon := range order {
+		n := counts[taxon]
+		for i := 0; i < n; i++ {
+			out = append(out, Member{
+				Name:     fmt.Sprintf("%s_%03d", taxonSlug(taxon), i),
+				Intended: taxon,
+			})
+		}
+	}
+	return out
+}
+
+func generate(ctx context.Context, cfg Config) []*Project {
 	baseYear := cfg.BaseYear
 	if baseYear == 0 {
 		baseYear = 2012
 	}
+	roster := Roster(cfg)
+	// Draw every project's seed from the master stream up front, in
+	// roster order, so the fan-out below cannot perturb the randomness
+	// regardless of worker count or scheduling.
 	master := rand.New(rand.NewSource(cfg.Seed))
-	var out []*Project
-	order := append([]core.Taxon{core.HistoryLess}, core.Taxa...)
-	for _, taxon := range order {
-		n := counts[taxon]
-		for i := 0; i < n; i++ {
-			r := rand.New(rand.NewSource(master.Int63()))
-			name := fmt.Sprintf("%s_%03d", taxonSlug(taxon), i)
-			spec := Plan(taxon, r)
-			out = append(out, Build(name, spec, r, baseYear))
-		}
+	seeds := make([]int64, len(roster))
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	out := make([]*Project, len(roster))
+	err := pool.Map(ctx, pool.Workers(cfg.Workers), len(roster), func(i int) error {
+		r := rand.New(rand.NewSource(seeds[i]))
+		spec := Plan(roster[i].Intended, r)
+		out[i] = Build(roster[i].Name, spec, r, baseYear)
+		return nil
+	})
+	if err != nil {
+		return nil
 	}
 	return out
 }
@@ -141,6 +187,7 @@ func Build(name string, spec Spec, r *rand.Rand, baseYear int) *Project {
 
 	weights := weightsFor(spec.Taxon)
 	hist := &history.History{Project: name, Path: "schema.sql"}
+	hist.Versions = make([]history.Version, 0, spec.Commits)
 	revision := 0
 	noise := r.Intn(2) == 0
 	hist.Versions = append(hist.Versions, history.Version{

@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestGenerateParallelMatchesSequential proves the corpus fan-out is
+// deterministic: the parallel builds must reproduce the sequential
+// corpus exactly — same roster order, same specs, same rendered DDL for
+// every version of every project. Run under -race this also exercises
+// the per-slot writes of the worker pool.
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seq := Generate(Config{Seed: seed, Workers: 1})
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			par := Generate(Config{Seed: seed, Workers: workers})
+			if len(par) != len(seq) {
+				t.Fatalf("seed %d workers %d: %d projects, want %d", seed, workers, len(par), len(seq))
+			}
+			for i := range seq {
+				a, b := seq[i], par[i]
+				if a.Name != b.Name || a.Intended != b.Intended {
+					t.Fatalf("seed %d workers %d: project %d is %s/%v, want %s/%v",
+						seed, workers, i, b.Name, b.Intended, a.Name, a.Intended)
+				}
+				if len(a.Hist.Versions) != len(b.Hist.Versions) {
+					t.Fatalf("seed %d workers %d: %s has %d versions, want %d",
+						seed, workers, a.Name, len(b.Hist.Versions), len(a.Hist.Versions))
+				}
+				for v := range a.Hist.Versions {
+					va, vb := a.Hist.Versions[v], b.Hist.Versions[v]
+					if va.SQL != vb.SQL {
+						t.Fatalf("seed %d workers %d: %s version %d DDL differs", seed, workers, a.Name, v)
+					}
+					if !va.When.Equal(vb.When) {
+						t.Fatalf("seed %d workers %d: %s version %d timestamp differs", seed, workers, a.Name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateParallelCancellation: a cancelled context stops the
+// fan-out and yields no corpus rather than a partial one.
+func TestGenerateParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := GenerateContext(ctx, Config{Seed: 1, Workers: 4}); got != nil {
+		t.Fatalf("cancelled generate returned %d projects, want nil", len(got))
+	}
+}

@@ -8,9 +8,9 @@
 package corpus
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/schemaevo/schemaevo/internal/schema"
@@ -67,13 +67,13 @@ func newSimulator(r *rand.Rand) *simulator {
 func (s *simulator) freshTableName() string {
 	s.nameSeq++
 	w := tableWords[s.r.Intn(len(tableWords))]
-	return fmt.Sprintf("%s_%d", w, s.nameSeq)
+	return w + "_" + strconv.Itoa(s.nameSeq)
 }
 
 func (s *simulator) freshColumnName() string {
 	s.nameSeq++
 	w := columnWords[s.r.Intn(len(columnWords))]
-	return fmt.Sprintf("%s_%d", w, s.nameSeq)
+	return w + "_" + strconv.Itoa(s.nameSeq)
 }
 
 func (s *simulator) randomType() schema.DataType {
@@ -123,7 +123,7 @@ func (s *simulator) addTable(cols int) int {
 			child.Type.Unsigned = refCol.Type.Unsigned
 			s.nameSeq++
 			fk := &schema.ForeignKey{
-				Name:       fmt.Sprintf("fk_%s_%d", t.Name, s.nameSeq),
+				Name:       "fk_" + t.Name + "_" + strconv.Itoa(s.nameSeq),
 				Columns:    []string{child.Name},
 				RefTable:   ref.Name,
 				RefColumns: []string{ref.PrimaryKey[0]},
@@ -387,64 +387,148 @@ func min(a, b int) int {
 	return b
 }
 
+// upperWords caches the upper-casing of every word Render emits in
+// upper case (type names, referential actions), so the hot path does
+// not allocate a fresh string per column. Unknown words fall back to
+// strings.ToUpper.
+var upperWords = map[string]string{
+	"int": "INT", "bigint": "BIGINT", "smallint": "SMALLINT",
+	"tinyint": "TINYINT", "mediumint": "MEDIUMINT", "varchar": "VARCHAR",
+	"text": "TEXT", "datetime": "DATETIME", "timestamp": "TIMESTAMP",
+	"decimal": "DECIMAL", "double": "DOUBLE", "float": "FLOAT",
+	"char": "CHAR", "blob": "BLOB", "date": "DATE", "time": "TIME",
+	"cascade": "CASCADE", "restrict": "RESTRICT", "set null": "SET NULL",
+	"no action": "NO ACTION",
+}
+
+func upperWord(s string) string {
+	if u, ok := upperWords[s]; ok {
+		return u
+	}
+	return strings.ToUpper(s)
+}
+
+// writeInt appends the decimal form of n without allocating.
+func writeInt(b *strings.Builder, n int) {
+	var buf [20]byte
+	b.Write(strconv.AppendInt(buf[:0], int64(n), 10))
+}
+
+// writeQuotedList appends names joined as `a`,`b`,`c` (with backticks).
+func writeQuotedList(b *strings.Builder, names []string) {
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString("`,`")
+		}
+		b.WriteString(n)
+	}
+}
+
 // Render emits the current schema as a MySQL DDL dump. revision feeds the
 // header comment so that non-active commits produce textually distinct but
 // logically identical files, and noise optionally appends physical-level
 // statements (INSERTs, SETs) that the parser must skim over.
+//
+// Render is the pipeline's hottest allocation site (one dump per
+// version per project), so it writes every byte into a single grown
+// builder: no per-line builders, no joins, no Fprintf.
 func Render(s *schema.Schema, project string, revision int, noise bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "-- %s database schema\n-- dump revision %d\n\n", project, revision)
+	size := len(project) + 80
+	for _, t := range s.Tables {
+		size += 2*len(t.Name) + 120 + 72*len(t.Columns) + 96*len(t.ForeignKeys)
+	}
+	b.Grow(size)
+
+	b.WriteString("-- ")
+	b.WriteString(project)
+	b.WriteString(" database schema\n-- dump revision ")
+	writeInt(&b, revision)
+	b.WriteString("\n\n")
 	b.WriteString("SET FOREIGN_KEY_CHECKS=0;\n\n")
 	for _, t := range s.Tables {
-		fmt.Fprintf(&b, "DROP TABLE IF EXISTS `%s`;\n", t.Name)
-		fmt.Fprintf(&b, "CREATE TABLE `%s` (\n", t.Name)
-		var lines []string
+		b.WriteString("DROP TABLE IF EXISTS `")
+		b.WriteString(t.Name)
+		b.WriteString("`;\n")
+		b.WriteString("CREATE TABLE `")
+		b.WriteString(t.Name)
+		b.WriteString("` (\n")
+		first := true
+		line := func() {
+			if !first {
+				b.WriteString(",\n")
+			}
+			first = false
+		}
 		for _, c := range t.Columns {
-			var l strings.Builder
-			fmt.Fprintf(&l, "  `%s` %s", c.Name, strings.ToUpper(c.Type.Name))
+			line()
+			b.WriteString("  `")
+			b.WriteString(c.Name)
+			b.WriteString("` ")
+			b.WriteString(upperWord(c.Type.Name))
 			if len(c.Type.Args) > 0 {
-				fmt.Fprintf(&l, "(%s)", strings.Join(c.Type.Args, ","))
+				b.WriteByte('(')
+				for i, a := range c.Type.Args {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(a)
+				}
+				b.WriteByte(')')
 			}
 			if c.Type.Unsigned {
-				l.WriteString(" UNSIGNED")
+				b.WriteString(" UNSIGNED")
 			}
 			if !c.Nullable {
-				l.WriteString(" NOT NULL")
+				b.WriteString(" NOT NULL")
 			}
 			if c.AutoInc {
-				l.WriteString(" AUTO_INCREMENT")
+				b.WriteString(" AUTO_INCREMENT")
 			}
-			lines = append(lines, l.String())
 		}
 		if len(t.PrimaryKey) > 0 {
-			lines = append(lines, fmt.Sprintf("  PRIMARY KEY (`%s`)", strings.Join(t.PrimaryKey, "`,`")))
+			line()
+			b.WriteString("  PRIMARY KEY (`")
+			writeQuotedList(&b, t.PrimaryKey)
+			b.WriteString("`)")
 		}
 		for _, fk := range t.ForeignKeys {
-			var l strings.Builder
-			l.WriteString("  ")
+			line()
+			b.WriteString("  ")
 			if fk.Name != "" {
-				fmt.Fprintf(&l, "CONSTRAINT `%s` ", fk.Name)
+				b.WriteString("CONSTRAINT `")
+				b.WriteString(fk.Name)
+				b.WriteString("` ")
 			}
-			fmt.Fprintf(&l, "FOREIGN KEY (`%s`) REFERENCES `%s` (`%s`)",
-				strings.Join(fk.Columns, "`,`"), fk.RefTable, strings.Join(fk.RefColumns, "`,`"))
+			b.WriteString("FOREIGN KEY (`")
+			writeQuotedList(&b, fk.Columns)
+			b.WriteString("`) REFERENCES `")
+			b.WriteString(fk.RefTable)
+			b.WriteString("` (`")
+			writeQuotedList(&b, fk.RefColumns)
+			b.WriteString("`)")
 			if fk.OnDelete != "" {
-				fmt.Fprintf(&l, " ON DELETE %s", strings.ToUpper(fk.OnDelete))
+				b.WriteString(" ON DELETE ")
+				b.WriteString(upperWord(fk.OnDelete))
 			}
 			if fk.OnUpdate != "" {
-				fmt.Fprintf(&l, " ON UPDATE %s", strings.ToUpper(fk.OnUpdate))
+				b.WriteString(" ON UPDATE ")
+				b.WriteString(upperWord(fk.OnUpdate))
 			}
-			lines = append(lines, l.String())
 		}
-		b.WriteString(strings.Join(lines, ",\n"))
 		b.WriteString("\n")
 		engine := "InnoDB"
 		if t.Options != nil && t.Options["engine"] != "" {
 			engine = t.Options["engine"]
 		}
-		fmt.Fprintf(&b, ") ENGINE=%s DEFAULT CHARSET=utf8;\n\n", engine)
+		b.WriteString(") ENGINE=")
+		b.WriteString(engine)
+		b.WriteString(" DEFAULT CHARSET=utf8;\n\n")
 	}
 	if noise && len(s.Tables) > 0 {
-		fmt.Fprintf(&b, "INSERT INTO `%s` VALUES (1);\n", s.Tables[0].Name)
+		b.WriteString("INSERT INTO `")
+		b.WriteString(s.Tables[0].Name)
+		b.WriteString("` VALUES (1);\n")
 	}
 	return b.String()
 }

@@ -16,6 +16,7 @@
 package diff
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/schemaevo/schemaevo/internal/schema"
@@ -112,159 +113,247 @@ func (d *Delta) IsActive() bool { return d.Activity() > 0 }
 
 // Compute diffs old → new with default options.
 func Compute(old, new *schema.Schema) *Delta {
-	return ComputeOptions(old, new, Options{})
+	return NewComputer(Options{}).Compute(old, new)
 }
 
 // ComputeOptions diffs old → new. Either schema may be nil, which reads as
 // the empty schema (so V0 against nil yields all attributes Born).
 func ComputeOptions(old, new *schema.Schema, opts Options) *Delta {
-	if old == nil {
-		old = schema.New()
-	}
-	if new == nil {
-		new = schema.New()
-	}
-	d := &Delta{}
+	return NewComputer(opts).Compute(old, new)
+}
 
-	oldNames := nameSet(old)
-	newNames := nameSet(new)
+// Computer diffs schema pairs using reusable scratch buffers. A single
+// Computer amortises the per-call sorting workspace over a whole
+// transition chain, which is where the pipeline spends its diff time;
+// it is NOT safe for concurrent use — give each worker its own.
+type Computer struct {
+	opts    Options
+	oldTabs []tableEntry
+	newTabs []tableEntry
+	oldCols []colEntry
+	newCols []colEntry
+	oldFKs  []string
+	newFKs  []string
+}
+
+// NewComputer returns a Computer with the given options.
+func NewComputer(opts Options) *Computer { return &Computer{opts: opts} }
+
+// tableEntry / colEntry pair a normalized name with its element; pos
+// preserves declaration order so duplicate normalized names keep the
+// map semantics of the study ("last declaration wins").
+type tableEntry struct {
+	name string
+	t    *schema.Table
+	pos  int
+}
+
+type colEntry struct {
+	name string
+	c    *schema.Column
+	pos  int
+}
+
+// Compute diffs old → new. Either schema may be nil, which reads as the
+// empty schema (so V0 against nil yields all attributes Born). The
+// delta is identical to the historical map-based implementation —
+// including the order of Changes rows — but is produced by merging
+// name-sorted slices, so the only per-call allocations left are the
+// result rows themselves.
+func (cp *Computer) Compute(old, new *schema.Schema) *Delta {
+	d := &Delta{}
+	cp.oldTabs = tableEntries(cp.oldTabs[:0], old)
+	cp.newTabs = tableEntries(cp.newTabs[:0], new)
 
 	// Table insertions: every column of a new table is Born.
-	for _, name := range sortedKeys(newNames) {
-		if _, ok := oldNames[name]; ok {
+	for i, j := 0, 0; j < len(cp.newTabs); j++ {
+		for i < len(cp.oldTabs) && cp.oldTabs[i].name < cp.newTabs[j].name {
+			i++
+		}
+		if i < len(cp.oldTabs) && cp.oldTabs[i].name == cp.newTabs[j].name {
 			continue
 		}
-		d.TablesInserted = append(d.TablesInserted, name)
-		t := new.Table(name)
-		for _, c := range t.Columns {
+		e := cp.newTabs[j]
+		d.TablesInserted = append(d.TablesInserted, e.name)
+		for _, c := range e.t.Columns {
 			d.Born++
-			d.Changes = append(d.Changes, Change{Kind: AttrBorn, Table: name, Column: schema.Normalize(c.Name)})
+			d.Changes = append(d.Changes, Change{Kind: AttrBorn, Table: e.name, Column: c.NormName()})
 		}
-		d.FKAdded += len(t.ForeignKeys)
+		d.FKAdded += len(e.t.ForeignKeys)
 	}
 
 	// Table deletions: every column of a removed table is Deleted.
-	for _, name := range sortedKeys(oldNames) {
-		if _, ok := newNames[name]; ok {
+	for i, j := 0, 0; i < len(cp.oldTabs); i++ {
+		for j < len(cp.newTabs) && cp.newTabs[j].name < cp.oldTabs[i].name {
+			j++
+		}
+		if j < len(cp.newTabs) && cp.newTabs[j].name == cp.oldTabs[i].name {
 			continue
 		}
-		d.TablesDeleted = append(d.TablesDeleted, name)
-		t := old.Table(name)
-		for _, c := range t.Columns {
+		e := cp.oldTabs[i]
+		d.TablesDeleted = append(d.TablesDeleted, e.name)
+		for _, c := range e.t.Columns {
 			d.Deleted++
-			d.Changes = append(d.Changes, Change{Kind: AttrDeleted, Table: name, Column: schema.Normalize(c.Name)})
+			d.Changes = append(d.Changes, Change{Kind: AttrDeleted, Table: e.name, Column: c.NormName()})
 		}
-		d.FKRemoved += len(t.ForeignKeys)
+		d.FKRemoved += len(e.t.ForeignKeys)
 	}
 
 	// Surviving tables: column-level comparison.
-	for _, name := range sortedKeys(oldNames) {
-		if _, ok := newNames[name]; !ok {
-			continue
+	for i, j := 0, 0; i < len(cp.oldTabs); i++ {
+		for j < len(cp.newTabs) && cp.newTabs[j].name < cp.oldTabs[i].name {
+			j++
 		}
-		diffTable(d, old.Table(name), new.Table(name), opts)
+		if j < len(cp.newTabs) && cp.newTabs[j].name == cp.oldTabs[i].name {
+			cp.diffTable(d, cp.oldTabs[i].name, cp.oldTabs[i].t, cp.newTabs[j].t)
+		}
 	}
 	return d
 }
 
-func diffTable(d *Delta, old, new *schema.Table, opts Options) {
-	tname := schema.Normalize(old.Name)
-
-	oldCols := colSet(old)
-	newCols := colSet(new)
+func (cp *Computer) diffTable(d *Delta, tname string, old, new *schema.Table) {
+	cp.oldCols = colEntries(cp.oldCols[:0], old)
+	cp.newCols = colEntries(cp.newCols[:0], new)
 
 	// Injected.
-	for _, cname := range sortedKeys(newCols) {
-		if _, ok := oldCols[cname]; !ok {
-			d.Injected++
-			d.Changes = append(d.Changes, Change{Kind: AttrInjected, Table: tname, Column: cname})
+	for i, j := 0, 0; j < len(cp.newCols); j++ {
+		for i < len(cp.oldCols) && cp.oldCols[i].name < cp.newCols[j].name {
+			i++
 		}
+		if i < len(cp.oldCols) && cp.oldCols[i].name == cp.newCols[j].name {
+			continue
+		}
+		d.Injected++
+		d.Changes = append(d.Changes, Change{Kind: AttrInjected, Table: tname, Column: cp.newCols[j].name})
 	}
 	// Ejected.
-	for _, cname := range sortedKeys(oldCols) {
-		if _, ok := newCols[cname]; !ok {
-			d.Ejected++
-			d.Changes = append(d.Changes, Change{Kind: AttrEjected, Table: tname, Column: cname})
+	for i, j := 0, 0; i < len(cp.oldCols); i++ {
+		for j < len(cp.newCols) && cp.newCols[j].name < cp.oldCols[i].name {
+			j++
 		}
+		if j < len(cp.newCols) && cp.newCols[j].name == cp.oldCols[i].name {
+			continue
+		}
+		d.Ejected++
+		d.Changes = append(d.Changes, Change{Kind: AttrEjected, Table: tname, Column: cp.oldCols[i].name})
 	}
 	// Foreign keys (extension; identity is column set + target, so renamed
-	// constraints do not register as change).
-	oldFKs := map[string]bool{}
-	for _, fk := range old.ForeignKeys {
-		oldFKs[fk.Key()] = true
-	}
-	newFKs := map[string]bool{}
-	for _, fk := range new.ForeignKeys {
-		newFKs[fk.Key()] = true
-	}
-	for key := range newFKs {
-		if !oldFKs[key] {
-			d.FKAdded++
-		}
-	}
-	for key := range oldFKs {
-		if !newFKs[key] {
-			d.FKRemoved++
-		}
+	// constraints do not register as change). Keys are compared as sorted
+	// deduplicated sets, matching the historical map-of-keys semantics.
+	if len(old.ForeignKeys) > 0 || len(new.ForeignKeys) > 0 {
+		cp.oldFKs = fkKeySet(cp.oldFKs[:0], old)
+		cp.newFKs = fkKeySet(cp.newFKs[:0], new)
+		d.FKAdded += countMissing(cp.newFKs, cp.oldFKs)
+		d.FKRemoved += countMissing(cp.oldFKs, cp.newFKs)
 	}
 
 	// Survivors: type change, PK participation change.
-	for _, cname := range sortedKeys(oldCols) {
-		nc, ok := newCols[cname]
-		if !ok {
+	for i, j := 0, 0; i < len(cp.oldCols); i++ {
+		for j < len(cp.newCols) && cp.newCols[j].name < cp.oldCols[i].name {
+			j++
+		}
+		if j >= len(cp.newCols) || cp.newCols[j].name != cp.oldCols[i].name {
 			continue
 		}
-		oc := oldCols[cname]
+		cname := cp.oldCols[i].name
+		oc, nc := cp.oldCols[i].c, cp.newCols[j].c
 		if !oc.Type.Equal(nc.Type) {
 			d.TypeChange++
 			d.Changes = append(d.Changes, Change{
 				Kind: AttrTypeChange, Table: tname, Column: cname,
 				Old: oc.Type.String(), New: nc.Type.String(),
 			})
-		} else if opts.OrderSensitive && colPosition(old, cname) != colPosition(new, cname) {
+		} else if cp.opts.OrderSensitive && cp.oldCols[i].pos != cp.newCols[j].pos {
 			d.TypeChange++
 			d.Changes = append(d.Changes, Change{
 				Kind: AttrTypeChange, Table: tname, Column: cname,
 				Old: oc.Type.String(), New: nc.Type.String(),
 			})
 		}
-		if old.HasPKColumn(cname) != new.HasPKColumn(cname) {
+		if old.HasPKNorm(cname) != new.HasPKNorm(cname) {
 			d.PKChange++
 			d.Changes = append(d.Changes, Change{Kind: AttrPKChange, Table: tname, Column: cname})
 		}
 	}
 }
 
-func nameSet(s *schema.Schema) map[string]struct{} {
-	out := make(map[string]struct{}, len(s.Tables))
-	for _, t := range s.Tables {
-		out[schema.Normalize(t.Name)] = struct{}{}
+func tableEntries(buf []tableEntry, s *schema.Schema) []tableEntry {
+	if s == nil {
+		return buf
 	}
-	return out
+	for i, t := range s.Tables {
+		buf = append(buf, tableEntry{name: t.NormName(), t: t, pos: i})
+	}
+	slices.SortFunc(buf, func(a, b tableEntry) int {
+		if a.name != b.name {
+			if a.name < b.name {
+				return -1
+			}
+			return 1
+		}
+		return a.pos - b.pos
+	})
+	return dedupLast(buf, func(e tableEntry) string { return e.name })
 }
 
-func colSet(t *schema.Table) map[string]*schema.Column {
-	out := make(map[string]*schema.Column, len(t.Columns))
-	for _, c := range t.Columns {
-		out[schema.Normalize(c.Name)] = c
-	}
-	return out
-}
-
-func colPosition(t *schema.Table, name string) int {
+func colEntries(buf []colEntry, t *schema.Table) []colEntry {
 	for i, c := range t.Columns {
-		if schema.Normalize(c.Name) == name {
-			return i
+		buf = append(buf, colEntry{name: c.NormName(), c: c, pos: i})
+	}
+	slices.SortFunc(buf, func(a, b colEntry) int {
+		if a.name != b.name {
+			if a.name < b.name {
+				return -1
+			}
+			return 1
+		}
+		return a.pos - b.pos
+	})
+	return dedupLast(buf, func(e colEntry) string { return e.name })
+}
+
+// dedupLast compacts a (name, pos)-sorted slice in place, keeping the
+// last declaration of each name — the same winner a name-keyed map
+// would retain.
+func dedupLast[E any](buf []E, name func(E) string) []E {
+	out := buf[:0]
+	for i := range buf {
+		if i+1 < len(buf) && name(buf[i+1]) == name(buf[i]) {
+			continue
+		}
+		out = append(out, buf[i])
+	}
+	return out
+}
+
+// fkKeySet collects the table's foreign-key identity keys as a sorted,
+// deduplicated set.
+func fkKeySet(buf []string, t *schema.Table) []string {
+	for _, fk := range t.ForeignKeys {
+		buf = append(buf, fk.Key())
+	}
+	sort.Strings(buf)
+	out := buf[:0]
+	for i, k := range buf {
+		if i > 0 && buf[i-1] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// countMissing returns how many elements of sorted set a are absent
+// from sorted set b.
+func countMissing(a, b []string) int {
+	n := 0
+	for i, j := 0, 0; i < len(a); i++ {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			n++
 		}
 	}
-	return -1
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return n
 }

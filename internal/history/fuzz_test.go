@@ -1,6 +1,7 @@
 package history
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sort"
@@ -115,6 +116,28 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		if got := len(a.SizeSeries()); got != len(h.Versions) {
 			t.Fatalf("SizeSeries has %d points for %d versions", got, len(h.Versions))
+		}
+
+		// The pooled entry point must agree with the sequential path on
+		// the same (already filtered) history — three aliases of h keep
+		// several workers reading it concurrently.
+		batch, err := AnalyzeAll(context.Background(), []*History{h, h, h}, 3)
+		if err != nil {
+			t.Fatalf("AnalyzeAll: %v", err)
+		}
+		for slot, pa := range batch {
+			if len(pa.Transitions) != len(a.Transitions) {
+				t.Fatalf("AnalyzeAll slot %d: %d transitions, want %d", slot, len(pa.Transitions), len(a.Transitions))
+			}
+			for i, tr := range pa.Transitions {
+				want := a.Transitions[i]
+				if tr.Delta.Activity() != want.Delta.Activity() ||
+					tr.Delta.Expansion() != want.Delta.Expansion() ||
+					tr.Delta.Maintenance() != want.Delta.Maintenance() ||
+					tr.DaysSinceV0 != want.DaysSinceV0 {
+					t.Fatalf("AnalyzeAll slot %d transition %d disagrees with Analyze", slot, i)
+				}
+			}
 		}
 	})
 }

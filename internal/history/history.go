@@ -17,6 +17,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/diff"
 	"github.com/schemaevo/schemaevo/internal/gitstore"
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/pool"
 	"github.com/schemaevo/schemaevo/internal/schema"
 	"github.com/schemaevo/schemaevo/internal/sqlparse"
 )
@@ -243,6 +244,7 @@ func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
 		return nil, fmt.Errorf("history: %s: no versions to analyze", h.Project)
 	}
 	a := &Analysis{History: h}
+	a.Schemas = make([]*schema.Schema, 0, len(h.Versions))
 	_, parseSpan := obs.Start(ctx, "sqlparse.parse")
 	var sqlBytes int64
 	for _, v := range h.Versions {
@@ -255,6 +257,13 @@ func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
 	parseSpan.End()
 	_, diffSpan := obs.Start(ctx, "diff.compute")
 	v0 := h.Versions[0].When
+	// One Computer per analysis: its scratch buffers amortise over the
+	// whole transition chain, and each analysis (= each pool worker)
+	// owns its own, so the fan-out shares nothing.
+	cp := diff.NewComputer(diff.Options{})
+	if n := len(a.Schemas); n > 1 {
+		a.Transitions = make([]Transition, 0, n-1)
+	}
 	for i := 1; i < len(a.Schemas); i++ {
 		old, new := a.Schemas[i-1], a.Schemas[i]
 		t := Transition{
@@ -262,7 +271,7 @@ func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
 			ToID:         i,
 			When:         h.Versions[i].When,
 			DaysSinceV0:  h.Versions[i].When.Sub(v0).Hours() / 24,
-			Delta:        diff.Compute(old, new),
+			Delta:        cp.Compute(old, new),
 			TablesBefore: old.NumTables(),
 			TablesAfter:  new.NumTables(),
 			AttrsBefore:  old.NumColumns(),
@@ -273,6 +282,32 @@ func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
 	diffSpan.SetAttr(obs.Int("transitions", int64(len(a.Transitions))))
 	diffSpan.End()
 	return a, nil
+}
+
+// AnalyzeAll analyzes every history on a bounded worker pool and
+// returns the analyses in input order. workers follows pool.Workers
+// semantics (0 = GOMAXPROCS); any worker count yields identical
+// results, since each history is analyzed independently and lands in
+// its own slot. Per-history "history.analyze" spans are started from
+// ctx on the worker goroutines, so they aggregate into the same stage
+// histogram the sequential path feeds.
+//
+// On error (including a cancelled ctx or a panicking worker) the first
+// failure is returned and the partial results are discarded.
+func AnalyzeAll(ctx context.Context, hists []*History, workers int) ([]*Analysis, error) {
+	out := make([]*Analysis, len(hists))
+	err := pool.Map(ctx, pool.Workers(workers), len(hists), func(i int) error {
+		a, err := AnalyzeContext(ctx, hists[i])
+		if err != nil {
+			return err
+		}
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SizeSeries returns (time, #tables, #attributes) for every version —

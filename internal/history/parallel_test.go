@@ -1,0 +1,105 @@
+package history
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// fixtureHistories builds a small set of parseable three-version
+// histories with distinct shapes.
+func fixtureHistories(n int) []*History {
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	ddl := []string{
+		"CREATE TABLE a (id INT PRIMARY KEY);",
+		"CREATE TABLE a (id INT PRIMARY KEY, name VARCHAR(40));",
+		"CREATE TABLE a (id INT PRIMARY KEY, name VARCHAR(40));\nCREATE TABLE b (x BIGINT, y TEXT);",
+		"CREATE TABLE b (x BIGINT, y TEXT, z DECIMAL(10,2));",
+	}
+	out := make([]*History, n)
+	for i := range out {
+		h := &History{Project: "p", Path: "schema.sql", ProjectCommits: 3, ProjectStart: base}
+		for v := 0; v < 3; v++ {
+			h.Versions = append(h.Versions, Version{
+				ID:   v,
+				When: base.Add(time.Duration(v*24*(i+1)) * time.Hour),
+				SQL:  ddl[(i+v)%len(ddl)],
+			})
+		}
+		h.ProjectEnd = h.Versions[2].When
+		out[i] = h
+	}
+	return out
+}
+
+// TestAnalyzeAllParallelMatchesSequential: the pooled entry point must
+// return, in input order, exactly the analyses the sequential path
+// produces. Under -race this exercises concurrent AnalyzeContext calls
+// and the per-slot result writes.
+func TestAnalyzeAllParallelMatchesSequential(t *testing.T) {
+	hists := fixtureHistories(17)
+	want := make([]*Analysis, len(hists))
+	for i, h := range hists {
+		a, err := Analyze(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := AnalyzeAll(context.Background(), hists, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: %d analyses, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].History != hists[i] {
+				t.Fatalf("workers %d: slot %d holds the wrong history", workers, i)
+			}
+			if len(got[i].Transitions) != len(want[i].Transitions) {
+				t.Fatalf("workers %d: slot %d has %d transitions, want %d",
+					workers, i, len(got[i].Transitions), len(want[i].Transitions))
+			}
+			for j := range want[i].Transitions {
+				g, w := got[i].Transitions[j], want[i].Transitions[j]
+				if g.Delta.Activity() != w.Delta.Activity() ||
+					g.Delta.Expansion() != w.Delta.Expansion() ||
+					g.Delta.Maintenance() != w.Delta.Maintenance() {
+					t.Fatalf("workers %d: slot %d transition %d delta differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeAllParallelError: a failing history surfaces as an error
+// and discards the batch.
+func TestAnalyzeAllParallelError(t *testing.T) {
+	hists := fixtureHistories(8)
+	hists[5] = &History{Project: "empty"} // no versions: Analyze rejects it
+	got, err := AnalyzeAll(context.Background(), hists, 4)
+	if err == nil {
+		t.Fatal("AnalyzeAll accepted an empty history")
+	}
+	if got != nil {
+		t.Fatalf("partial results returned alongside error: %d analyses", len(got))
+	}
+}
+
+// TestAnalyzeAllParallelCancellation: cancellation wins over task
+// errors and no partial results escape.
+func TestAnalyzeAllParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := AnalyzeAll(ctx, fixtureHistories(8), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Fatalf("cancelled AnalyzeAll returned %d analyses", len(got))
+	}
+}

@@ -1,0 +1,114 @@
+// Package pool provides the bounded worker pool behind the parallel
+// stages of the cold study pipeline.
+//
+// The pipeline's unit of work is the project: the corpus builds 195
+// independent histories and the analysis stage walks each one
+// independently, so both stages are embarrassingly parallel — provided
+// the fan-out cannot change a single output byte. Map guarantees that
+// by construction: tasks are identified by index, every task writes
+// only its own result slot, and callers reassemble results in index
+// order regardless of completion order.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: a positive request is
+// honoured as-is, anything else defaults to GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and returns the
+// first (lowest-index) task error, if any. It guarantees:
+//
+//   - Determinism: each task writes only state owned by its index, so
+//     results are independent of scheduling order.
+//   - Cancellation: when ctx is cancelled mid-fan-out, no further tasks
+//     are dispatched; in-flight tasks finish and ctx.Err() is returned.
+//   - Panic safety: a panicking task is captured and surfaced as an
+//     error without deadlocking the pool or killing the process.
+//   - Early exit: after any task fails, no further tasks start.
+//
+// workers <= 1 (or n == 1) runs tasks sequentially on the calling
+// goroutine with identical semantics and no goroutine overhead.
+func Map(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTask(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		idx    = make(chan int)
+		errs   = make([]error, n)
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := runTask(fn, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask invokes fn(i), converting a panic into an error so one bad
+// task cannot take down the pool (or the daemon embedding it).
+func runTask(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,152 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolMapRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 100
+		done := make([]int32, n)
+		err := Map(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&done[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		for i, c := range done {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolMapConcurrentFanOut proves tasks genuinely overlap when
+// workers > 1: two tasks block until both have started.
+func TestPoolMapConcurrentFanOut(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Skip("no procs")
+	}
+	barrier := make(chan struct{}, 2)
+	err := Map(context.Background(), 2, 2, func(i int) error {
+		barrier <- struct{}{}
+		// Wait (bounded) for the other task: only possible if both run
+		// concurrently on separate workers.
+		deadline := time.After(5 * time.Second)
+		for len(barrier) < 2 {
+			select {
+			case <-deadline:
+				return errors.New("peer task never started")
+			default:
+				runtime.Gosched()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("concurrent fan-out failed: %v", err)
+	}
+}
+
+func TestPoolMapDeterministicSlots(t *testing.T) {
+	n := 500
+	out := make([]int, n)
+	if err := Map(context.Background(), 8, n, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestPoolMapCancellationMidFanOut(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	err := Map(ctx, 4, 1000, func(i int) error {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d tasks ran despite cancellation", n)
+	}
+}
+
+func TestPoolMapPanicSurfacesAsError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Map(context.Background(), workers, 50, func(i int) error {
+			if i == 7 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "task 7 panicked: boom") {
+			t.Fatalf("workers=%d: err = %v, want task-7 panic", workers, err)
+		}
+	}
+}
+
+func TestPoolMapFirstErrorWins(t *testing.T) {
+	wantErr := errors.New("task error")
+	err := Map(context.Background(), 4, 100, func(i int) error {
+		if i == 3 || i == 60 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestPoolMapStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int32
+	_ = Map(context.Background(), 2, 10000, func(i int) error {
+		ran.Add(1)
+		return errors.New("fail fast")
+	})
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("all %d tasks ran despite early error", n)
+	}
+}
+
+func TestPoolMapZeroTasks(t *testing.T) {
+	if err := Map(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}

@@ -20,61 +20,64 @@ import (
 // tables. Table lookup is case-insensitive, following MySQL's default
 // behaviour on the case-insensitive file systems most FOSS projects target.
 type Schema struct {
-	// Tables in declaration order.
+	// Tables in declaration order. Lookup is a linear scan over cached
+	// normalized names: real dumps hold tens of tables, where the scan
+	// beats a map's per-schema bucket allocations and string hashing.
 	Tables []*Table
-
-	index map[string]*Table // normalized name -> table
 }
 
 // New returns an empty schema.
 func New() *Schema {
-	return &Schema{index: make(map[string]*Table)}
+	return &Schema{}
 }
 
 // Normalize canonicalises an identifier for lookup: backtick/bracket/quote
-// stripping and lower-casing.
+// stripping and lower-casing. Typical identifiers are already canonical,
+// and Normalize sits on the diff hot path, so it returns the input
+// unchanged (no allocation, single scan) whenever no byte needs work.
 func Normalize(name string) string {
-	name = strings.TrimSpace(name)
-	name = strings.Trim(name, "`\"'[]")
-	return strings.ToLower(name)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') || normalizeTrimmed(c) ||
+			c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+			name = strings.TrimSpace(name)
+			name = strings.Trim(name, "`\"'[]")
+			return strings.ToLower(name)
+		}
+	}
+	return name
+}
+
+// normalizeTrimmed reports whether c is in Normalize's trim cutset.
+func normalizeTrimmed(c byte) bool {
+	return c == '`' || c == '"' || c == '\'' || c == '[' || c == ']'
 }
 
 // AddTable appends t to the schema. If a table with the same normalized name
 // already exists it is replaced in place, matching the semantics of
 // re-declaring a table in a DDL dump (the last declaration wins).
 func (s *Schema) AddTable(t *Table) {
-	if s.index == nil {
-		s.index = make(map[string]*Table)
-	}
 	key := Normalize(t.Name)
-	if old, ok := s.index[key]; ok {
-		for i, existing := range s.Tables {
-			if existing == old {
-				s.Tables[i] = t
-				break
-			}
+	t.norm = key
+	for i, existing := range s.Tables {
+		if existing.NormName() == key {
+			s.Tables[i] = t
+			return
 		}
-	} else {
-		s.Tables = append(s.Tables, t)
 	}
-	s.index[key] = t
+	s.Tables = append(s.Tables, t)
 }
 
 // DropTable removes the named table. It reports whether a table was removed.
 func (s *Schema) DropTable(name string) bool {
 	key := Normalize(name)
-	t, ok := s.index[key]
-	if !ok {
-		return false
-	}
-	delete(s.index, key)
 	for i, existing := range s.Tables {
-		if existing == t {
+		if existing.NormName() == key {
 			s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
-			break
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // RenameTable re-registers the table old under name new, reporting whether
@@ -85,26 +88,27 @@ func (s *Schema) RenameTable(old, new string) bool {
 	if t == nil {
 		return false
 	}
-	delete(s.index, Normalize(old))
-	if prev, ok := s.index[Normalize(new)]; ok && prev != t {
-		for i, existing := range s.Tables {
-			if existing == prev {
-				s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
-				break
-			}
+	newKey := Normalize(new)
+	for i, existing := range s.Tables {
+		if existing != t && existing.NormName() == newKey {
+			s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
+			break
 		}
 	}
 	t.Name = new
-	s.index[Normalize(new)] = t
+	t.norm = newKey
 	return true
 }
 
 // Table returns the table with the given (normalized) name, or nil.
 func (s *Schema) Table(name string) *Table {
-	if s.index == nil {
-		return nil
+	key := Normalize(name)
+	for _, t := range s.Tables {
+		if t.NormName() == key {
+			return t
+		}
 	}
-	return s.index[Normalize(name)]
+	return nil
 }
 
 // NumTables returns the number of tables in the schema.
@@ -152,7 +156,11 @@ type Table struct {
 	// Options holds opaque physical-level table options (ENGINE=..., etc.).
 	Options map[string]string
 
-	colIndex map[string]*Column
+	// norm caches Normalize(Name); maintained by NewTable, AddTable and
+	// RenameTable, read via NormName. Column lookup is a linear scan over
+	// the columns' cached norms — tables are small enough that the scan
+	// beats a per-table map (bucket allocation + hashing per column).
+	norm string
 }
 
 // ForeignKey is one referential constraint.
@@ -176,18 +184,16 @@ func (fk *ForeignKey) Key() string {
 	return strings.Join(fk.Columns, ",") + "->" + fk.RefTable + "(" + strings.Join(fk.RefColumns, ",") + ")"
 }
 
-// AddForeignKey appends a constraint, normalizing all identifiers.
+// AddForeignKey appends a constraint, normalizing all identifiers in place
+// (the table takes ownership of fk and its slices).
 func (t *Table) AddForeignKey(fk *ForeignKey) {
-	norm := func(xs []string) []string {
-		out := make([]string, len(xs))
-		for i, x := range xs {
-			out[i] = Normalize(x)
-		}
-		return out
+	for i, x := range fk.Columns {
+		fk.Columns[i] = Normalize(x)
 	}
-	fk.Columns = norm(fk.Columns)
 	fk.RefTable = Normalize(fk.RefTable)
-	fk.RefColumns = norm(fk.RefColumns)
+	for i, x := range fk.RefColumns {
+		fk.RefColumns[i] = Normalize(x)
+	}
 	t.ForeignKeys = append(t.ForeignKeys, fk)
 }
 
@@ -318,42 +324,45 @@ func (s *Schema) NumForeignKeys() int {
 
 // NewTable returns an empty table with the given name.
 func NewTable(name string) *Table {
-	return &Table{Name: name, colIndex: make(map[string]*Column)}
+	return &Table{Name: name, norm: Normalize(name)}
+}
+
+// NormName returns the cached normalized table name, computing it on
+// first use for tables built outside NewTable/AddTable.
+func (t *Table) NormName() string {
+	if t.norm == "" {
+		t.norm = Normalize(t.Name)
+	}
+	return t.norm
 }
 
 // AddColumn appends c. Re-declaring a column name replaces the existing one.
 func (t *Table) AddColumn(c *Column) {
-	if t.colIndex == nil {
-		t.colIndex = make(map[string]*Column)
-	}
 	key := Normalize(c.Name)
-	if old, ok := t.colIndex[key]; ok {
-		for i, existing := range t.Columns {
-			if existing == old {
-				t.Columns[i] = c
-				break
-			}
+	c.norm = key
+	for i, existing := range t.Columns {
+		if existing.NormName() == key {
+			t.Columns[i] = c
+			return
 		}
-	} else {
-		t.Columns = append(t.Columns, c)
 	}
-	t.colIndex[key] = c
+	t.Columns = append(t.Columns, c)
 }
 
 // DropColumn removes the named column, reporting whether it existed. A column
 // participating in the primary key is also removed from the key.
 func (t *Table) DropColumn(name string) bool {
 	key := Normalize(name)
-	c, ok := t.colIndex[key]
-	if !ok {
-		return false
-	}
-	delete(t.colIndex, key)
+	found := false
 	for i, existing := range t.Columns {
-		if existing == c {
+		if existing.NormName() == key {
 			t.Columns = append(t.Columns[:i], t.Columns[i+1:]...)
+			found = true
 			break
 		}
+	}
+	if !found {
+		return false
 	}
 	for i, pk := range t.PrimaryKey {
 		if pk == key {
@@ -367,10 +376,13 @@ func (t *Table) DropColumn(name string) bool {
 
 // Column returns the column with the given (normalized) name, or nil.
 func (t *Table) Column(name string) *Column {
-	if t.colIndex == nil {
-		return nil
+	key := Normalize(name)
+	for _, c := range t.Columns {
+		if c.NormName() == key {
+			return c
+		}
 	}
-	return t.colIndex[Normalize(name)]
+	return nil
 }
 
 // SetPrimaryKey replaces the table's primary key with the given column names
@@ -388,7 +400,13 @@ func (t *Table) SetPrimaryKey(cols []string) {
 // HasPKColumn reports whether the normalized column name participates in the
 // primary key.
 func (t *Table) HasPKColumn(name string) bool {
-	key := Normalize(name)
+	return t.HasPKNorm(Normalize(name))
+}
+
+// HasPKNorm is HasPKColumn for a key that is already normalized — the
+// diff survivors pass asks this for every surviving column of every
+// transition, where re-normalizing canonical names would dominate.
+func (t *Table) HasPKNorm(key string) bool {
 	for _, pk := range t.PrimaryKey {
 		if pk == key {
 			return true
@@ -431,6 +449,20 @@ type Column struct {
 	Default    string
 	AutoInc    bool
 	Comment    string
+
+	// norm caches Normalize(Name); set by AddColumn, read via NormName.
+	norm string
+}
+
+// NormName returns the cached normalized column name, computing it on
+// first use for columns built outside AddColumn. The diff hot path
+// reads every column's normalized name on every transition, so the
+// cache replaces millions of Normalize calls per pipeline run.
+func (c *Column) NormName() string {
+	if c.norm == "" {
+		c.norm = Normalize(c.Name)
+	}
+	return c.norm
 }
 
 // DataType is a parsed SQL data type: a name plus optional arguments

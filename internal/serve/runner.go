@@ -23,9 +23,13 @@ func (f RunnerFunc) Run(ctx context.Context, seed int64) (*study.Study, error) {
 	return f(ctx, seed)
 }
 
-// pipelineRunner is the production Runner: the real study pipeline.
-type pipelineRunner struct{}
+// pipelineRunner is the production Runner: the real study pipeline,
+// fanned out over the configured worker pool (0 = GOMAXPROCS). Worker
+// count never changes the artifacts, only the wall clock.
+type pipelineRunner struct {
+	workers int
+}
 
-func (pipelineRunner) Run(ctx context.Context, seed int64) (*study.Study, error) {
-	return study.NewContext(ctx, seed)
+func (r pipelineRunner) Run(ctx context.Context, seed int64) (*study.Study, error) {
+	return study.NewWithOptions(ctx, seed, study.Options{Workers: r.workers})
 }

@@ -79,6 +79,10 @@ type Options struct {
 	// PrewarmWorkers bounds the parallel Prewarm worker pool
 	// (default GOMAXPROCS/2, minimum 1).
 	PrewarmWorkers int
+	// PipelineWorkers bounds the per-study worker pool inside the default
+	// pipeline Runner (0 = GOMAXPROCS). Deterministic: any value yields
+	// byte-identical artifacts. Ignored when a custom Runner is supplied.
+	PipelineWorkers int
 	// Logger receives the daemon's structured log lines (nil = silent).
 	// Pipeline runs log with the seed as correlation key.
 	Logger *slog.Logger
@@ -117,7 +121,7 @@ func New(opts Options) *Server {
 		opts.Timeout = 60 * time.Second
 	}
 	if opts.Runner == nil {
-		opts.Runner = pipelineRunner{}
+		opts.Runner = pipelineRunner{workers: opts.PipelineWorkers}
 	}
 	if opts.Logger == nil {
 		opts.Logger = obs.NopLogger()

@@ -1,0 +1,391 @@
+package sqlparse
+
+// keyword identifies the parser's reserved words, classified once at
+// lex time so the parse ladders compare small integers instead of
+// fold-comparing strings on every candidate.
+type keyword uint8
+
+// Parser keywords; kwNone marks plain identifiers.
+const (
+	kwNone keyword = iota
+	kwADD
+	kwAFTER
+	kwALTER
+	kwALWAYS
+	kwAS
+	kwASC
+	kwAUTOINCREMENT
+	kwAUTO_INCREMENT
+	kwBINARY
+	kwCHANGE
+	kwCHARACTER
+	kwCHARSET
+	kwCHECK
+	kwCOLLATE
+	kwCOLUMN
+	kwCOMMENT
+	kwCONSTRAINT
+	kwCREATE
+	kwDEFAULT
+	kwDELETE
+	kwDESC
+	kwDROP
+	kwEXISTS
+	kwFIRST
+	kwFOREIGN
+	kwFULLTEXT
+	kwGENERATED
+	kwIF
+	kwIGNORE
+	kwINDEX
+	kwKEY
+	kwKEY_BLOCK_SIZE
+	kwLIKE
+	kwMATCH
+	kwMODIFY
+	kwNO
+	kwNOT
+	kwNULL
+	kwOFFLINE
+	kwON
+	kwONLINE
+	kwONLY
+	kwOR
+	kwPRECISION
+	kwPRIMARY
+	kwREFERENCES
+	kwRENAME
+	kwREPLACE
+	kwSELECT
+	kwSERIAL
+	kwSET
+	kwSIGNED
+	kwSPATIAL
+	kwSTORED
+	kwTABLE
+	kwTEMPORARY
+	kwTIME
+	kwTO
+	kwUNIQUE
+	kwUNSIGNED
+	kwUPDATE
+	kwUSING
+	kwVARBINARY
+	kwVARCHAR
+	kwVARYING
+	kwVIRTUAL
+	kwWITH
+	kwWITHOUT
+	kwZEROFILL
+	kwZONE
+)
+
+// keywordOf classifies s case-insensitively: switch on length, then on
+// the folded first byte, then a full fold comparison among the few
+// remaining candidates.
+func keywordOf(s string) keyword {
+	switch len(s) {
+	case 2:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "as") {
+				return kwAS
+			}
+		case 'i':
+			if foldEq(s, "if") {
+				return kwIF
+			}
+		case 'n':
+			if foldEq(s, "no") {
+				return kwNO
+			}
+		case 'o':
+			if foldEq(s, "on") {
+				return kwON
+			} else if foldEq(s, "or") {
+				return kwOR
+			}
+		case 't':
+			if foldEq(s, "to") {
+				return kwTO
+			}
+		}
+	case 3:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "add") {
+				return kwADD
+			} else if foldEq(s, "asc") {
+				return kwASC
+			}
+		case 'k':
+			if foldEq(s, "key") {
+				return kwKEY
+			}
+		case 'n':
+			if foldEq(s, "not") {
+				return kwNOT
+			}
+		case 's':
+			if foldEq(s, "set") {
+				return kwSET
+			}
+		}
+	case 4:
+		switch s[0] | 0x20 {
+		case 'd':
+			if foldEq(s, "desc") {
+				return kwDESC
+			} else if foldEq(s, "drop") {
+				return kwDROP
+			}
+		case 'l':
+			if foldEq(s, "like") {
+				return kwLIKE
+			}
+		case 'n':
+			if foldEq(s, "null") {
+				return kwNULL
+			}
+		case 'o':
+			if foldEq(s, "only") {
+				return kwONLY
+			}
+		case 't':
+			if foldEq(s, "time") {
+				return kwTIME
+			}
+		case 'w':
+			if foldEq(s, "with") {
+				return kwWITH
+			}
+		case 'z':
+			if foldEq(s, "zone") {
+				return kwZONE
+			}
+		}
+	case 5:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "after") {
+				return kwAFTER
+			} else if foldEq(s, "alter") {
+				return kwALTER
+			}
+		case 'c':
+			if foldEq(s, "check") {
+				return kwCHECK
+			}
+		case 'f':
+			if foldEq(s, "first") {
+				return kwFIRST
+			}
+		case 'i':
+			if foldEq(s, "index") {
+				return kwINDEX
+			}
+		case 'm':
+			if foldEq(s, "match") {
+				return kwMATCH
+			}
+		case 't':
+			if foldEq(s, "table") {
+				return kwTABLE
+			}
+		case 'u':
+			if foldEq(s, "using") {
+				return kwUSING
+			}
+		}
+	case 6:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "always") {
+				return kwALWAYS
+			}
+		case 'b':
+			if foldEq(s, "binary") {
+				return kwBINARY
+			}
+		case 'c':
+			if foldEq(s, "change") {
+				return kwCHANGE
+			} else if foldEq(s, "column") {
+				return kwCOLUMN
+			} else if foldEq(s, "create") {
+				return kwCREATE
+			}
+		case 'd':
+			if foldEq(s, "delete") {
+				return kwDELETE
+			}
+		case 'e':
+			if foldEq(s, "exists") {
+				return kwEXISTS
+			}
+		case 'i':
+			if foldEq(s, "ignore") {
+				return kwIGNORE
+			}
+		case 'm':
+			if foldEq(s, "modify") {
+				return kwMODIFY
+			}
+		case 'o':
+			if foldEq(s, "online") {
+				return kwONLINE
+			}
+		case 'r':
+			if foldEq(s, "rename") {
+				return kwRENAME
+			}
+		case 's':
+			if foldEq(s, "select") {
+				return kwSELECT
+			} else if foldEq(s, "serial") {
+				return kwSERIAL
+			} else if foldEq(s, "signed") {
+				return kwSIGNED
+			} else if foldEq(s, "stored") {
+				return kwSTORED
+			}
+		case 'u':
+			if foldEq(s, "unique") {
+				return kwUNIQUE
+			} else if foldEq(s, "update") {
+				return kwUPDATE
+			}
+		}
+	case 7:
+		switch s[0] | 0x20 {
+		case 'c':
+			if foldEq(s, "charset") {
+				return kwCHARSET
+			} else if foldEq(s, "collate") {
+				return kwCOLLATE
+			} else if foldEq(s, "comment") {
+				return kwCOMMENT
+			}
+		case 'd':
+			if foldEq(s, "default") {
+				return kwDEFAULT
+			}
+		case 'f':
+			if foldEq(s, "foreign") {
+				return kwFOREIGN
+			}
+		case 'o':
+			if foldEq(s, "offline") {
+				return kwOFFLINE
+			}
+		case 'p':
+			if foldEq(s, "primary") {
+				return kwPRIMARY
+			}
+		case 'r':
+			if foldEq(s, "replace") {
+				return kwREPLACE
+			}
+		case 's':
+			if foldEq(s, "spatial") {
+				return kwSPATIAL
+			}
+		case 'v':
+			if foldEq(s, "varchar") {
+				return kwVARCHAR
+			} else if foldEq(s, "varying") {
+				return kwVARYING
+			} else if foldEq(s, "virtual") {
+				return kwVIRTUAL
+			}
+		case 'w':
+			if foldEq(s, "without") {
+				return kwWITHOUT
+			}
+		}
+	case 8:
+		switch s[0] | 0x20 {
+		case 'f':
+			if foldEq(s, "fulltext") {
+				return kwFULLTEXT
+			}
+		case 'u':
+			if foldEq(s, "unsigned") {
+				return kwUNSIGNED
+			}
+		case 'z':
+			if foldEq(s, "zerofill") {
+				return kwZEROFILL
+			}
+		}
+	case 9:
+		switch s[0] | 0x20 {
+		case 'c':
+			if foldEq(s, "character") {
+				return kwCHARACTER
+			}
+		case 'g':
+			if foldEq(s, "generated") {
+				return kwGENERATED
+			}
+		case 'p':
+			if foldEq(s, "precision") {
+				return kwPRECISION
+			}
+		case 't':
+			if foldEq(s, "temporary") {
+				return kwTEMPORARY
+			}
+		case 'v':
+			if foldEq(s, "varbinary") {
+				return kwVARBINARY
+			}
+		}
+	case 10:
+		switch s[0] | 0x20 {
+		case 'c':
+			if foldEq(s, "constraint") {
+				return kwCONSTRAINT
+			}
+		case 'r':
+			if foldEq(s, "references") {
+				return kwREFERENCES
+			}
+		}
+	case 13:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "autoincrement") {
+				return kwAUTOINCREMENT
+			}
+		}
+	case 14:
+		switch s[0] | 0x20 {
+		case 'a':
+			if foldEq(s, "auto_increment") {
+				return kwAUTO_INCREMENT
+			}
+		case 'k':
+			if foldEq(s, "key_block_size") {
+				return kwKEY_BLOCK_SIZE
+			}
+		}
+	}
+	return kwNone
+}
+
+// foldEq reports whether s equals lower under ASCII case folding; the
+// caller guarantees len(s) == len(lower) and lower is already
+// lower-case.
+func foldEq(s, lower string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}

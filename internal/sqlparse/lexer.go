@@ -11,7 +11,6 @@ package sqlparse
 
 import (
 	"fmt"
-	"strings"
 	"unicode"
 )
 
@@ -54,6 +53,13 @@ type Token struct {
 	Text string
 	Line int
 	Col  int
+
+	// kw is the keyword class of an identifier token (kwNone for plain
+	// identifiers), computed once at lex time. The parser's keyword
+	// ladders compare this small integer instead of fold-comparing the
+	// text against every candidate. Tokens built outside the lexer carry
+	// kwNone; the string-based Is remains correct for them.
+	kw keyword
 }
 
 // Ident returns the unquoted, original-case identifier text.
@@ -71,9 +77,33 @@ func (t Token) Ident() string {
 }
 
 // Is reports whether the token is an identifier matching kw
-// case-insensitively.
+// case-insensitively. Keywords are ASCII, so a byte-wise fold suffices
+// (multi-byte runes can never fold-equal an ASCII letter) and the
+// comparison stays allocation-free on the parse hot path.
 func (t Token) Is(kw string) bool {
-	return t.Kind == TokIdent && strings.EqualFold(t.Ident(), kw)
+	if t.Kind != TokIdent {
+		return false
+	}
+	id := t.Ident()
+	if len(id) != len(kw) {
+		return false
+	}
+	for i := 0; i < len(kw); i++ {
+		a, b := id[i], kw[i]
+		if a == b {
+			continue
+		}
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
 }
 
 // IsPunct reports whether the token is the given punctuation rune.
@@ -231,12 +261,17 @@ func (l *Lexer) Next() Token {
 		for l.pos < len(l.src) && isIdentPart(l.peek()) {
 			l.advance()
 		}
-		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: startLine, Col: startCol}
+		text := l.src[start:l.pos]
+		return Token{Kind: TokIdent, Text: text, kw: keywordOf(text), Line: startLine, Col: startCol}
 	}
 
-	// Everything else is single-rune punctuation.
+	// Everything else is single-rune punctuation. The token text slices
+	// the source (like every other token kind) instead of materialising
+	// a fresh one-byte string: lexing is zero-copy end to end, every
+	// Token.Text is a view over the DDL buffer.
+	start := l.pos
 	l.advance()
-	return Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol}
+	return Token{Kind: TokPunct, Text: l.src[start:l.pos], Line: startLine, Col: startCol}
 }
 
 func (l *Lexer) lexLineComment(line, col int) Token {
@@ -293,7 +328,11 @@ func (l *Lexer) lexQuotedIdent(open, close byte, line, col int) Token {
 	if l.pos < len(l.src) {
 		l.advance() // close
 	}
-	return Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: line, Col: col}
+	tok := Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: line, Col: col}
+	// Quoted identifiers still fold-match keywords through Is (the quotes
+	// are stripped by Ident), so classify the inner text for parity.
+	tok.kw = keywordOf(tok.Ident())
+	return tok
 }
 
 // Tokens lexes the whole input, excluding comments, primarily for tests.

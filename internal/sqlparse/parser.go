@@ -50,11 +50,11 @@ func ParseMode(src string, mode Mode) *Result {
 		}
 		res.Statements++
 		switch {
-		case p.tok.Is("CREATE"):
+		case p.tok.kw == kwCREATE:
 			p.parseCreate(res)
-		case p.tok.Is("DROP"):
+		case p.tok.kw == kwDROP:
 			p.parseDrop(res)
-		case p.tok.Is("ALTER"):
+		case p.tok.kw == kwALTER:
 			p.parseAlter(res)
 		default:
 			// INSERT, SET, USE, LOCK, DELIMITER, etc.: skip statement.
@@ -154,22 +154,22 @@ func (p *parser) qualifiedName() (string, bool) {
 func (p *parser) parseCreate(res *Result) {
 	p.next() // CREATE
 	// Swallow modifiers: TEMPORARY, OR REPLACE.
-	for p.tok.Is("TEMPORARY") || p.tok.Is("OR") || p.tok.Is("REPLACE") {
+	for p.tok.kw == kwTEMPORARY || p.tok.kw == kwOR || p.tok.kw == kwREPLACE {
 		p.next()
 	}
-	if !p.tok.Is("TABLE") {
+	if p.tok.kw != kwTABLE {
 		// CREATE DATABASE / INDEX / VIEW / TRIGGER ...: not logical-schema
 		// capacity; skip silently (not an error — these are legitimate).
 		p.skipStatement()
 		return
 	}
 	p.next() // TABLE
-	if p.tok.Is("IF") {
+	if p.tok.kw == kwIF {
 		p.next()
-		if p.tok.Is("NOT") {
+		if p.tok.kw == kwNOT {
 			p.next()
 		}
-		if p.tok.Is("EXISTS") {
+		if p.tok.kw == kwEXISTS {
 			p.next()
 		}
 	}
@@ -180,7 +180,7 @@ func (p *parser) parseCreate(res *Result) {
 	}
 	// CREATE TABLE x LIKE y; and CREATE TABLE x AS SELECT...: skip — no
 	// explicit column list to measure.
-	if p.tok.Is("LIKE") || p.tok.Is("AS") || p.tok.Is("SELECT") {
+	if p.tok.kw == kwLIKE || p.tok.kw == kwAS || p.tok.kw == kwSELECT {
 		p.skipStatement()
 		return
 	}
@@ -222,9 +222,9 @@ func (p *parser) parseCreate(res *Result) {
 // whole statement was abandoned.
 func (p *parser) parseTableElement(t *schema.Table, res *Result, tname string) bool {
 	switch {
-	case p.tok.Is("PRIMARY"):
+	case p.tok.kw == kwPRIMARY:
 		p.next()
-		if p.tok.Is("KEY") {
+		if p.tok.kw == kwKEY {
 			p.next()
 		}
 		cols := p.parseParenNameList()
@@ -233,40 +233,40 @@ func (p *parser) parseTableElement(t *schema.Table, res *Result, tname string) b
 		}
 		p.skipIndexOptions()
 		return true
-	case p.tok.Is("UNIQUE"), p.tok.Is("KEY"), p.tok.Is("INDEX"),
-		p.tok.Is("FULLTEXT"), p.tok.Is("SPATIAL"):
+	case p.tok.kw == kwUNIQUE, p.tok.kw == kwKEY, p.tok.kw == kwINDEX,
+		p.tok.kw == kwFULLTEXT, p.tok.kw == kwSPATIAL:
 		// UNIQUE [KEY|INDEX] [name] (cols), KEY name (cols), etc. Indexes are
 		// physical-level: parse and discard.
 		p.next()
-		if p.tok.Is("KEY") || p.tok.Is("INDEX") {
+		if p.tok.kw == kwKEY || p.tok.kw == kwINDEX {
 			p.next()
 		}
 		if p.tok.Kind == TokIdent && !p.tok.IsPunct('(') {
 			p.next() // index name
 		}
-		if p.tok.Is("USING") {
+		if p.tok.kw == kwUSING {
 			p.next()
 			p.next()
 		}
 		p.parseParenNameList()
 		p.skipIndexOptions()
 		return true
-	case p.tok.Is("CONSTRAINT"):
+	case p.tok.kw == kwCONSTRAINT:
 		p.next()
 		name := ""
-		if p.tok.Kind == TokIdent && !p.tok.Is("PRIMARY") && !p.tok.Is("FOREIGN") &&
-			!p.tok.Is("UNIQUE") && !p.tok.Is("CHECK") {
+		if p.tok.Kind == TokIdent && p.tok.kw != kwPRIMARY && p.tok.kw != kwFOREIGN &&
+			p.tok.kw != kwUNIQUE && p.tok.kw != kwCHECK {
 			name = p.tok.Ident()
 			p.next()
 		}
 		p.constraintName = name
 		return p.parseTableElement(t, res, tname)
-	case p.tok.Is("FOREIGN"):
+	case p.tok.kw == kwFOREIGN:
 		// FOREIGN KEY (cols) REFERENCES tbl (cols) [ON ...]. Not counted by
 		// the paper's activity measures (see its "open paths"); retained in
 		// the model for the constraint-usage extension.
 		p.next()
-		if p.tok.Is("KEY") {
+		if p.tok.kw == kwKEY {
 			p.next()
 		}
 		if p.tok.Kind == TokIdent && !p.tok.IsPunct('(') {
@@ -274,7 +274,7 @@ func (p *parser) parseTableElement(t *schema.Table, res *Result, tname string) b
 		}
 		fk := &schema.ForeignKey{Name: p.takeConstraintName()}
 		fk.Columns = p.parseParenNameList()
-		if p.tok.Is("REFERENCES") {
+		if p.tok.kw == kwREFERENCES {
 			p.next()
 			if ref, ok := p.qualifiedName(); ok {
 				fk.RefTable = ref
@@ -286,7 +286,7 @@ func (p *parser) parseTableElement(t *schema.Table, res *Result, tname string) b
 			t.AddForeignKey(fk)
 		}
 		return true
-	case p.tok.Is("CHECK"):
+	case p.tok.kw == kwCHECK:
 		p.next()
 		p.skipBalancedParens()
 		return true
@@ -315,36 +315,36 @@ func (p *parser) parseDataType() (schema.DataType, bool) {
 	if p.tok.Kind != TokIdent {
 		return schema.DataType{}, false
 	}
-	dt := schema.DataType{Name: strings.ToLower(p.tok.Ident())}
+	dt := schema.DataType{Name: lowerWord(p.tok.Ident())}
 	p.next()
 	// Multi-word and dialect types: DOUBLE PRECISION, CHARACTER VARYING,
 	// LONG VARCHAR, TIMESTAMP WITH[OUT] TIME ZONE, and PostgreSQL's SERIAL
 	// family (an auto-incrementing integer at the logical level).
 	switch dt.Name {
 	case "double":
-		if p.tok.Is("PRECISION") {
+		if p.tok.kw == kwPRECISION {
 			p.next()
 		}
 	case "character":
-		if p.tok.Is("VARYING") {
+		if p.tok.kw == kwVARYING {
 			dt.Name = "varchar"
 			p.next()
 		} else {
 			dt.Name = "char"
 		}
 	case "long":
-		if p.tok.Is("VARCHAR") || p.tok.Is("VARBINARY") {
+		if p.tok.kw == kwVARCHAR || p.tok.kw == kwVARBINARY {
 			dt.Name = "long" + strings.ToLower(p.tok.Ident())
 			p.next()
 		}
 	case "timestamp", "time":
-		if p.tok.Is("WITH") || p.tok.Is("WITHOUT") {
+		if p.tok.kw == kwWITH || p.tok.kw == kwWITHOUT {
 			// WITH[OUT] TIME ZONE: logical capacity is the base type.
 			p.next()
-			if p.tok.Is("TIME") {
+			if p.tok.kw == kwTIME {
 				p.next()
 			}
-			if p.tok.Is("ZONE") {
+			if p.tok.kw == kwZONE {
 				p.next()
 			}
 		}
@@ -358,12 +358,22 @@ func (p *parser) parseDataType() (schema.DataType, bool) {
 	if p.tok.IsPunct('(') {
 		p.next()
 		depth := 0
+		// Nearly every arg is a single token — `(11)`, `(10,2)`, enum
+		// values — so keep the first token as a zero-copy view of the
+		// source and only fall back to a builder when a second token
+		// extends the same arg.
 		var arg strings.Builder
+		first := ""
+		haveFirst := false
 		flush := func() {
-			if arg.Len() > 0 {
+			switch {
+			case arg.Len() > 0:
 				dt.Args = append(dt.Args, arg.String())
 				arg.Reset()
+			case haveFirst:
+				dt.Args = append(dt.Args, first)
 			}
+			first, haveFirst = "", false
 		}
 		for p.tok.Kind != TokEOF {
 			if p.tok.IsPunct('(') {
@@ -379,22 +389,30 @@ func (p *parser) parseDataType() (schema.DataType, bool) {
 				p.next()
 				continue
 			}
-			arg.WriteString(p.tok.Text)
+			if !haveFirst && arg.Len() == 0 {
+				first, haveFirst = p.tok.Text, true
+			} else {
+				if arg.Len() == 0 {
+					arg.WriteString(first)
+					first, haveFirst = "", false
+				}
+				arg.WriteString(p.tok.Text)
+			}
 			p.next()
 		}
 		flush()
 	}
 	for {
 		switch {
-		case p.tok.Is("UNSIGNED"):
+		case p.tok.kw == kwUNSIGNED:
 			dt.Unsigned = true
 			p.next()
-		case p.tok.Is("SIGNED"):
+		case p.tok.kw == kwSIGNED:
 			p.next()
-		case p.tok.Is("ZEROFILL"):
+		case p.tok.kw == kwZEROFILL:
 			dt.Zerofill = true
 			p.next()
-		case p.tok.Is("BINARY") && dt.Name != "binary":
+		case p.tok.kw == kwBINARY && dt.Name != "binary":
 			p.next() // charset modifier on text types
 		case p.tok.Kind == TokIdent && p.tok.Text == "[]":
 			// PostgreSQL array suffix: int[], text[][] (the lexer reads the
@@ -425,67 +443,67 @@ func (p *parser) consumeCast() {
 func (p *parser) parseColumnAttributes(col *schema.Column, t *schema.Table) {
 	for {
 		switch {
-		case p.tok.Is("NOT"):
+		case p.tok.kw == kwNOT:
 			p.next()
-			if p.tok.Is("NULL") {
+			if p.tok.kw == kwNULL {
 				p.next()
 			}
 			col.Nullable = false
-		case p.tok.Is("NULL"):
+		case p.tok.kw == kwNULL:
 			col.Nullable = true
 			p.next()
-		case p.tok.Is("DEFAULT"):
+		case p.tok.kw == kwDEFAULT:
 			p.next()
 			col.HasDefault = true
 			col.Default = p.parseValueExpr()
 			p.consumeCast() // PostgreSQL: DEFAULT '{}'::jsonb
-		case p.tok.Is("AUTO_INCREMENT"), p.tok.Is("AUTOINCREMENT"):
+		case p.tok.kw == kwAUTO_INCREMENT, p.tok.kw == kwAUTOINCREMENT:
 			col.AutoInc = true
 			p.next()
-		case p.tok.Is("PRIMARY"):
+		case p.tok.kw == kwPRIMARY:
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
 			t.SetPrimaryKey(append(append([]string{}, t.PrimaryKey...), col.Name))
-		case p.tok.Is("UNIQUE"):
+		case p.tok.kw == kwUNIQUE:
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
-		case p.tok.Is("KEY"):
+		case p.tok.kw == kwKEY:
 			p.next()
-		case p.tok.Is("COMMENT"):
+		case p.tok.kw == kwCOMMENT:
 			p.next()
 			if p.tok.Kind == TokString {
 				col.Comment = p.tok.Text
 				p.next()
 			}
-		case p.tok.Is("COLLATE"):
+		case p.tok.kw == kwCOLLATE:
 			p.next()
 			p.next()
-		case p.tok.Is("CHARACTER"):
+		case p.tok.kw == kwCHARACTER:
 			p.next()
-			if p.tok.Is("SET") {
+			if p.tok.kw == kwSET {
 				p.next()
 				p.next()
 			}
-		case p.tok.Is("CHARSET"):
+		case p.tok.kw == kwCHARSET:
 			p.next()
 			p.next()
-		case p.tok.Is("ON"):
+		case p.tok.kw == kwON:
 			// ON UPDATE CURRENT_TIMESTAMP [(n)]
 			p.next()
-			if p.tok.Is("UPDATE") || p.tok.Is("DELETE") {
+			if p.tok.kw == kwUPDATE || p.tok.kw == kwDELETE {
 				p.next()
 				p.parseValueExpr()
 			}
-		case p.tok.Is("GENERATED"), p.tok.Is("VIRTUAL"), p.tok.Is("STORED"), p.tok.Is("ALWAYS"):
+		case p.tok.kw == kwGENERATED, p.tok.kw == kwVIRTUAL, p.tok.kw == kwSTORED, p.tok.kw == kwALWAYS:
 			p.next()
-		case p.tok.Is("AS"):
+		case p.tok.kw == kwAS:
 			p.next()
 			p.skipBalancedParens()
-		case p.tok.Is("REFERENCES"):
+		case p.tok.kw == kwREFERENCES:
 			// Inline column-level foreign key.
 			p.next()
 			fk := &schema.ForeignKey{Columns: []string{col.Name}}
@@ -497,10 +515,10 @@ func (p *parser) parseColumnAttributes(col *schema.Column, t *schema.Table) {
 			if fk.RefTable != "" {
 				t.AddForeignKey(fk)
 			}
-		case p.tok.Is("CHECK"):
+		case p.tok.kw == kwCHECK:
 			p.next()
 			p.skipBalancedParens()
-		case p.tok.Is("SERIAL"):
+		case p.tok.kw == kwSERIAL:
 			p.next()
 		default:
 			return
@@ -552,13 +570,13 @@ func (p *parser) parseParenNameList() []string {
 	p.next()
 	var names []string
 	for p.tok.Kind != TokEOF && !p.tok.IsPunct(')') {
-		if p.tok.Kind == TokIdent && !p.tok.Is("ASC") && !p.tok.Is("DESC") {
+		if p.tok.Kind == TokIdent && p.tok.kw != kwASC && p.tok.kw != kwDESC {
 			names = append(names, p.tok.Ident())
 			p.next()
 			if p.tok.IsPunct('(') { // prefix length: name(10)
 				p.skipBalancedParens()
 			}
-			for p.tok.Is("ASC") || p.tok.Is("DESC") {
+			for p.tok.kw == kwASC || p.tok.kw == kwDESC {
 				p.next()
 			}
 		} else {
@@ -614,16 +632,16 @@ func (p *parser) captureBalancedParens(b *strings.Builder) {
 func (p *parser) skipIndexOptions() {
 	for {
 		switch {
-		case p.tok.Is("USING"):
+		case p.tok.kw == kwUSING:
 			p.next()
 			p.next()
-		case p.tok.Is("KEY_BLOCK_SIZE"):
+		case p.tok.kw == kwKEY_BLOCK_SIZE:
 			p.next()
 			if p.tok.IsPunct('=') {
 				p.next()
 			}
 			p.next()
-		case p.tok.Is("COMMENT"):
+		case p.tok.kw == kwCOMMENT:
 			p.next()
 			p.next()
 		default:
@@ -637,22 +655,22 @@ func (p *parser) skipIndexOptions() {
 func (p *parser) parseReferentialActions() (onDelete, onUpdate string) {
 	for {
 		switch {
-		case p.tok.Is("ON"):
+		case p.tok.kw == kwON:
 			p.next()
-			kind := strings.ToLower(p.tok.Ident())
+			kind := lowerWord(p.tok.Ident())
 			p.next() // DELETE | UPDATE
 			var action string
 			switch {
-			case p.tok.Is("SET"):
+			case p.tok.kw == kwSET:
 				p.next()
-				action = "set " + strings.ToLower(p.tok.Ident())
+				action = "set " + lowerWord(p.tok.Ident())
 				p.next() // NULL | DEFAULT
-			case p.tok.Is("NO"):
+			case p.tok.kw == kwNO:
 				p.next()
 				action = "no action"
 				p.next() // ACTION
 			default:
-				action = strings.ToLower(p.tok.Ident())
+				action = lowerWord(p.tok.Ident())
 				p.next() // CASCADE | RESTRICT
 			}
 			if kind == "delete" {
@@ -660,7 +678,7 @@ func (p *parser) parseReferentialActions() (onDelete, onUpdate string) {
 			} else if kind == "update" {
 				onUpdate = action
 			}
-		case p.tok.Is("MATCH"):
+		case p.tok.kw == kwMATCH:
 			p.next()
 			p.next()
 		default:
@@ -673,12 +691,12 @@ func (p *parser) parseReferentialActions() (onDelete, onUpdate string) {
 // table's option map (annotations only).
 func (p *parser) parseTableOptions(t *schema.Table) {
 	for p.tok.Kind == TokIdent {
-		key := strings.ToLower(p.tok.Ident())
+		key := lowerWord(p.tok.Ident())
 		p.next()
-		if key == "default" && (p.tok.Is("CHARSET") || p.tok.Is("CHARACTER") || p.tok.Is("COLLATE")) {
+		if key == "default" && (p.tok.kw == kwCHARSET || p.tok.kw == kwCHARACTER || p.tok.kw == kwCOLLATE) {
 			continue
 		}
-		if key == "character" && p.tok.Is("SET") {
+		if key == "character" && p.tok.kw == kwSET {
 			key = "charset"
 			p.next()
 		}
@@ -707,14 +725,14 @@ func (p *parser) parseTableOptions(t *schema.Table) {
 
 func (p *parser) parseDrop(res *Result) {
 	p.next() // DROP
-	if !p.tok.Is("TABLE") {
+	if p.tok.kw != kwTABLE {
 		p.skipStatement() // DROP DATABASE / INDEX / VIEW ...
 		return
 	}
 	p.next()
-	if p.tok.Is("IF") {
+	if p.tok.kw == kwIF {
 		p.next()
-		if p.tok.Is("EXISTS") {
+		if p.tok.kw == kwEXISTS {
 			p.next()
 		}
 	}
@@ -737,20 +755,20 @@ func (p *parser) parseDrop(res *Result) {
 
 func (p *parser) parseAlter(res *Result) {
 	p.next() // ALTER
-	for p.tok.Is("ONLINE") || p.tok.Is("OFFLINE") || p.tok.Is("IGNORE") {
+	for p.tok.kw == kwONLINE || p.tok.kw == kwOFFLINE || p.tok.kw == kwIGNORE {
 		p.next()
 	}
-	if !p.tok.Is("TABLE") {
+	if p.tok.kw != kwTABLE {
 		p.skipStatement()
 		return
 	}
 	p.next()
-	if p.tok.Is("ONLY") { // PostgreSQL: ALTER TABLE ONLY name
+	if p.tok.kw == kwONLY { // PostgreSQL: ALTER TABLE ONLY name
 		p.next()
 	}
-	if p.tok.Is("IF") {
+	if p.tok.kw == kwIF {
 		p.next()
-		if p.tok.Is("EXISTS") {
+		if p.tok.kw == kwEXISTS {
 			p.next()
 		}
 	}
@@ -779,15 +797,15 @@ func (p *parser) parseAlter(res *Result) {
 
 func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 	switch {
-	case p.tok.Is("ADD"):
+	case p.tok.kw == kwADD:
 		p.next()
 		switch {
-		case p.tok.Is("COLUMN"):
+		case p.tok.kw == kwCOLUMN:
 			p.next()
 			return p.parseAlterAddColumn(t, res)
-		case p.tok.Is("PRIMARY"):
+		case p.tok.kw == kwPRIMARY:
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
 			if cols := p.parseParenNameList(); cols != nil {
@@ -795,9 +813,9 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 			}
 			p.skipIndexOptions()
 			return true
-		case p.tok.Is("UNIQUE"), p.tok.Is("INDEX"), p.tok.Is("KEY"),
-			p.tok.Is("FULLTEXT"), p.tok.Is("SPATIAL"), p.tok.Is("CONSTRAINT"),
-			p.tok.Is("FOREIGN"), p.tok.Is("CHECK"):
+		case p.tok.kw == kwUNIQUE, p.tok.kw == kwINDEX, p.tok.kw == kwKEY,
+			p.tok.kw == kwFULLTEXT, p.tok.kw == kwSPATIAL, p.tok.kw == kwCONSTRAINT,
+			p.tok.kw == kwFOREIGN, p.tok.kw == kwCHECK:
 			return p.parseTableElement(t, res, t.Name)
 		case p.tok.IsPunct('('):
 			// ADD (col def, col def)
@@ -815,27 +833,27 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 		default:
 			return p.parseAlterAddColumn(t, res)
 		}
-	case p.tok.Is("DROP"):
+	case p.tok.kw == kwDROP:
 		p.next()
 		switch {
-		case p.tok.Is("COLUMN"):
+		case p.tok.kw == kwCOLUMN:
 			p.next()
 			if p.tok.Kind == TokIdent {
 				t.DropColumn(p.tok.Ident())
 				p.next()
 			}
 			return true
-		case p.tok.Is("PRIMARY"):
+		case p.tok.kw == kwPRIMARY:
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
 			t.PrimaryKey = nil
 			return true
-		case p.tok.Is("FOREIGN"), p.tok.Is("CONSTRAINT"):
+		case p.tok.kw == kwFOREIGN, p.tok.kw == kwCONSTRAINT:
 			// DROP FOREIGN KEY name / DROP CONSTRAINT name.
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
 			if p.tok.Kind == TokIdent {
@@ -850,9 +868,9 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 				p.next()
 			}
 			return true
-		case p.tok.Is("INDEX"), p.tok.Is("KEY"), p.tok.Is("CHECK"):
+		case p.tok.kw == kwINDEX, p.tok.kw == kwKEY, p.tok.kw == kwCHECK:
 			p.next()
-			if p.tok.Is("KEY") {
+			if p.tok.kw == kwKEY {
 				p.next()
 			}
 			if p.tok.Kind == TokIdent {
@@ -866,9 +884,9 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 			}
 			return true
 		}
-	case p.tok.Is("MODIFY"):
+	case p.tok.kw == kwMODIFY:
 		p.next()
-		if p.tok.Is("COLUMN") {
+		if p.tok.kw == kwCOLUMN {
 			p.next()
 		}
 		if p.tok.Kind != TokIdent {
@@ -891,9 +909,9 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 		p.parseColumnAttributes(col, t)
 		p.skipColumnPosition()
 		return true
-	case p.tok.Is("CHANGE"):
+	case p.tok.kw == kwCHANGE:
 		p.next()
-		if p.tok.Is("COLUMN") {
+		if p.tok.kw == kwCOLUMN {
 			p.next()
 		}
 		if p.tok.Kind != TokIdent {
@@ -923,19 +941,19 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 		p.parseColumnAttributes(col, t)
 		p.skipColumnPosition()
 		return true
-	case p.tok.Is("RENAME"):
+	case p.tok.kw == kwRENAME:
 		p.next()
-		if p.tok.Is("TO") || p.tok.Is("AS") {
+		if p.tok.kw == kwTO || p.tok.kw == kwAS {
 			p.next()
 		}
-		if p.tok.Is("COLUMN") {
+		if p.tok.kw == kwCOLUMN {
 			p.next()
 			old := ""
 			if p.tok.Kind == TokIdent {
 				old = p.tok.Ident()
 				p.next()
 			}
-			if p.tok.Is("TO") {
+			if p.tok.kw == kwTO {
 				p.next()
 			}
 			if p.tok.Kind == TokIdent && old != "" {
@@ -976,9 +994,9 @@ func (p *parser) parseAlterAction(t *schema.Table, res *Result) bool {
 
 // skipColumnPosition consumes FIRST / AFTER col.
 func (p *parser) skipColumnPosition() {
-	if p.tok.Is("FIRST") {
+	if p.tok.kw == kwFIRST {
 		p.next()
-	} else if p.tok.Is("AFTER") {
+	} else if p.tok.kw == kwAFTER {
 		p.next()
 		if p.tok.Kind == TokIdent {
 			p.next()
@@ -1003,4 +1021,39 @@ func (p *parser) parseAlterAddColumn(t *schema.Table, res *Result) bool {
 	p.skipColumnPosition()
 	t.AddColumn(col)
 	return true
+}
+
+// lowerWords caches the lower-casing of the upper-case SQL words the
+// parse hot path sees constantly (type names, table options,
+// referential actions), so lowerWord does not allocate for them.
+var lowerWords = map[string]string{
+	"INT": "int", "INTEGER": "integer", "BIGINT": "bigint",
+	"SMALLINT": "smallint", "TINYINT": "tinyint", "MEDIUMINT": "mediumint",
+	"VARCHAR": "varchar", "TEXT": "text", "DATETIME": "datetime",
+	"TIMESTAMP": "timestamp", "DECIMAL": "decimal", "DOUBLE": "double",
+	"FLOAT": "float", "CHAR": "char", "BLOB": "blob", "DATE": "date",
+	"TIME": "time", "ENGINE": "engine", "CHARSET": "charset",
+	"COLLATE": "collate", "DEFAULT": "default", "COMMENT": "comment",
+	"AUTO_INCREMENT": "auto_increment", "CASCADE": "cascade",
+	"RESTRICT": "restrict", "NULL": "null", "ACTION": "action",
+	"DELETE": "delete", "UPDATE": "update",
+}
+
+// lowerWord is strings.ToLower for identifier words, allocation-free in
+// the two dominant cases: the word is already lower-case, or it is one
+// of the known upper-case SQL words.
+func lowerWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return strings.ToLower(s) // non-ASCII: defer entirely
+		}
+		if 'A' <= c && c <= 'Z' {
+			if l, ok := lowerWords[s]; ok {
+				return l
+			}
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }

@@ -1,0 +1,36 @@
+package study
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestStudyParallelWorkersMatchSequential runs the whole pipeline at
+// several worker counts and requires identical study-level results —
+// the dataset export covers every per-project measure, so a single
+// nondeterministic reassembly anywhere in the fan-out shows up here.
+// Under -race this drives the corpus build pool, the corpus/funnel
+// overlap and the analysis pool concurrently.
+func TestStudyParallelWorkersMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	ref, err := NewWithOptions(context.Background(), 1, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := ref.ExportCSV()
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		st, err := NewWithOptions(context.Background(), 1, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if got := st.ExportCSV(); got != refCSV {
+			t.Errorf("workers %d: dataset export differs from sequential run", workers)
+		}
+		if len(st.Measures) != len(ref.Measures) {
+			t.Errorf("workers %d: %d measures, want %d", workers, len(st.Measures), len(ref.Measures))
+		}
+	}
+}

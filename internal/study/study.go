@@ -9,10 +9,8 @@ package study
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/schemaevo/schemaevo/internal/collect"
 	"github.com/schemaevo/schemaevo/internal/core"
@@ -47,6 +45,16 @@ type Study struct {
 	ByTaxon  map[core.Taxon][]core.Measures
 }
 
+// Options tunes pipeline execution without affecting its output.
+type Options struct {
+	// Workers bounds the worker pools of the parallel stages (corpus
+	// builds, history analysis). 0 means GOMAXPROCS. Any worker count
+	// produces byte-identical artifacts: parallel stages pre-draw their
+	// randomness sequentially and reassemble results in fixed project
+	// order.
+	Workers int
+}
+
 // New runs the full pipeline deterministically from seed.
 func New(seed int64) (*Study, error) {
 	return NewContext(context.Background(), seed)
@@ -58,6 +66,16 @@ func New(seed int64) (*Study, error) {
 // history.analyze, measure.classify, reedlimit.derive). Without a tracer the
 // instrumentation is free.
 func NewContext(ctx context.Context, seed int64) (*Study, error) {
+	return NewWithOptions(ctx, seed, Options{})
+}
+
+// NewWithOptions is NewContext with execution options. The stage graph
+// overlaps where dependencies allow: the collection funnel needs only
+// the corpus roster (project names), which is derivable from the seed
+// alone, so corpus generation runs concurrently with dataset generation
+// and the funnel; analysis then fans out over the study set on a
+// bounded worker pool.
+func NewWithOptions(ctx context.Context, seed int64, opts Options) (*Study, error) {
 	ctx, span := obs.Start(ctx, "study.new", obs.Int("seed", seed))
 	defer span.End()
 	// The seed is the correlation key: attach it here, once, so every log
@@ -66,15 +84,21 @@ func NewContext(ctx context.Context, seed int64) (*Study, error) {
 	obs.Logger(ctx).Info("pipeline start")
 
 	s := &Study{Seed: seed, Analyses: map[string]*history.Analysis{}}
-	s.Corpus = corpus.GenerateContext(ctx, corpus.Config{Seed: seed})
 
-	// Split corpus into study-set and rigid names for the funnel.
+	// Corpus generation overlaps with the collection funnel below; the
+	// funnel needs only the roster names, not the built histories.
+	corpusCh := make(chan []*corpus.Project, 1)
+	go func() {
+		corpusCh <- corpus.GenerateContext(ctx, corpus.Config{Seed: seed, Workers: opts.Workers})
+	}()
+
+	// Split the roster into study-set and rigid names for the funnel.
 	var studyRepos, rigidRepos []string
-	for _, p := range s.Corpus {
-		if p.Intended == core.HistoryLess {
-			rigidRepos = append(rigidRepos, "foss/"+p.Name)
+	for _, m := range corpus.Roster(corpus.Config{Seed: seed}) {
+		if m.Intended == core.HistoryLess {
+			rigidRepos = append(rigidRepos, "foss/"+m.Name)
 		} else {
-			studyRepos = append(studyRepos, "foss/"+p.Name)
+			studyRepos = append(studyRepos, "foss/"+m.Name)
 		}
 	}
 	targets := collect.DefaultTargets()
@@ -82,9 +106,15 @@ func NewContext(ctx context.Context, seed int64) (*Study, error) {
 		Seed: seed, Targets: targets, StudyRepos: studyRepos, RigidRepos: rigidRepos,
 	})
 	if err != nil {
+		<-corpusCh
 		return nil, fmt.Errorf("study: funnel generation: %w", err)
 	}
 	s.Funnel = collect.RunContext(ctx, files, meta, outcomes)
+
+	s.Corpus = <-corpusCh
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	s.ReedLimit = core.DefaultReedLimit
 
@@ -97,26 +127,15 @@ func NewContext(ctx context.Context, seed int64) (*Study, error) {
 			studySet = append(studySet, p)
 		}
 	}
-	actx, analyzeSpan := obs.Start(ctx, "study.analyze", obs.Int("projects", int64(len(studySet))))
-	analyses := make([]*history.Analysis, len(studySet))
-	errs := make([]error, len(studySet))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	hists := make([]*history.History, len(studySet))
 	for i, p := range studySet {
-		wg.Add(1)
-		go func(i int, p *corpus.Project) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			analyses[i], errs[i] = history.AnalyzeContext(actx, p.Hist)
-		}(i, p)
+		hists[i] = p.Hist
 	}
-	wg.Wait()
+	actx, analyzeSpan := obs.Start(ctx, "study.analyze", obs.Int("projects", int64(len(studySet))))
+	analyses, err := history.AnalyzeAll(actx, hists, opts.Workers)
 	analyzeSpan.End()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("study: analyze %s: %w", studySet[i].Name, err)
-		}
+	if err != nil {
+		return nil, fmt.Errorf("study: analyze: %w", err)
 	}
 	_, measureSpan := obs.Start(ctx, "measure.classify")
 	for i, p := range studySet {
