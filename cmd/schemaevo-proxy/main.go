@@ -1,0 +1,134 @@
+// Command schemaevo-proxy is the sharded serving tier in front of a fleet
+// of schemaevod backends sharing one snapshot-store directory. Seed-keyed
+// requests route to the consistent-hash owner of the seed (so each
+// backend's LRU cache stays hot for its own arc of the seed space); slow or
+// dead shards are hedged to their ring successor, first answer wins.
+//
+// Usage:
+//
+//	schemaevo-proxy -backends 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	schemaevo-proxy -backends ... -hedge-delay 100ms -vnodes 128
+//	schemaevo-proxy -backends ... -health-interval 1s -addr :8080
+//
+// Endpoints (same /v1 surface shape as schemaevod; errors are JSON
+// {error, code, seed}):
+//
+//	GET  /v1/seeds/{seed}/artifacts/{key}   routed + hedged to the seed's shard
+//	GET  /v1/seeds/{seed}/figures/{name}    routed + hedged to the seed's shard
+//	GET  /v1/seeds                          fleet-wide union + per-shard view
+//	GET  /v1/experiments                    forwarded to the first live shard
+//	GET  /v1/healthz                        shard-aware health + ring coverage
+//	GET  /v1/metrics                        proxy Prometheus exposition
+//	GET  /v1/debug/stats                    per-shard + merged latency/stage stats
+//	GET  /v1/debug/trace?seed=N             backend trace with proxy spans merged in
+//	POST /v1/admin/backends                 {"op":"add"|"remove","url":...}
+//
+// Responses from routed requests carry X-Schemaevo-Backend (which shard
+// answered) and X-Schemaevo-Hedged (present when the winning answer came
+// from a hedge or the request was duplicated).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		backends   = flag.String("backends", "", "comma-separated schemaevod base URLs (required)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = default 64)")
+		hedgeDelay = flag.Duration("hedge-delay", 250*time.Millisecond, "wait this long on the owning shard before duplicating to its ring successor (0 disables hedging)")
+		healthIvl  = flag.Duration("health-interval", 2*time.Second, "cadence of the background shard health sweep (0 disables; request-path failures still mark shards down)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		traceMax   = flag.Int("trace-max-spans", 0, "head-sampling bound on spans retained per /v1/debug/trace run (0 = default 4096, negative = unlimited)")
+		debug      = flag.Bool("debug", false, "log at debug level")
+	)
+	flag.Parse()
+
+	list, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemaevo-proxy:", err)
+		os.Exit(2)
+	}
+
+	level := slog.LevelInfo
+	if *debug {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	proxy, err := newProxy(proxyOptions{
+		Backends:      list,
+		VNodes:        *vnodes,
+		HedgeDelay:    *hedgeDelay,
+		Timeout:       *timeout,
+		TraceMaxSpans: *traceMax,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("proxy init failed", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One immediate sweep captures each shard's identity (snapshot count,
+	// store path) before traffic; the periodic sweep keeps it fresh and
+	// recovers shards that MarkDown flipped off on a transient error.
+	proxy.health.CheckAll(ctx)
+	go proxy.health.Run(ctx, *healthIvl)
+
+	cur := proxy.table.Current()
+	logger.Info("proxy ready",
+		"backends", cur.Ring.Size(), "vnodes", cur.Ring.VNodes(),
+		"hedge_delay", *hedgeDelay, "addr", *addr)
+
+	if err := listenAndServe(ctx, *addr, proxy, *drain, logger); err != nil {
+		logger.Error("proxy serve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// listenAndServe runs the proxy until ctx is canceled, then drains in-flight
+// requests within the drain budget — the same lifecycle shape as schemaevod.
+func listenAndServe(ctx context.Context, addr string, h http.Handler, drain time.Duration, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "budget", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("proxy stopped")
+	return nil
+}

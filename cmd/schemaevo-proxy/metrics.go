@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/shard"
+)
+
+// proxyMetrics is the proxy's hand-rolled Prometheus state: process-wide
+// request/error counters plus per-backend request, hedge, failover and
+// error counters. The counter maps grow only on membership change, so the
+// hot path is one RLock plus an atomic add.
+type proxyMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+
+	mu       sync.RWMutex
+	perShard map[string]*shardCounters
+}
+
+// shardCounters are one backend's routed-traffic counters.
+type shardCounters struct {
+	requests  atomic.Int64
+	hedges    atomic.Int64
+	failovers atomic.Int64
+	errors    atomic.Int64
+}
+
+func newProxyMetrics() *proxyMetrics {
+	return &proxyMetrics{perShard: map[string]*shardCounters{}}
+}
+
+// shard returns (creating on first touch) a backend's counter set.
+func (m *proxyMetrics) shard(backend string) *shardCounters {
+	m.mu.RLock()
+	c := m.perShard[backend]
+	m.mu.RUnlock()
+	if c == nil {
+		m.mu.Lock()
+		if c = m.perShard[backend]; c == nil {
+			c = &shardCounters{}
+			m.perShard[backend] = c
+		}
+		m.mu.Unlock()
+	}
+	return c
+}
+
+func (m *proxyMetrics) backendRequest(backend string) { m.shard(backend).requests.Add(1) }
+func (m *proxyMetrics) hedge(backend string)          { m.shard(backend).hedges.Add(1) }
+func (m *proxyMetrics) failover(backend string)       { m.shard(backend).failovers.Add(1) }
+func (m *proxyMetrics) backendError(backend string)   { m.shard(backend).errors.Add(1) }
+
+// WriteTo renders the exposition: proxy totals, per-shard counters, ring
+// gauges (size, live members, membership version, live coverage), per-
+// backend up gauges, and the proxy's private stage histograms
+// (proxy.route / proxy.hedge durations).
+func (m *proxyMetrics) WriteTo(w io.Writer, table *shard.Table, health *shard.Health, stages *obs.StageRegistry) {
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_requests_total Requests received by the proxy.\n"+
+		"# TYPE schemaevo_proxy_requests_total counter\n"+
+		"schemaevo_proxy_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_request_errors_total Requests the proxy answered with a 4xx/5xx.\n"+
+		"# TYPE schemaevo_proxy_request_errors_total counter\n"+
+		"schemaevo_proxy_request_errors_total %d\n", m.errors.Load())
+
+	m.mu.RLock()
+	backends := make([]string, 0, len(m.perShard))
+	for b := range m.perShard {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	counters := make([]*shardCounters, len(backends))
+	for i, b := range backends {
+		counters[i] = m.perShard[b]
+	}
+	m.mu.RUnlock()
+
+	families := []struct {
+		name, help string
+		load       func(*shardCounters) int64
+	}{
+		{"schemaevo_proxy_backend_requests_total", "Requests forwarded to a backend (including hedges).",
+			func(c *shardCounters) int64 { return c.requests.Load() }},
+		{"schemaevo_proxy_hedges_total", "Hedged duplicates sent to a backend after the hedge delay.",
+			func(c *shardCounters) int64 { return c.hedges.Load() }},
+		{"schemaevo_proxy_failovers_total", "Requests rerouted to a backend because its ring predecessor was down or erroring.",
+			func(c *shardCounters) int64 { return c.failovers.Load() }},
+		{"schemaevo_proxy_backend_errors_total", "Transport errors observed talking to a backend.",
+			func(c *shardCounters) int64 { return c.errors.Load() }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+		for i, b := range backends {
+			fmt.Fprintf(w, "%s{backend=%q} %d\n", f.name, b, f.load(counters[i]))
+		}
+	}
+
+	cur := table.Current()
+	live := 0
+	for _, member := range cur.Ring.Members() {
+		if health.Up(member) {
+			live++
+		}
+	}
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_ring_members Backends in the consistent-hash ring.\n"+
+		"# TYPE schemaevo_proxy_ring_members gauge\n"+
+		"schemaevo_proxy_ring_members %d\n", cur.Ring.Size())
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_ring_live Ring backends currently considered up.\n"+
+		"# TYPE schemaevo_proxy_ring_live gauge\n"+
+		"schemaevo_proxy_ring_live %d\n", live)
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_ring_version Membership version, bumped on every join/leave.\n"+
+		"# TYPE schemaevo_proxy_ring_version gauge\n"+
+		"schemaevo_proxy_ring_version %d\n", cur.Version)
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_ring_coverage Fraction of the seed space owned by a live backend.\n"+
+		"# TYPE schemaevo_proxy_ring_coverage gauge\n"+
+		"schemaevo_proxy_ring_coverage %g\n", cur.Ring.Coverage(health.Up))
+
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_backend_up Whether a tracked backend is considered live.\n"+
+		"# TYPE schemaevo_proxy_backend_up gauge\n")
+	for _, st := range health.States() {
+		up := 0
+		if st.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "schemaevo_proxy_backend_up{backend=%q} %d\n", st.URL, up)
+	}
+
+	stages.WritePrometheus(w)
+}

@@ -28,6 +28,7 @@
 //	GET /v1/healthz                           readiness + cache digest
 //	GET /v1/metrics                           Prometheus text exposition
 //	GET /v1/debug/trace?seed=N                instrumented run, Chrome trace JSON
+//	GET /v1/debug/stats                       latency/stage histogram join
 //	GET /v1/debug/scrub                       on-demand store integrity scrub
 //	GET /debug/pprof/                         stdlib pprof profiles
 //
@@ -72,6 +73,7 @@ func main() {
 		maxAge   = flag.Duration("store-max-age", 0, "retention bound: evict snapshots older than this (0 = unlimited)")
 		gcEvery  = flag.Duration("store-gc-interval", time.Hour, "cadence of the background retention sweep when a bound is set (jittered; 0 = sweep at startup only)")
 		scrub    = flag.Bool("store-scrub", false, "verify every stored blob's size+checksum at startup, deleting damaged snapshots")
+		traceMax = flag.Int("trace-max-spans", 0, "head-sampling bound on spans retained per /v1/debug/trace run (0 = default 4096, negative = unlimited)")
 		debug    = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
 	)
 	flag.Parse()
@@ -95,6 +97,7 @@ func main() {
 		PipelineWorkers: *pipeWork,
 		GC:              store.GCPolicy{MaxSnapshots: *maxSnaps, MaxAge: *maxAge},
 		GCInterval:      *gcEvery,
+		TraceMaxSpans:   *traceMax,
 		Logger:          logger,
 	}
 	if *storeDir != "" {

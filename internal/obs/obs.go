@@ -63,6 +63,12 @@ type Options struct {
 	// WriteChromeTrace, Records). Leave false for metrics-only tracing where
 	// span records would accumulate without bound across pipeline runs.
 	Collect bool
+	// MaxSpans head-samples a collecting tracer: once this many spans have
+	// been retained, further spans still feed the stage histograms and the
+	// logger but are not kept for the exporters (0 = unlimited). Dropped
+	// spans count into Dropped and the process-wide DroppedSpansTotal, so a
+	// truncated /debug/trace is detectable rather than silently short.
+	MaxSpans int
 	// Stages receives one duration observation per finished span, keyed by
 	// span name. Use Stages() for the process-wide default registry.
 	Stages *StageRegistry
@@ -75,13 +81,15 @@ type Options struct {
 // methods are safe for concurrent use; the pipeline fans out per-project
 // work and the spans arrive from many goroutines.
 type Tracer struct {
-	collect bool
-	stages  *StageRegistry
-	logger  *slog.Logger
+	collect  bool
+	maxSpans int
+	stages   *StageRegistry
+	logger   *slog.Logger
 
-	epoch  time.Time
-	nextID atomic.Int64
-	now    func() time.Time // test seam
+	epoch   time.Time
+	nextID  atomic.Int64
+	dropped atomic.Int64
+	now     func() time.Time // test seam
 
 	mu      sync.Mutex
 	records []Record
@@ -91,10 +99,11 @@ type Tracer struct {
 // of exported timestamps) is the construction time.
 func NewTracer(opts Options) *Tracer {
 	t := &Tracer{
-		collect: opts.Collect,
-		stages:  opts.Stages,
-		logger:  opts.Logger,
-		now:     time.Now,
+		collect:  opts.Collect,
+		maxSpans: opts.MaxSpans,
+		stages:   opts.Stages,
+		logger:   opts.Logger,
+		now:      time.Now,
 	}
 	t.epoch = t.now()
 	return t
@@ -119,6 +128,18 @@ func (t *Tracer) Records() []Record {
 	defer t.mu.Unlock()
 	return append([]Record(nil), t.records...)
 }
+
+// Dropped reports how many spans the head-sampling bound (Options.MaxSpans)
+// discarded on this tracer.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// droppedSpansTotal accumulates head-sampled drops across every tracer in
+// the process, for the /metrics exposition.
+var droppedSpansTotal atomic.Int64
+
+// DroppedSpansTotal reports the process-wide count of spans discarded by
+// head sampling since startup.
+func DroppedSpansTotal() int64 { return droppedSpansTotal.Load() }
 
 // Span is one in-progress pipeline stage. A nil *Span (returned by Start on
 // an un-traced context) is valid: every method is a no-op.
@@ -213,6 +234,14 @@ func (s *Span) End() {
 			Attrs:  s.attrs,
 		}
 		t.mu.Lock()
+		if t.maxSpans > 0 && len(t.records) >= t.maxSpans {
+			t.mu.Unlock()
+			// Head sampling: the first MaxSpans spans win. Metrics and logs
+			// above already saw this one; only the exported record is dropped.
+			t.dropped.Add(1)
+			droppedSpansTotal.Add(1)
+			return
+		}
 		t.records = append(t.records, rec)
 		t.mu.Unlock()
 	}

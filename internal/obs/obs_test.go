@@ -330,3 +330,61 @@ func TestMetricsOnlyTracerRetainsNothing(t *testing.T) {
 		t.Errorf("registry snapshot = %+v", snap)
 	}
 }
+
+// TestHeadSampling: a collecting tracer with MaxSpans retains exactly the
+// first N spans, counts the rest as dropped, and keeps feeding the stage
+// registry for every span — sampled or not.
+func TestHeadSampling(t *testing.T) {
+	reg := NewStageRegistry()
+	tr := NewTracer(Options{Collect: true, MaxSpans: 3, Stages: reg})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "stage.sampled")
+		sp.End()
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(recs))
+	}
+	// Head sampling keeps the FIRST spans: ids 1..3.
+	for i, r := range recs {
+		if r.ID != int64(i+1) {
+			t.Errorf("record %d has id %d — head sampling must keep the earliest spans", i, r.ID)
+		}
+	}
+	if d := tr.Dropped(); d != 7 {
+		t.Errorf("dropped = %d, want 7", d)
+	}
+	// Dropped spans still observe into the stage registry.
+	if snap := reg.Snapshot(); len(snap) != 1 || snap[0].Count != 10 {
+		t.Errorf("stage registry saw %+v, want 10 observations", snap)
+	}
+}
+
+// TestHeadSamplingGlobalCounter: per-tracer drops accumulate into the
+// process-wide total.
+func TestHeadSamplingGlobalCounter(t *testing.T) {
+	before := DroppedSpansTotal()
+	tr := NewTracer(Options{Collect: true, MaxSpans: 1})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 4; i++ {
+		_, sp := Start(ctx, "stage.global")
+		sp.End()
+	}
+	if got := DroppedSpansTotal() - before; got != 3 {
+		t.Errorf("global dropped delta = %d, want 3", got)
+	}
+}
+
+// TestUnlimitedTracerNeverDrops: MaxSpans 0 keeps everything.
+func TestUnlimitedTracerNeverDrops(t *testing.T) {
+	tr := NewTracer(Options{Collect: true})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 100; i++ {
+		_, sp := Start(ctx, "stage.unbounded")
+		sp.End()
+	}
+	if len(tr.Records()) != 100 || tr.Dropped() != 0 {
+		t.Errorf("records = %d, dropped = %d; want 100 and 0", len(tr.Records()), tr.Dropped())
+	}
+}

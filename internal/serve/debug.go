@@ -18,6 +18,13 @@ import (
 // it in chrome://tracing or https://ui.perfetto.dev to see the stage
 // breakdown of a live deployment.
 
+// DefaultTraceMaxSpans is the head-sampling bound applied to /v1/debug/trace
+// when Options.TraceMaxSpans is unset. A single instrumented pipeline run
+// emits ~600 spans; 4096 leaves room for several nested runs (the proxy's
+// merged proxy→backend trees) while keeping the JSON response a few MB at
+// worst.
+const DefaultTraceMaxSpans = 4096
+
 // registerDebug mounts the debug endpoints on mux.
 func registerDebug(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -28,6 +35,16 @@ func registerDebug(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace(true))
 	mux.HandleFunc("GET /debug/trace", s.legacy("/v1/debug/trace", s.handleDebugTrace(false)))
 	mux.HandleFunc("GET /v1/debug/scrub", s.handleDebugScrub)
+	mux.HandleFunc("GET /v1/debug/stats", s.handleDebugStats)
+}
+
+// handleDebugStats serves the latency/stage join: one JSON document
+// answering "where does a cold request spend its time" by putting the
+// per-experiment request latency histograms next to the per-stage pipeline
+// duration histograms, without a /v1/metrics scrape-and-parse round trip.
+func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.metrics.StatsDocument())
 }
 
 // handleDebugScrub runs one on-demand integrity scrub of the snapshot store
@@ -67,7 +84,7 @@ func (s *Server) handleDebugTrace(jsonErr bool) http.HandlerFunc {
 			}
 			seed = parsed
 		}
-		tr := obs.NewTracer(obs.Options{Collect: true, Stages: s.metrics.stages, Logger: s.opts.Logger})
+		tr := obs.NewTracer(obs.Options{Collect: true, MaxSpans: s.opts.TraceMaxSpans, Stages: s.metrics.stages, Logger: s.opts.Logger})
 		ctx := obs.WithTracer(r.Context(), tr)
 		ctx = obs.WithLogger(ctx, s.opts.Logger)
 		s.metrics.pipelineRuns.Add(1)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/store"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
@@ -193,5 +194,154 @@ func TestCacheEntriesNeverNegative(t *testing.T) {
 	})
 	if got, want := m.Snapshot().CacheEntries, int64(c.Len()); got != want {
 		t.Errorf("cacheEntries = %d, cache len = %d", got, want)
+	}
+}
+
+// TestDebugStats: /v1/debug/stats joins the per-experiment request-latency
+// histograms with the per-stage pipeline durations in one JSON document.
+func TestDebugStats(t *testing.T) {
+	runner := func(ctx context.Context, seed int64) (*study.Study, error) {
+		_, span := obs.Start(ctx, "corpus.generate")
+		time.Sleep(time.Millisecond)
+		span.End()
+		return &study.Study{Seed: seed}, nil
+	}
+	srv := New(Options{Runner: RunnerFunc(runner)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, body, _ := get(t, ts, "/v1/seeds/2/artifacts/export.csv"); code != 200 {
+			t.Fatalf("warmup status %d: %s", code, body)
+		}
+	}
+	code, body, hdr := get(t, ts, "/v1/debug/stats")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var doc StatsDocument
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, body)
+	}
+	exp, ok := doc.Experiments["export.csv"]
+	if !ok {
+		t.Fatalf("experiments missing export.csv: %+v", doc.Experiments)
+	}
+	if exp.Count != 3 || exp.SumSeconds <= 0 || exp.AvgSeconds <= 0 {
+		t.Errorf("export.csv entry = %+v", exp)
+	}
+	if exp.P50Seconds <= 0 || exp.P99Seconds < exp.P50Seconds {
+		t.Errorf("quantiles inverted or zero: %+v", exp)
+	}
+	st, ok := doc.Stages["corpus.generate"]
+	if !ok {
+		t.Fatalf("stages missing corpus.generate: %+v", doc.Stages)
+	}
+	// The stage registry is process-wide, so other tests in the package may
+	// have observed this stage too — assert presence, not an exact count.
+	if st.Count < 1 || st.AvgSeconds <= 0 {
+		t.Errorf("corpus.generate entry = %+v", st)
+	}
+}
+
+// TestDebugTraceHeadSampling: with a small TraceMaxSpans the trace response
+// retains only the head of the span stream and the dropped counter surfaces
+// in /v1/metrics.
+func TestDebugTraceHeadSampling(t *testing.T) {
+	runner := func(ctx context.Context, seed int64) (*study.Study, error) {
+		for i := 0; i < 10; i++ {
+			_, span := obs.Start(ctx, "study.fanout")
+			span.End()
+		}
+		return &study.Study{Seed: seed}, nil
+	}
+	srv := New(Options{Runner: RunnerFunc(runner), TraceMaxSpans: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/v1/debug/trace?seed=2")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 4 {
+		t.Errorf("trace retained %d events, want 4 (head-sampled)", len(trace.TraceEvents))
+	}
+	_, metrics, _ := get(t, ts, "/v1/metrics")
+	if !strings.Contains(metrics, "schemaevo_trace_dropped_spans_total") {
+		t.Error("metrics exposition missing schemaevo_trace_dropped_spans_total")
+	}
+}
+
+// TestHealthShardIdentity: /v1/healthz carries the fields the proxy's
+// shard-aware aggregation keys on — snapshot_count, store_path,
+// pipeline_workers — alongside the original readiness digest.
+func TestHealthShardIdentity(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(context.Background(), 4, fakeSnapshot(4)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: d, PipelineWorkers: 3, Runner: RunnerFunc(func(_ context.Context, seed int64) (*study.Study, error) {
+		return &study.Study{Seed: seed}, nil
+	})})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/v1/healthz")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var h struct {
+		Status          string `json:"status"`
+		SnapshotCount   int    `json:"snapshot_count"`
+		StorePath       string `json:"store_path"`
+		PipelineWorkers int    `json:"pipeline_workers"`
+		StoredSeeds     int    `json:"stored_seeds"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.SnapshotCount != 1 || h.StoredSeeds != 1 {
+		t.Errorf("healthz = %+v", h)
+	}
+	if h.StorePath != d.Dir() {
+		t.Errorf("store_path = %q, want %q", h.StorePath, d.Dir())
+	}
+	if h.PipelineWorkers != 3 {
+		t.Errorf("pipeline_workers = %d, want 3", h.PipelineWorkers)
+	}
+
+	// Without a store the identity fields are present but zero-valued, and
+	// workers resolve to GOMAXPROCS.
+	srv2 := New(Options{Runner: RunnerFunc(func(_ context.Context, seed int64) (*study.Study, error) {
+		return &study.Study{Seed: seed}, nil
+	})})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	_, body2, _ := get(t, ts2, "/v1/healthz")
+	var h2 struct {
+		SnapshotCount   int    `json:"snapshot_count"`
+		StorePath       string `json:"store_path"`
+		PipelineWorkers int    `json:"pipeline_workers"`
+	}
+	if err := json.Unmarshal([]byte(body2), &h2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.SnapshotCount != 0 || h2.StorePath != "" || h2.PipelineWorkers < 1 {
+		t.Errorf("storeless healthz identity = %+v", h2)
 	}
 }

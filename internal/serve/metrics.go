@@ -84,6 +84,30 @@ func (h *histogram) observe(d time.Duration) {
 	h.total.Add(1)
 }
 
+// quantile estimates the q-th latency quantile (0 < q < 1) by linear
+// interpolation inside the histogram's buckets. Observations beyond the
+// last finite bound report that bound — an estimate, like any bucketed
+// quantile.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i, ub := range latencyBuckets {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(ub-lower)
+		}
+		cum += c
+		lower = ub
+	}
+	return lower
+}
+
 // ObserveLatency records one served artifact's latency under its experiment
 // (or artifact) label.
 func (m *Metrics) ObserveLatency(experiment string, d time.Duration) {
@@ -143,6 +167,71 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 }
 
+// StatEntry is one row of the /v1/debug/stats join: the accumulated count,
+// total and mean of either a request-latency histogram (experiments) or a
+// pipeline-stage duration histogram (stages). Latency entries carry bucket-
+// interpolated p50/p99 estimates.
+type StatEntry struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	AvgSeconds float64 `json:"avg_seconds"`
+	P50Seconds float64 `json:"p50_seconds,omitempty"`
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+}
+
+// StatsDocument is the /v1/debug/stats payload: per-experiment request
+// latency joined with per-stage pipeline durations in one document, so
+// "where does a cold request spend its time" needs no metric scraping.
+type StatsDocument struct {
+	// Experiments maps artifact/experiment keys to their serve-side request
+	// latency (what the client waited for).
+	Experiments map[string]StatEntry `json:"experiments"`
+	// Stages maps obs span names to pipeline-side stage durations (where
+	// that wait went).
+	Stages map[string]StatEntry `json:"stages"`
+}
+
+// StatsDocument builds the latency/stage join from the live registries.
+func (m *Metrics) StatsDocument() StatsDocument {
+	doc := StatsDocument{
+		Experiments: map[string]StatEntry{},
+		Stages:      map[string]StatEntry{},
+	}
+	m.mu.Lock()
+	hists := make(map[string]*histogram, len(m.latencyByExp))
+	for k, h := range m.latencyByExp {
+		hists[k] = h
+	}
+	m.mu.Unlock()
+	for key, h := range hists {
+		total := h.total.Load()
+		if total == 0 {
+			continue
+		}
+		sum := time.Duration(h.sum.Load()).Seconds()
+		doc.Experiments[key] = StatEntry{
+			Count:      total,
+			SumSeconds: sum,
+			AvgSeconds: sum / float64(total),
+			P50Seconds: h.quantile(0.50),
+			P99Seconds: h.quantile(0.99),
+		}
+	}
+	if m.stages != nil {
+		for _, st := range m.stages.Snapshot() {
+			if st.Count == 0 {
+				continue
+			}
+			doc.Stages[st.Name] = StatEntry{
+				Count:      st.Count,
+				SumSeconds: st.Sum.Seconds(),
+				AvgSeconds: st.Avg().Seconds(),
+			}
+		}
+	}
+	return doc
+}
+
 // WriteTo renders the Prometheus text exposition.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	s := m.Snapshot()
@@ -183,6 +272,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevo_store_scrub_runs_total", "Store integrity scrubs completed.", s.ScrubRuns),
 		count("schemaevo_store_scrub_blobs_checked_total", "Blobs size/checksum-verified by the scrubber.", s.ScrubBlobs),
 		count("schemaevo_store_scrub_damaged_total", "Snapshots the scrubber found damaged and removed.", s.ScrubDamaged),
+		count("schemaevo_trace_dropped_spans_total", "Spans discarded by trace head sampling, process-wide.", obs.DroppedSpansTotal()),
 	} {
 		if e != nil {
 			return n, e

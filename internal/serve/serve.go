@@ -15,9 +15,10 @@
 //	GET /v1/seeds/{seed}/artifacts/{key}       one whole-study artifact
 //	GET /v1/seeds/{seed}/figures/{name}        one SVG figure
 //	GET /v1/experiments                        experiment key list
-//	GET /v1/healthz                            readiness + cache digest
+//	GET /v1/healthz                            readiness + cache digest + shard identity
 //	GET /v1/metrics                            Prometheus text exposition
 //	GET /v1/debug/trace                        instrumented pipeline run
+//	GET /v1/debug/stats                        latency/stage histogram join
 //
 // Errors on /v1 routes use a uniform JSON envelope {error, code, seed}.
 // The original flat routes (/healthz, /metrics, /debug/trace,
@@ -83,6 +84,12 @@ type Options struct {
 	// pipeline Runner (0 = GOMAXPROCS). Deterministic: any value yields
 	// byte-identical artifacts. Ignored when a custom Runner is supplied.
 	PipelineWorkers int
+	// TraceMaxSpans head-samples the collecting tracer behind /v1/debug/trace:
+	// at most this many spans are retained per trace, keeping the response
+	// bounded under deep proxy→backend span trees (0 = DefaultTraceMaxSpans;
+	// negative = unlimited). Dropped spans count into
+	// schemaevo_trace_dropped_spans_total.
+	TraceMaxSpans int
 	// Logger receives the daemon's structured log lines (nil = silent).
 	// Pipeline runs log with the seed as correlation key.
 	Logger *slog.Logger
@@ -122,6 +129,11 @@ func New(opts Options) *Server {
 	}
 	if opts.Runner == nil {
 		opts.Runner = pipelineRunner{workers: opts.PipelineWorkers}
+	}
+	if opts.TraceMaxSpans == 0 {
+		opts.TraceMaxSpans = DefaultTraceMaxSpans
+	} else if opts.TraceMaxSpans < 0 {
+		opts.TraceMaxSpans = 0 // obs: 0 = unlimited
 	}
 	if opts.Logger == nil {
 		opts.Logger = obs.NopLogger()
@@ -429,8 +441,10 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// handleHealth reports readiness plus a cache digest. During graceful
-// drain it turns 503 so load balancers stop sending new work.
+// handleHealth reports readiness plus a cache digest and the shard-identity
+// fields (snapshot_count, store_path, pipeline_workers) the proxy's
+// aggregation uses to tell backends apart without scraping /v1/metrics.
+// During graceful drain it turns 503 so load balancers stop sending new work.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	status := "ok"
@@ -439,14 +453,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
+	workers := s.opts.PipelineWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	body := map[string]any{
-		"status":       status,
-		"cached_seeds": s.cache.Seeds(),
-		"inflight":     s.metrics.inflight.Load(),
+		"status":           status,
+		"cached_seeds":     s.cache.Seeds(),
+		"inflight":         s.metrics.inflight.Load(),
+		"snapshot_count":   0,
+		"store_path":       "",
+		"pipeline_workers": workers,
 	}
 	if s.opts.Store != nil {
 		if stored, err := s.opts.Store.List(r.Context()); err == nil {
 			body["stored_seeds"] = len(stored)
+			body["snapshot_count"] = len(stored)
+		}
+		if d, ok := s.opts.Store.(interface{ Dir() string }); ok {
+			body["store_path"] = d.Dir()
 		}
 	}
 	w.WriteHeader(code)

@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BackendState is one backend's last observed health, as aggregated into the
+// proxy's shard-aware /v1/healthz view. The identity fields (SnapshotCount,
+// StorePath, PipelineWorkers) come straight from the backend's extended
+// /v1/healthz body, so operators can tell shards apart without scraping
+// /v1/metrics.
+type BackendState struct {
+	URL             string    `json:"url"`
+	Up              bool      `json:"up"`
+	Status          string    `json:"status,omitempty"` // backend-reported: "ok", "draining"
+	LastErr         string    `json:"last_error,omitempty"`
+	LastCheck       time.Time `json:"last_check"`
+	Checks          int64     `json:"checks"`
+	Fails           int64     `json:"fails"`
+	CachedSeeds     int       `json:"cached_seeds"`
+	SnapshotCount   int       `json:"snapshot_count"`
+	StorePath       string    `json:"store_path,omitempty"`
+	PipelineWorkers int       `json:"pipeline_workers"`
+}
+
+// Health tracks the liveness of a set of schemaevod backends by polling
+// their /v1/healthz endpoints. Backends start optimistic (up) so a freshly
+// started proxy routes immediately; the first failed check — or a backend
+// answering 503 while draining — flips them down and the ring successor
+// absorbs their arcs until they recover.
+type Health struct {
+	client *http.Client
+
+	mu     sync.RWMutex
+	states map[string]*BackendState
+}
+
+// NewHealth builds a tracker polling with client (nil = a 5-second-timeout
+// default client).
+func NewHealth(client *http.Client) *Health {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Health{client: client, states: map[string]*BackendState{}}
+}
+
+// Track registers backends (idempotent). New backends start up.
+func (h *Health) Track(urls ...string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, u := range urls {
+		if _, ok := h.states[u]; !ok {
+			h.states[u] = &BackendState{URL: u, Up: true}
+		}
+	}
+}
+
+// Untrack forgets a backend that left the membership.
+func (h *Health) Untrack(url string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.states, url)
+}
+
+// Up reports whether a backend is considered live. Unknown backends are
+// down — a member must be tracked before it can serve.
+func (h *Health) Up(url string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	st, ok := h.states[url]
+	return ok && st.Up
+}
+
+// MarkDown records an observed request failure against a backend without
+// waiting for the next poll — the proxy calls this when a routed request
+// hits a transport error, so the very next request skips the dead shard.
+func (h *Health) MarkDown(url string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.states[url]; ok {
+		st.Up = false
+		st.Fails++
+		if err != nil {
+			st.LastErr = err.Error()
+		}
+	}
+}
+
+// State returns a copy of one backend's state.
+func (h *Health) State(url string) (BackendState, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	st, ok := h.states[url]
+	if !ok {
+		return BackendState{}, false
+	}
+	return *st, true
+}
+
+// States returns a copy of every tracked backend's state, sorted by URL.
+func (h *Health) States() []BackendState {
+	h.mu.RLock()
+	out := make([]BackendState, 0, len(h.states))
+	for _, st := range h.states {
+		out = append(out, *st)
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// healthBody mirrors the fields of schemaevod's extended /v1/healthz JSON.
+type healthBody struct {
+	Status          string  `json:"status"`
+	CachedSeeds     []int64 `json:"cached_seeds"`
+	SnapshotCount   int     `json:"snapshot_count"`
+	StorePath       string  `json:"store_path"`
+	PipelineWorkers int     `json:"pipeline_workers"`
+}
+
+// CheckAll polls every tracked backend's /v1/healthz once, concurrently,
+// and updates the states. A backend is up iff the check returns HTTP 200 —
+// a draining daemon answers 503 and is routed around like a dead one.
+func (h *Health) CheckAll(ctx context.Context) {
+	h.mu.RLock()
+	urls := make([]string, 0, len(h.states))
+	for u := range h.states {
+		urls = append(urls, u)
+	}
+	h.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			h.checkOne(ctx, u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// checkOne polls one backend and records the outcome.
+func (h *Health) checkOne(ctx context.Context, url string) {
+	var (
+		body    healthBody
+		downErr error
+	)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/healthz", nil)
+	if err != nil {
+		downErr = err
+	} else if resp, err := h.client.Do(req); err != nil {
+		downErr = err
+	} else {
+		defer resp.Body.Close()
+		if decErr := json.NewDecoder(resp.Body).Decode(&body); decErr != nil && downErr == nil {
+			body.Status = ""
+		}
+		if resp.StatusCode != http.StatusOK {
+			downErr = fmt.Errorf("healthz status %d (%s)", resp.StatusCode, body.Status)
+		}
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.states[url]
+	if !ok { // untracked while the check was in flight
+		return
+	}
+	st.Checks++
+	st.LastCheck = time.Now()
+	if downErr != nil {
+		st.Up = false
+		st.Fails++
+		st.LastErr = downErr.Error()
+		if body.Status != "" {
+			st.Status = body.Status
+		}
+		return
+	}
+	st.Up = true
+	st.LastErr = ""
+	st.Status = body.Status
+	st.CachedSeeds = len(body.CachedSeeds)
+	st.SnapshotCount = body.SnapshotCount
+	st.StorePath = body.StorePath
+	st.PipelineWorkers = body.PipelineWorkers
+}
+
+// Run polls every interval until ctx is canceled. interval <= 0 disables
+// the loop (CheckAll can still be driven explicitly).
+func (h *Health) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			h.CheckAll(ctx)
+		}
+	}
+}

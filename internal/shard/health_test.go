@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeBackend serves a configurable /v1/healthz.
+type fakeBackend struct {
+	code atomic.Int64
+	mu   sync.Mutex
+	body map[string]any
+	hits atomic.Int64
+}
+
+func newFakeBackend(t *testing.T, body map[string]any) (*fakeBackend, *httptest.Server) {
+	t.Helper()
+	fb := &fakeBackend{body: body}
+	fb.code.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fb.hits.Add(1)
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(int(fb.code.Load()))
+		fb.mu.Lock()
+		json.NewEncoder(w).Encode(fb.body)
+		fb.mu.Unlock()
+	}))
+	t.Cleanup(ts.Close)
+	return fb, ts
+}
+
+// TestHealthCheckAll: a healthy backend's identity fields land in the
+// state; a draining (503) backend and a dead one go down; recovery flips
+// back up.
+func TestHealthCheckAll(t *testing.T) {
+	okBody := map[string]any{
+		"status":           "ok",
+		"cached_seeds":     []int64{1, 2, 3},
+		"snapshot_count":   7,
+		"store_path":       "/var/schemaevo",
+		"pipeline_workers": 4,
+	}
+	fbOK, tsOK := newFakeBackend(t, okBody)
+	fbDrain, tsDrain := newFakeBackend(t, map[string]any{"status": "draining"})
+	fbDrain.code.Store(http.StatusServiceUnavailable)
+	tsDead := httptest.NewServer(http.NotFoundHandler())
+	tsDead.Close() // connection refused from the start
+
+	h := NewHealth(nil)
+	h.Track(tsOK.URL, tsDrain.URL, tsDead.URL)
+
+	// Optimistic start: everything is up before the first check.
+	for _, u := range []string{tsOK.URL, tsDrain.URL, tsDead.URL} {
+		if !h.Up(u) {
+			t.Errorf("backend %s not up before first check", u)
+		}
+	}
+	h.CheckAll(context.Background())
+
+	if !h.Up(tsOK.URL) {
+		t.Error("healthy backend marked down")
+	}
+	st, ok := h.State(tsOK.URL)
+	if !ok {
+		t.Fatal("healthy backend has no state")
+	}
+	if st.SnapshotCount != 7 || st.StorePath != "/var/schemaevo" || st.PipelineWorkers != 4 || st.CachedSeeds != 3 {
+		t.Errorf("identity fields not captured: %+v", st)
+	}
+	if st.Status != "ok" || st.Checks != 1 || st.Fails != 0 {
+		t.Errorf("state accounting off: %+v", st)
+	}
+
+	if h.Up(tsDrain.URL) {
+		t.Error("draining backend still up — the proxy must route around a 503 healthz")
+	}
+	if st, _ := h.State(tsDrain.URL); st.Status != "draining" || st.Fails != 1 {
+		t.Errorf("draining state: %+v", st)
+	}
+	if h.Up(tsDead.URL) {
+		t.Error("dead backend still up")
+	}
+	if st, _ := h.State(tsDead.URL); st.LastErr == "" {
+		t.Error("dead backend has no recorded error")
+	}
+
+	// Recovery: the draining backend finishes its restart and answers 200.
+	fbDrain.code.Store(http.StatusOK)
+	fbDrain.mu.Lock()
+	fbDrain.body["status"] = "ok"
+	fbDrain.mu.Unlock()
+	h.CheckAll(context.Background())
+	if !h.Up(tsDrain.URL) {
+		t.Error("recovered backend still down")
+	}
+	if st, _ := h.State(tsDrain.URL); st.LastErr != "" {
+		t.Errorf("recovered backend keeps stale error %q", st.LastErr)
+	}
+
+	if fbOK.hits.Load() < 2 {
+		t.Errorf("healthy backend polled %d times, want 2", fbOK.hits.Load())
+	}
+}
+
+// TestHealthMarkDownAndUntrack: request-path failures flip a backend down
+// immediately; untracked backends are down by definition.
+func TestHealthMarkDownAndUntrack(t *testing.T) {
+	_, ts := newFakeBackend(t, map[string]any{"status": "ok"})
+	h := NewHealth(nil)
+	h.Track(ts.URL)
+	if !h.Up(ts.URL) {
+		t.Fatal("tracked backend not up")
+	}
+	h.MarkDown(ts.URL, context.DeadlineExceeded)
+	if h.Up(ts.URL) {
+		t.Error("MarkDown did not take effect")
+	}
+	if st, _ := h.State(ts.URL); st.LastErr == "" || st.Fails != 1 {
+		t.Errorf("MarkDown accounting: %+v", st)
+	}
+	// The next successful poll restores it.
+	h.CheckAll(context.Background())
+	if !h.Up(ts.URL) {
+		t.Error("poll did not restore a marked-down backend")
+	}
+
+	h.Untrack(ts.URL)
+	if h.Up(ts.URL) {
+		t.Error("untracked backend reports up")
+	}
+	if len(h.States()) != 0 {
+		t.Errorf("states after untrack: %v", h.States())
+	}
+	if _, ok := h.State(ts.URL); ok {
+		t.Error("State returned an untracked backend")
+	}
+}
+
+// TestHealthStatesSorted: States returns every backend sorted by URL.
+func TestHealthStatesSorted(t *testing.T) {
+	h := NewHealth(nil)
+	h.Track("http://b:1", "http://a:1", "http://c:1")
+	states := h.States()
+	if len(states) != 3 {
+		t.Fatalf("states = %d, want 3", len(states))
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i-1].URL >= states[i].URL {
+			t.Fatalf("states not sorted: %q before %q", states[i-1].URL, states[i].URL)
+		}
+	}
+}
+
+// TestHealthConcurrent: polls, marks and membership churn race cleanly
+// (run under -race).
+func TestHealthConcurrent(t *testing.T) {
+	_, ts := newFakeBackend(t, map[string]any{"status": "ok"})
+	h := NewHealth(nil)
+	h.Track(ts.URL)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				h.CheckAll(context.Background())
+				h.Up(ts.URL)
+				h.States()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			h.Track("http://churn:1")
+			h.MarkDown("http://churn:1", nil)
+			h.Untrack("http://churn:1")
+		}
+	}()
+	wg.Wait()
+}

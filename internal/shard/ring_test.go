@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return out
+}
+
+const seedSpan = 20000 // seeds 0..seedSpan-1 stand in for "every seed"
+
+// TestRouteExactlyOneLiveBackend: every seed routes to exactly one member,
+// that member is in the set, and routing is deterministic across rings
+// built from permuted member lists.
+func TestRouteExactlyOneLiveBackend(t *testing.T) {
+	ms := members(5)
+	r := New(ms, 0)
+	permuted := New([]string{ms[3], ms[0], ms[4], ms[2], ms[1]}, 0)
+	inSet := map[string]bool{}
+	for _, m := range ms {
+		inSet[m] = true
+	}
+	for seed := int64(0); seed < seedSpan; seed++ {
+		owner, ok := r.Route(seed)
+		if !ok {
+			t.Fatalf("seed %d: no route on a populated ring", seed)
+		}
+		if !inSet[owner] {
+			t.Fatalf("seed %d routed to %q — not a member", seed, owner)
+		}
+		if again, _ := r.Route(seed); again != owner {
+			t.Fatalf("seed %d: route not deterministic (%q then %q)", seed, owner, again)
+		}
+		if p, _ := permuted.Route(seed); p != owner {
+			t.Fatalf("seed %d: member order changed routing (%q vs %q)", seed, owner, p)
+		}
+	}
+	if _, ok := New(nil, 0).Route(1); ok {
+		t.Error("empty ring claimed to route")
+	}
+}
+
+// TestRemovalBoundedMovement: removing one backend remaps only that
+// backend's arcs — every seed whose owner changes was owned by the removed
+// member, and the moved fraction tracks its arc share.
+func TestRemovalBoundedMovement(t *testing.T) {
+	ms := members(5)
+	before := New(ms, 0)
+	removed := ms[2]
+	after := before.Without(removed)
+
+	if after.Size() != 4 {
+		t.Fatalf("size after removal = %d, want 4", after.Size())
+	}
+	var moved, ownedByRemoved int
+	for seed := int64(0); seed < seedSpan; seed++ {
+		ownerBefore, _ := before.Route(seed)
+		ownerAfter, _ := after.Route(seed)
+		if ownerBefore == removed {
+			ownedByRemoved++
+			if ownerAfter == removed {
+				t.Fatalf("seed %d still routes to removed member", seed)
+			}
+		}
+		if ownerBefore != ownerAfter {
+			moved++
+			if ownerBefore != removed {
+				t.Fatalf("seed %d moved from surviving member %q to %q — removal must only remap the removed member's arcs",
+					seed, ownerBefore, ownerAfter)
+			}
+		}
+	}
+	if moved != ownedByRemoved {
+		t.Errorf("moved %d seeds but the removed member owned %d — bounded movement violated", moved, ownedByRemoved)
+	}
+	// The moved share should be in the neighbourhood of 1/5 — generous
+	// bounds, this guards against "everything moved" regressions, not
+	// perfect balance.
+	frac := float64(moved) / seedSpan
+	if frac > 2.0/5 {
+		t.Errorf("removal moved %.1f%% of seeds — far above the removed member's share", 100*frac)
+	}
+}
+
+// TestAdditionBoundedMovement is the symmetric property: a joining member
+// only steals arcs, so every seed that moves routes to the new member.
+func TestAdditionBoundedMovement(t *testing.T) {
+	ms := members(4)
+	before := New(ms, 0)
+	joined := "http://backend-new:8080"
+	after := before.With(joined)
+	for seed := int64(0); seed < seedSpan; seed++ {
+		ownerBefore, _ := before.Route(seed)
+		ownerAfter, _ := after.Route(seed)
+		if ownerBefore != ownerAfter && ownerAfter != joined {
+			t.Fatalf("seed %d moved between surviving members (%q → %q) on join", seed, ownerBefore, ownerAfter)
+		}
+	}
+}
+
+// TestPreferenceOrder: the preference list starts at the owner, contains
+// every member exactly once, and its second element is the hedging target.
+func TestPreferenceOrder(t *testing.T) {
+	ms := members(4)
+	r := New(ms, 0)
+	for seed := int64(0); seed < 500; seed++ {
+		prefs := r.Preference(seed)
+		if len(prefs) != len(ms) {
+			t.Fatalf("seed %d: preference has %d entries, want %d", seed, len(prefs), len(ms))
+		}
+		owner, _ := r.Route(seed)
+		if prefs[0] != owner {
+			t.Fatalf("seed %d: preference[0] = %q, owner = %q", seed, prefs[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range prefs {
+			if seen[m] {
+				t.Fatalf("seed %d: duplicate %q in preference", seed, m)
+			}
+			seen[m] = true
+		}
+		// The successor is where the seed lands if the owner leaves.
+		if owner2, _ := r.Without(owner).Route(seed); owner2 != prefs[1] {
+			t.Fatalf("seed %d: successor %q but removal routes to %q", seed, prefs[1], owner2)
+		}
+	}
+}
+
+// TestArcsAndCoverage: arc fractions sum to 1, no member hogs the ring, and
+// Coverage reflects live arcs.
+func TestArcsAndCoverage(t *testing.T) {
+	ms := members(4)
+	r := New(ms, 128)
+	arcs := r.Arcs()
+	var sum float64
+	for m, frac := range arcs {
+		sum += frac
+		if frac > 2.0/float64(len(ms)) {
+			t.Errorf("member %s owns %.1f%% of the ring — worse than 2x the ideal share", m, 100*frac)
+		}
+		if frac <= 0 {
+			t.Errorf("member %s owns no arc", m)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("arc fractions sum to %v, want 1", sum)
+	}
+	if cov := r.Coverage(func(string) bool { return true }); math.Abs(cov-1) > 1e-9 {
+		t.Errorf("all-live coverage = %v, want 1", cov)
+	}
+	down := ms[0]
+	wantCov := 1 - arcs[down]
+	if cov := r.Coverage(func(m string) bool { return m != down }); math.Abs(cov-wantCov) > 1e-9 {
+		t.Errorf("coverage with %s down = %v, want %v", down, cov, wantCov)
+	}
+	if cov := New(nil, 0).Coverage(func(string) bool { return true }); cov != 0 {
+		t.Errorf("empty ring coverage = %v, want 0", cov)
+	}
+}
+
+// TestArcBalanceAcrossShapes: at DefaultVNodes every member's arc stays
+// within [0.5, 1.5]x the ideal 1/N share across realistic membership shapes,
+// including the 2-member case the original 2/N bound was vacuous for (2/N=1
+// at N=2). This is the regression net for the pointHash lattice bug: before
+// the mix64 finalizer a 2-URL ring split 4.5%/95.5% (0.09x/1.91x ideal)
+// because FNV's trailing zero-byte rounds placed all points on one
+// arithmetic progression.
+func TestArcBalanceAcrossShapes(t *testing.T) {
+	sets := [][]string{
+		{"http://127.0.0.1:18081", "http://127.0.0.1:18082"},
+		{"a", "b"},
+		{"a", "b", "c"},
+		members(4),
+		members(8),
+	}
+	for _, ms := range sets {
+		r := New(ms, 0)
+		ideal := 1.0 / float64(len(ms))
+		for m, frac := range r.Arcs() {
+			if frac < 0.5*ideal || frac > 1.5*ideal {
+				t.Errorf("ring %v: member %s owns %.1f%% of the ring (%.2fx ideal) — outside [0.5, 1.5]x",
+					ms, m, 100*frac, frac/ideal)
+			}
+		}
+	}
+}
+
+// TestRouteMatchesArcShare: the fraction of seeds routed to each member
+// should track its arc fraction (loose bound — FNV mixing, not statistics).
+func TestRouteMatchesArcShare(t *testing.T) {
+	ms := members(3)
+	r := New(ms, 128)
+	counts := map[string]int{}
+	for seed := int64(0); seed < seedSpan; seed++ {
+		m, _ := r.Route(seed)
+		counts[m]++
+	}
+	for m, frac := range r.Arcs() {
+		got := float64(counts[m]) / seedSpan
+		if math.Abs(got-frac) > 0.1 {
+			t.Errorf("member %s: routed share %.3f vs arc share %.3f", m, got, frac)
+		}
+	}
+}
+
+// TestDuplicateAndEmptyMembers: duplicates collapse, empty strings drop.
+func TestDuplicateAndEmptyMembers(t *testing.T) {
+	r := New([]string{"a", "b", "a", "", "b"}, 8)
+	if r.Size() != 2 {
+		t.Errorf("size = %d, want 2", r.Size())
+	}
+	if r.With("a") != r {
+		t.Error("With of an existing member must return the same ring")
+	}
+	if r.Without("zebra") != r {
+		t.Error("Without of an absent member must return the same ring")
+	}
+}
+
+// TestTableMembershipVersions: Add/Remove bump the version, are idempotent,
+// and concurrent churn never loses an update (run under -race).
+func TestTableMembershipVersions(t *testing.T) {
+	tb := NewTable(members(2), 16)
+	if v := tb.Current().Version; v != 1 {
+		t.Fatalf("initial version = %d, want 1", v)
+	}
+	if !tb.Add("http://backend-9:8080") {
+		t.Fatal("Add of a new member returned false")
+	}
+	if tb.Add("http://backend-9:8080") {
+		t.Fatal("Add of an existing member returned true")
+	}
+	if v := tb.Current().Version; v != 2 {
+		t.Fatalf("version after add = %d, want 2", v)
+	}
+	if !tb.Remove("http://backend-9:8080") {
+		t.Fatal("Remove of a member returned false")
+	}
+	if tb.Remove("http://backend-9:8080") {
+		t.Fatal("Remove of an absent member returned true")
+	}
+	if v := tb.Current().Version; v != 3 {
+		t.Fatalf("version after remove = %d, want 3", v)
+	}
+
+	// Concurrent joins: all must land.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tb.Add(fmt.Sprintf("http://churn-%d:8080", i))
+		}(i)
+	}
+	// Readers race the writers; the ring pointer must always be usable.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tb.Ring().Route(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tb.Ring().Size(); got != 10 {
+		t.Errorf("after concurrent joins ring has %d members, want 10", got)
+	}
+}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Membership is one immutable snapshot of the fleet: the ring built from the
+// member set plus a version that increments on every change. The proxy's
+// request path reads the current snapshot with a single atomic load, so a
+// backend joining or leaving never blocks routing.
+type Membership struct {
+	Version int64
+	Ring    *Ring
+}
+
+// Table holds the current Membership and serializes changes to it. Reads
+// (Current, Ring) are lock-free; writes (Add, Remove) take a mutex so two
+// concurrent joins cannot lose each other's member.
+type Table struct {
+	mu  sync.Mutex // serializes membership changes
+	cur atomic.Pointer[Membership]
+}
+
+// NewTable builds a table whose initial membership (version 1) is the given
+// member set.
+func NewTable(members []string, vnodes int) *Table {
+	t := &Table{}
+	t.cur.Store(&Membership{Version: 1, Ring: New(members, vnodes)})
+	return t
+}
+
+// Current returns the live membership snapshot.
+func (t *Table) Current() *Membership { return t.cur.Load() }
+
+// Ring returns the live ring.
+func (t *Table) Ring() *Ring { return t.cur.Load().Ring }
+
+// Add joins a member, returning false if it was already present. Only the
+// new member's arcs move: every seed that keeps routing to a surviving
+// member keeps its owner.
+func (t *Table) Add(member string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.cur.Load()
+	next := cur.Ring.With(member)
+	if next == cur.Ring {
+		return false
+	}
+	t.cur.Store(&Membership{Version: cur.Version + 1, Ring: next})
+	return true
+}
+
+// Remove drops a member, returning false if it was absent. Only the removed
+// member's arcs move to their ring successors.
+func (t *Table) Remove(member string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.cur.Load()
+	next := cur.Ring.Without(member)
+	if next == cur.Ring {
+		return false
+	}
+	t.cur.Store(&Membership{Version: cur.Version + 1, Ring: next})
+	return true
+}
