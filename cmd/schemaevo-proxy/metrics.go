@@ -19,6 +19,12 @@ type proxyMetrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 
+	// SSE relay counters: events forwarded to clients (seed streams plus the
+	// merged firehose) and mid-stream failovers where a seed stream resumed
+	// on the ring successor via Last-Event-ID.
+	eventsRelayed   atomic.Int64
+	streamFailovers atomic.Int64
+
 	mu       sync.RWMutex
 	perShard map[string]*shardCounters
 }
@@ -67,6 +73,12 @@ func (m *proxyMetrics) WriteTo(w io.Writer, table *shard.Table, health *shard.He
 	fmt.Fprintf(w, "# HELP schemaevo_proxy_request_errors_total Requests the proxy answered with a 4xx/5xx.\n"+
 		"# TYPE schemaevo_proxy_request_errors_total counter\n"+
 		"schemaevo_proxy_request_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_events_relayed_total SSE events relayed to clients (seed streams and firehose).\n"+
+		"# TYPE schemaevo_proxy_events_relayed_total counter\n"+
+		"schemaevo_proxy_events_relayed_total %d\n", m.eventsRelayed.Load())
+	fmt.Fprintf(w, "# HELP schemaevo_proxy_stream_failovers_total Seed event streams resumed on a ring successor after the owner dropped mid-run.\n"+
+		"# TYPE schemaevo_proxy_stream_failovers_total counter\n"+
+		"schemaevo_proxy_stream_failovers_total %d\n", m.streamFailovers.Load())
 
 	m.mu.RLock()
 	backends := make([]string, 0, len(m.perShard))

@@ -101,6 +101,8 @@ func newProxy(opts proxyOptions) (*Proxy, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/seeds/{seed}/artifacts/{key}", p.handleRouted)
 	mux.HandleFunc("GET /v1/seeds/{seed}/figures/{name}", p.handleRouted)
+	mux.HandleFunc("GET /v1/seeds/{seed}/events", p.handleSeedEvents)
+	mux.HandleFunc("GET /v1/debug/events", p.handleFirehose)
 	mux.HandleFunc("GET /v1/seeds", p.handleSeeds)
 	mux.HandleFunc("GET /v1/experiments", p.handleAnyBackend)
 	mux.HandleFunc("GET /v1/healthz", p.handleHealth)
@@ -156,12 +158,26 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so the SSE relay can stream through
+// the recorder.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // ServeHTTP counts the request and applies the end-to-end deadline before
-// dispatching.
+// dispatching. Event-stream routes are exempt from the deadline — a live
+// relay runs as long as the watched pipeline (or, for the firehose, the
+// client).
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.metrics.requests.Add(1)
-	ctx, cancel := context.WithTimeout(r.Context(), p.opts.Timeout)
-	defer cancel()
+	ctx := r.Context()
+	if !isEventStreamPath(r.URL.Path) {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.opts.Timeout)
+		defer cancel()
+	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	p.mux.ServeHTTP(rec, r.WithContext(ctx))
 	if rec.status >= 400 {

@@ -24,9 +24,13 @@
 //	GET /v1/seeds/{seed}/artifacts/{key}      experiment text, export.csv,
 //	                                          export.json or report.html
 //	GET /v1/seeds/{seed}/figures/{name}       one SVG figure
+//	GET /v1/seeds/{seed}/events               SSE stage progress of the seed's
+//	                                          run (triggers or joins it),
+//	                                          terminal `result` event
 //	GET /v1/experiments                       list of experiment keys
 //	GET /v1/healthz                           readiness + cache digest
 //	GET /v1/metrics                           Prometheus text exposition
+//	GET /v1/debug/events                      SSE firehose of every span event
 //	GET /v1/debug/trace?seed=N                instrumented run, Chrome trace JSON
 //	GET /v1/debug/stats                       latency/stage histogram join
 //	GET /v1/debug/scrub                       on-demand store integrity scrub
@@ -74,6 +78,7 @@ func main() {
 		gcEvery  = flag.Duration("store-gc-interval", time.Hour, "cadence of the background retention sweep when a bound is set (jittered; 0 = sweep at startup only)")
 		scrub    = flag.Bool("store-scrub", false, "verify every stored blob's size+checksum at startup, deleting damaged snapshots")
 		traceMax = flag.Int("trace-max-spans", 0, "head-sampling bound on spans retained per /v1/debug/trace run (0 = default 4096, negative = unlimited)")
+		eventBuf = flag.Int("event-buffer", 0, "per-subscriber SSE event ring capacity; slow consumers drop oldest (0 = default 2048)")
 		debug    = flag.Bool("debug", false, "log at debug level (per-stage pipeline events)")
 	)
 	flag.Parse()
@@ -98,6 +103,7 @@ func main() {
 		GC:              store.GCPolicy{MaxSnapshots: *maxSnaps, MaxAge: *maxAge},
 		GCInterval:      *gcEvery,
 		TraceMaxSpans:   *traceMax,
+		EventBuffer:     *eventBuf,
 		Logger:          logger,
 	}
 	if *storeDir != "" {

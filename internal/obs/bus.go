@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the live side of the observability layer: a span event bus
+// that publishes start/end notifications as stages execute, feeding the
+// daemon's SSE endpoints. The design mirrors the package's no-op contract —
+// a bus with no subscriber costs one atomic load per span and allocates
+// nothing, so always-attached production tracers stay as cheap as before
+// anyone is watching.
+
+// DefaultEventBuffer is the per-subscriber ring capacity used when
+// Subscribe is called with a non-positive capacity. A cold pipeline run
+// emits ~1200 events (two per span) in bursts faster than a per-frame-
+// flushing SSE writer can drain, so the default absorbs a whole run even
+// for a completely stalled watcher while still bounding its memory.
+const DefaultEventBuffer = 2048
+
+// Event is one span lifecycle notification. Start events carry the span
+// identity and depth; end events additionally carry the elapsed duration
+// and the span's final attributes. The Attrs slice is shared with the span
+// that published it and must not be mutated by subscribers.
+type Event struct {
+	// Seed is the correlation key of the run (Options.Seed on the tracer;
+	// 0 when the tracer serves no particular seed).
+	Seed int64
+	// Seq is the tracer-assigned publication sequence, 1-based and
+	// monotonic per tracer. For a deterministic pipeline run it names the
+	// event's position in the run's canonical event stream, which is what
+	// lets an SSE reconnect skip events it already saw.
+	Seq int64
+	// Span is the stage name (study.new, corpus.generate, ...).
+	Span string
+	// ID and Parent are the span ids within the publishing tracer.
+	ID, Parent int64
+	// Depth is the span's nesting depth (top-level spans are depth 1).
+	Depth int
+	// End distinguishes span-ended events from span-started events.
+	End bool
+	// Elapsed is the span duration; zero on start events.
+	Elapsed time.Duration
+	// Attrs are the span's attributes — only populated on end events, when
+	// no further SetAttr can race the shared slice.
+	Attrs []Attr
+}
+
+// Bus fans span events out to any number of subscribers, each behind its
+// own bounded ring. Publishing never blocks: a full ring drops its oldest
+// event to admit the newest, and every drop is counted. All methods are
+// safe for concurrent use.
+type Bus struct {
+	active    atomic.Int64 // subscriber count — the publish fast path gate
+	published atomic.Int64
+	dropped   atomic.Int64
+
+	mu   sync.RWMutex
+	subs map[*Subscriber]struct{}
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[*Subscriber]struct{}{}}
+}
+
+// Active reports whether any subscriber is attached. Publishers check this
+// before building an Event, so an idle bus costs one atomic load per span.
+func (b *Bus) Active() bool { return b.active.Load() > 0 }
+
+// PublishedTotal reports how many events reached at least the fan-out
+// stage (i.e. were published while a subscriber was attached).
+func (b *Bus) PublishedTotal() int64 { return b.published.Load() }
+
+// DroppedTotal reports how many events were discarded by full subscriber
+// rings across the bus's lifetime.
+func (b *Bus) DroppedTotal() int64 { return b.dropped.Load() }
+
+// Publish fans ev out to every matching subscriber. It never blocks: slow
+// consumers lose their oldest buffered events, not the publisher's time.
+func (b *Bus) Publish(ev Event) {
+	if b.active.Load() == 0 {
+		return
+	}
+	b.published.Add(1)
+	b.mu.RLock()
+	for s := range b.subs {
+		if s.seed != 0 && s.seed != ev.Seed {
+			continue
+		}
+		s.offer(ev, b)
+	}
+	b.mu.RUnlock()
+}
+
+// Subscriber is one bounded event stream off the bus. Read events from C;
+// Close detaches from the bus and closes C.
+type Subscriber struct {
+	seed    int64
+	ch      chan Event
+	dropped atomic.Int64
+	owner   *Bus
+	once    sync.Once
+}
+
+// Subscribe attaches a new subscriber. seed filters the stream to one
+// run's events; seed 0 subscribes to everything (the firehose). capacity
+// bounds the ring (non-positive = DefaultEventBuffer).
+func (b *Bus) Subscribe(seed int64, capacity int) *Subscriber {
+	if capacity <= 0 {
+		capacity = DefaultEventBuffer
+	}
+	s := &Subscriber{seed: seed, ch: make(chan Event, capacity), owner: b}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	b.active.Add(1)
+	return s
+}
+
+// C is the subscriber's event stream. It is closed by Close.
+func (s *Subscriber) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events this subscriber's full ring discarded.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscriber from the bus and closes its channel.
+// Safe to call more than once.
+func (s *Subscriber) Close() {
+	s.once.Do(func() {
+		b := s.owner
+		b.mu.Lock()
+		delete(b.subs, s)
+		b.mu.Unlock()
+		b.active.Add(-1)
+		// No publisher can hold a reference anymore: offers only happen
+		// under the read lock while the subscriber is in the map, and the
+		// write lock above has been released after removal.
+		close(s.ch)
+	})
+}
+
+// offer enqueues ev, dropping the oldest buffered event when the ring is
+// full (drop-oldest keeps the stream's tail — the most recent progress —
+// which is what a live watcher wants after a stall).
+func (s *Subscriber) offer(ev Event, b *Bus) {
+	select {
+	case s.ch <- ev:
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+		s.dropped.Add(1)
+		b.dropped.Add(1)
+	default:
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		// A concurrent publisher refilled the freed slot; dropping the new
+		// event instead keeps the ring bounded either way.
+		s.dropped.Add(1)
+		b.dropped.Add(1)
+	}
+}

@@ -75,6 +75,13 @@ type Options struct {
 	// Logger, when set, emits one debug line per finished span with the
 	// span's name, duration and attributes.
 	Logger *slog.Logger
+	// Bus, when set, receives a live start and end event per span while the
+	// bus has subscribers. An idle bus costs one atomic load per span, so
+	// production tracers attach it unconditionally.
+	Bus *Bus
+	// Seed is the correlation key stamped on every event this tracer
+	// publishes (the corpus seed of the run; 0 = unkeyed).
+	Seed int64
 }
 
 // Tracer owns the spans of one (or several sequential) pipeline runs. All
@@ -86,10 +93,14 @@ type Tracer struct {
 	stages   *StageRegistry
 	logger   *slog.Logger
 
-	epoch   time.Time
-	nextID  atomic.Int64
-	dropped atomic.Int64
-	now     func() time.Time // test seam
+	bus  *Bus
+	seed int64
+
+	epoch    time.Time
+	nextID   atomic.Int64
+	dropped  atomic.Int64
+	eventSeq atomic.Int64 // live-event publication sequence, 1-based
+	now      func() time.Time // test seam
 
 	mu      sync.Mutex
 	records []Record
@@ -103,6 +114,8 @@ func NewTracer(opts Options) *Tracer {
 		maxSpans: opts.MaxSpans,
 		stages:   opts.Stages,
 		logger:   opts.Logger,
+		bus:      opts.Bus,
+		seed:     opts.Seed,
 		now:      time.Now,
 	}
 	t.epoch = t.now()
@@ -148,6 +161,7 @@ type Span struct {
 	name   string
 	id     int64
 	parent int64
+	depth  int32
 	start  time.Time
 	attrs  []Attr
 }
@@ -187,10 +201,21 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		name:   name,
 		id:     t.nextID.Add(1),
 		parent: parent.id,
+		depth:  parent.depth + 1,
 		start:  t.now(),
 	}
 	if len(attrs) > 0 {
 		sp.attrs = append(sp.attrs, attrs...)
+	}
+	if t.bus != nil && t.bus.Active() {
+		t.bus.Publish(Event{
+			Seed:   t.seed,
+			Seq:    t.eventSeq.Add(1),
+			Span:   name,
+			ID:     sp.id,
+			Parent: sp.parent,
+			Depth:  int(sp.depth),
+		})
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
@@ -215,6 +240,19 @@ func (s *Span) End() {
 	d := end.Sub(s.start)
 	if t.stages != nil {
 		t.stages.Observe(s.name, d)
+	}
+	if t.bus != nil && t.bus.Active() {
+		t.bus.Publish(Event{
+			Seed:    t.seed,
+			Seq:     t.eventSeq.Add(1),
+			Span:    s.name,
+			ID:      s.id,
+			Parent:  s.parent,
+			Depth:   int(s.depth),
+			End:     true,
+			Elapsed: d,
+			Attrs:   s.attrs,
+		})
 	}
 	if t.logger != nil && t.logger.Enabled(context.Background(), slog.LevelDebug) {
 		args := make([]slog.Attr, 0, len(s.attrs)+1)

@@ -8,6 +8,7 @@ package report
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -105,13 +106,25 @@ func (t *Table) String() string {
 // CSV renders the table as RFC-4180 CSV (headers first).
 func (t *Table) CSV() string {
 	var b strings.Builder
-	w := csv.NewWriter(&b)
-	w.Write(t.Headers)
-	for _, r := range t.Rows {
-		w.Write(r)
-	}
-	w.Flush()
+	t.WriteCSV(&b)
 	return b.String()
+}
+
+// WriteCSV streams the table as RFC-4180 CSV (headers first) into w,
+// row by row — the chunked form of CSV for serving large tables without
+// materialising the whole payload. Bytes are identical to CSV().
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // FormatNum renders a float compactly: integers without decimals, otherwise

@@ -46,6 +46,19 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableWriteCSVMatchesCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,with comma", "1")
+	tb.AddRow(`quoted "cell"`, "2")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != tb.CSV() {
+		t.Errorf("WriteCSV = %q, CSV = %q", b.String(), tb.CSV())
+	}
+}
+
 func TestFormatNum(t *testing.T) {
 	cases := []struct {
 		in   float64

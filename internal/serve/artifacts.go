@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 
 	"github.com/schemaevo/schemaevo/internal/obs"
@@ -30,6 +33,13 @@ func knownArtifact(key string) bool {
 		return true
 	}
 	return study.KnownExperiment(key)
+}
+
+// streamableArtifact reports whether key has a chunked renderer — the big
+// whole-study payloads that are worth writing to the client as they are
+// produced instead of materialising first.
+func streamableArtifact(key string) bool {
+	return key == artifactCSV || key == artifactHTML
 }
 
 // contentTypeFor maps an artifact key to its Content-Type header.
@@ -122,6 +132,54 @@ func (s *Server) artifactBytes(ctx context.Context, seed int64, key string) ([]b
 	}
 	s.cache.PutArtifact(seed, key, b)
 	return b, nil
+}
+
+// serveStreamedArtifact is the chunked counterpart of artifactBytes for the
+// big whole-study payloads (export.csv, report.html): memo and snapshot hits
+// serve the cached bytes, but a live render streams to the client as it is
+// produced — row by row for CSV, template chunk by template chunk for HTML —
+// teeing into a buffer that seeds the memo afterwards. The client sees first
+// bytes while the render is still running, and the server never holds more
+// than one materialised copy. Bytes are identical to the buffered path.
+func (s *Server) serveStreamedArtifact(ctx context.Context, w http.ResponseWriter, jsonErr bool, seed int64, key string) {
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.metrics.memoHits.Add(1)
+		w.Header().Set("Content-Type", contentTypeFor(key))
+		w.Write(b)
+		return
+	}
+	s.restoreSnapshot(ctx, seed)
+	if b, ok := s.cache.GetArtifact(seed, key); ok {
+		s.metrics.cacheMisses.Add(1)
+		w.Header().Set("Content-Type", contentTypeFor(key))
+		w.Write(b)
+		return
+	}
+	st, err := s.getStudy(ctx, seed)
+	if err != nil {
+		failErr(w, jsonErr, seed, err)
+		return
+	}
+	rctx := obs.WithTracer(ctx, s.tracer)
+	var buf bytes.Buffer
+	mw := io.MultiWriter(&buf, w)
+	w.Header().Set("Content-Type", contentTypeFor(key))
+	switch key {
+	case artifactCSV:
+		err = st.WriteCSV(mw)
+	case artifactHTML:
+		err = st.WriteHTMLReport(rctx, mw)
+	default:
+		err = fmt.Errorf("artifact %q has no streaming renderer", key)
+	}
+	if err != nil {
+		// Status and some bytes are already on the wire: the response is
+		// truncated, which the client sees as a short read. Don't memoize.
+		s.opts.Logger.Error("streamed render failed", "seed", seed, "artifact", key, "err", err)
+		return
+	}
+	s.cache.PutArtifact(seed, key, buf.Bytes())
 }
 
 // figureBytes is artifactBytes for the figure namespace: figures render as

@@ -36,6 +36,7 @@ func registerDebug(mux *http.ServeMux, s *Server) {
 	mux.HandleFunc("GET /debug/trace", s.legacy("/v1/debug/trace", s.handleDebugTrace(false)))
 	mux.HandleFunc("GET /v1/debug/scrub", s.handleDebugScrub)
 	mux.HandleFunc("GET /v1/debug/stats", s.handleDebugStats)
+	mux.HandleFunc("GET /v1/debug/events", s.handleDebugEvents)
 }
 
 // handleDebugStats serves the latency/stage join: one JSON document
@@ -84,7 +85,8 @@ func (s *Server) handleDebugTrace(jsonErr bool) http.HandlerFunc {
 			}
 			seed = parsed
 		}
-		tr := obs.NewTracer(obs.Options{Collect: true, MaxSpans: s.opts.TraceMaxSpans, Stages: s.metrics.stages, Logger: s.opts.Logger})
+		tr := obs.NewTracer(obs.Options{Collect: true, MaxSpans: s.opts.TraceMaxSpans,
+			Stages: s.metrics.stages, Logger: s.opts.Logger, Bus: s.bus, Seed: seed})
 		ctx := obs.WithTracer(r.Context(), tr)
 		ctx = obs.WithLogger(ctx, s.opts.Logger)
 		s.metrics.pipelineRuns.Add(1)

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/obs"
+)
+
+// This file is the daemon's live-telemetry surface: two Server-Sent-Events
+// endpoints on top of the obs span event bus.
+//
+//	GET /v1/seeds/{seed}/events   stage progress of one run, triggering (or
+//	                              joining, via the singleflight) the run if
+//	                              the seed is cold; ends with a `result` event
+//	GET /v1/debug/events          firehose of every span event on the daemon,
+//	                              across all seeds, until the client leaves
+//
+// Events use `id: <seed>:<seq>` where seq is the run tracer's publication
+// sequence — the event's position in the run's canonical stream. Because the
+// pipeline is deterministic per seed, a reconnecting client (or the proxy
+// failing over mid-stream) sends `Last-Event-ID: <seed>:<n>` and the daemon
+// skips everything it already saw, even when the resumed run is a fresh
+// execution on another shard.
+
+// keepaliveInterval is how often an otherwise idle event stream emits an
+// SSE comment so intermediaries don't reap the connection. A var, not a
+// const: tests shorten it.
+var keepaliveInterval = 15 * time.Second
+
+// isEventStreamPath reports whether path is one of the SSE routes, which
+// are exempt from the per-request deadline.
+func isEventStreamPath(path string) bool {
+	return path == "/v1/debug/events" ||
+		(strings.HasPrefix(path, "/v1/seeds/") && strings.HasSuffix(path, "/events"))
+}
+
+// stageEvent is the SSE `stage` payload. Field order is fixed by the
+// struct, so one stage tree always serializes byte-identically.
+type stageEvent struct {
+	Seed      int64          `json:"seed"`
+	Seq       int64          `json:"seq"`
+	Span      string         `json:"span"`
+	ID        int64          `json:"id"`
+	Parent    int64          `json:"parent"`
+	Depth     int            `json:"depth"`
+	Phase     string         `json:"phase"` // "start" | "end"
+	ElapsedMS float64        `json:"elapsed_ms,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+}
+
+// resultEvent is the terminal SSE payload of a seed stream.
+type resultEvent struct {
+	Seed      int64   `json:"seed"`
+	Status    string  `json:"status"` // "ok" | "error"
+	Error     string  `json:"error,omitempty"`
+	Events    int64   `json:"events"`
+	Dropped   int64   `json:"dropped"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// stagePayload converts a bus event to its wire form.
+func stagePayload(ev obs.Event) stageEvent {
+	se := stageEvent{
+		Seed:   ev.Seed,
+		Seq:    ev.Seq,
+		Span:   ev.Span,
+		ID:     ev.ID,
+		Parent: ev.Parent,
+		Depth:  ev.Depth,
+		Phase:  "start",
+	}
+	if ev.End {
+		se.Phase = "end"
+		se.ElapsedMS = float64(ev.Elapsed) / float64(time.Millisecond)
+		if len(ev.Attrs) > 0 {
+			// encoding/json writes map keys sorted, so attrs stay
+			// deterministic too.
+			se.Attrs = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				se.Attrs[a.Key] = a.Value()
+			}
+		}
+	}
+	return se
+}
+
+// sseWriter serializes SSE frames onto one response, flushing per frame and
+// tracking the sent count and the per-stream dropped-event sync.
+type sseWriter struct {
+	w       http.ResponseWriter
+	fl      http.Flusher
+	metrics *Metrics
+	sub     *obs.Subscriber
+	sent    int64
+	synced  int64 // dropped count already pushed into the metrics
+}
+
+func (s *Server) newSSEWriter(w http.ResponseWriter, sub *obs.Subscriber) (*sseWriter, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+	return &sseWriter{w: w, fl: fl, metrics: s.metrics, sub: sub}, true
+}
+
+// stage writes one stage frame unless its seq is at or below after (the
+// Last-Event-ID resume point).
+func (sw *sseWriter) stage(ev obs.Event, after int64) {
+	if ev.Seq <= after && ev.Seq > 0 {
+		return
+	}
+	data, err := json.Marshal(stagePayload(ev))
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(sw.w, "id: %d:%d\nevent: stage\ndata: %s\n\n", ev.Seed, ev.Seq, data)
+	sw.fl.Flush()
+	sw.sent++
+	sw.metrics.eventsSent.Add(1)
+	sw.syncDropped()
+}
+
+// result writes the terminal frame of a seed stream.
+func (sw *sseWriter) result(seed int64, runErr error, elapsed time.Duration) {
+	res := resultEvent{
+		Seed:      seed,
+		Status:    "ok",
+		Events:    sw.sent,
+		Dropped:   sw.sub.Dropped(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if runErr != nil {
+		res.Status = "error"
+		res.Error = runErr.Error()
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(sw.w, "event: result\ndata: %s\n\n", data)
+	sw.fl.Flush()
+	sw.syncDropped()
+}
+
+// comment writes an SSE comment line (keepalives, provenance notes).
+func (sw *sseWriter) comment(text string) {
+	fmt.Fprintf(sw.w, ": %s\n\n", text)
+	sw.fl.Flush()
+}
+
+// syncDropped folds the subscriber's drop counter into the process metric
+// incrementally, so mid-stream scrapes see losses as they happen.
+func (sw *sseWriter) syncDropped() {
+	if d := sw.sub.Dropped(); d > sw.synced {
+		sw.metrics.eventsDropped.Add(d - sw.synced)
+		sw.synced = d
+	}
+}
+
+// lastEventSeq parses the resume point from the Last-Event-ID header (or
+// the ?after= query parameter, for curl convenience): either "<seed>:<seq>"
+// or a bare "<seq>". Malformed values mean "from the beginning".
+func lastEventSeq(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return 0
+	}
+	if i := strings.LastIndexByte(raw, ':'); i >= 0 {
+		raw = raw[i+1:]
+	}
+	seq, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || seq < 0 {
+		return 0
+	}
+	return seq
+}
+
+// handleSeedEvents streams one seed's pipeline stage progress as SSE. A
+// cold seed triggers the run; concurrent watchers and artifact requests all
+// share that one execution through the singleflight. The stream ends with a
+// `result` event once the run (or restore, or cache hit) settles. A client
+// that disconnects mid-run cancels nothing shared — the run keeps going and
+// fills the cache, exactly like an abandoned artifact request.
+func (s *Server) handleSeedEvents(w http.ResponseWriter, r *http.Request) {
+	seed, err := parseSeed(r)
+	if err != nil {
+		respondError(w, true, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	after := lastEventSeq(r)
+
+	sub := s.bus.Subscribe(seed, s.opts.EventBuffer)
+	defer sub.Close()
+	s.metrics.eventSubscribers.Add(1)
+	defer s.metrics.eventSubscribers.Add(-1)
+
+	sw, ok := s.newSSEWriter(w, sub)
+	if !ok {
+		respondError(w, true, http.StatusInternalServerError,
+			"response writer does not support streaming", seed)
+		return
+	}
+	sw.comment(fmt.Sprintf("stage events for seed %d", seed))
+
+	// Kick the run. ensureSeed settles instantly for cached or
+	// snapshot-restored seeds (zero stage events, straight to result) and
+	// otherwise runs or joins the pipeline.
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- s.ensureSeed(r.Context(), seed) }()
+
+	keepalive := time.NewTicker(keepaliveInterval)
+	defer keepalive.Stop()
+	var runErr error
+wait:
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client gone; any in-flight run continues detached
+		case runErr = <-done:
+			break wait
+		case ev, ok := <-sub.C():
+			if !ok {
+				break wait
+			}
+			sw.stage(ev, after)
+		case <-keepalive.C:
+			sw.comment("keepalive")
+		}
+	}
+	// Every span of the run ended (and so published) before ensureSeed
+	// returned; drain what is still buffered, then close with the result.
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				break
+			}
+			sw.stage(ev, after)
+			continue
+		default:
+		}
+		break
+	}
+	sw.result(seed, runErr, time.Since(start))
+}
+
+// handleDebugEvents is the firehose: every span event on the daemon —
+// pipeline runs for any seed, render-time experiment spans, store
+// maintenance — until the client disconnects. It never triggers work.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	sub := s.bus.Subscribe(0, s.opts.EventBuffer)
+	defer sub.Close()
+	s.metrics.eventSubscribers.Add(1)
+	defer s.metrics.eventSubscribers.Add(-1)
+
+	sw, ok := s.newSSEWriter(w, sub)
+	if !ok {
+		respondError(w, true, http.StatusInternalServerError,
+			"response writer does not support streaming", 0)
+		return
+	}
+	sw.comment("span event firehose")
+
+	keepalive := time.NewTicker(keepaliveInterval)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			sw.stage(ev, 0)
+		case <-keepalive.C:
+			sw.comment("keepalive")
+		}
+	}
+}

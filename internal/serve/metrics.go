@@ -43,6 +43,9 @@ type Metrics struct {
 	scrubRuns        atomic.Int64 // integrity scrubs completed
 	scrubBlobs       atomic.Int64 // blobs checked by the scrubber
 	scrubDamaged     atomic.Int64 // snapshots the scrubber found damaged (and removed)
+	eventSubscribers atomic.Int64 // live SSE event streams currently attached
+	eventsSent       atomic.Int64 // SSE stage events written to clients
+	eventsDropped    atomic.Int64 // events lost to full subscriber rings (slow consumers)
 	shuttingDown     atomic.Bool  // health turns not-ready during graceful drain
 	mu               sync.Mutex
 	latencyByExp     map[string]*histogram
@@ -69,11 +72,14 @@ var latencyBuckets = [numBuckets]float64{
 
 const numBuckets = 13
 
-// histogram is a fixed-bucket cumulative histogram.
+// histogram is a fixed-bucket cumulative histogram. It additionally tracks
+// the maximum observation, which caps quantile estimates at the histogram's
+// open-ended edge.
 type histogram struct {
 	counts [numBuckets + 1]atomic.Int64 // +1 for +Inf
 	sum    atomic.Int64                 // nanoseconds
 	total  atomic.Int64
+	maxNS  atomic.Int64 // largest single observation, nanoseconds
 }
 
 func (h *histogram) observe(d time.Duration) {
@@ -82,30 +88,43 @@ func (h *histogram) observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.total.Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
 }
 
 // quantile estimates the q-th latency quantile (0 < q < 1) by linear
-// interpolation inside the histogram's buckets. Observations beyond the
-// last finite bound report that bound — an estimate, like any bucketed
-// quantile.
+// interpolation inside the histogram's buckets. The estimate is clamped to
+// the maximum observation, so a rank landing in the open-ended +Inf bucket
+// (or interpolating past the data) reports the largest value actually seen
+// rather than a bucket bound.
 func (h *histogram) quantile(q float64) float64 {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
+	max := time.Duration(h.maxNS.Load()).Seconds()
 	rank := q * float64(total)
 	var cum int64
 	lower := 0.0
 	for i, ub := range latencyBuckets {
 		c := h.counts[i].Load()
 		if c > 0 && float64(cum)+float64(c) >= rank {
-			frac := (rank - float64(cum)) / float64(c)
-			return lower + frac*(ub-lower)
+			v := lower + (rank-float64(cum))/float64(c)*(ub-lower)
+			if v > max {
+				v = max
+			}
+			return v
 		}
 		cum += c
 		lower = ub
 	}
-	return lower
+	// The rank lives in the +Inf bucket: every bucketed answer would be a
+	// fabricated bound, so report the max observed instead.
+	return max
 }
 
 // ObserveLatency records one served artifact's latency under its experiment
@@ -134,6 +153,8 @@ type Snapshot struct {
 	GCRuns, GCEvicted, GCOrphanBlobs        int64
 	GCTmpFiles                              int64
 	ScrubRuns, ScrubBlobs, ScrubDamaged     int64
+	EventSubscribers, EventsSent            int64
+	EventsDropped                           int64
 }
 
 // Snapshot reads every counter.
@@ -164,6 +185,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		ScrubRuns:        m.scrubRuns.Load(),
 		ScrubBlobs:       m.scrubBlobs.Load(),
 		ScrubDamaged:     m.scrubDamaged.Load(),
+		EventSubscribers: m.eventSubscribers.Load(),
+		EventsSent:       m.eventsSent.Load(),
+		EventsDropped:    m.eventsDropped.Load(),
 	}
 }
 
@@ -273,6 +297,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevo_store_scrub_blobs_checked_total", "Blobs size/checksum-verified by the scrubber.", s.ScrubBlobs),
 		count("schemaevo_store_scrub_damaged_total", "Snapshots the scrubber found damaged and removed.", s.ScrubDamaged),
 		count("schemaevo_trace_dropped_spans_total", "Spans discarded by trace head sampling, process-wide.", obs.DroppedSpansTotal()),
+		gauge("schemaevod_event_subscribers", "Live SSE span-event streams currently attached.", s.EventSubscribers),
+		count("schemaevod_events_sent_total", "SSE stage events written to clients.", s.EventsSent),
+		count("schemaevod_events_dropped_total", "Span events lost to full subscriber rings (slow consumers).", s.EventsDropped),
 	} {
 		if e != nil {
 			return n, e

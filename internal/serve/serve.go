@@ -14,11 +14,13 @@
 //	GET /v1/seeds                              cached + stored seeds
 //	GET /v1/seeds/{seed}/artifacts/{key}       one whole-study artifact
 //	GET /v1/seeds/{seed}/figures/{name}        one SVG figure
+//	GET /v1/seeds/{seed}/events                SSE live stage progress of one run
 //	GET /v1/experiments                        experiment key list
 //	GET /v1/healthz                            readiness + cache digest + shard identity
 //	GET /v1/metrics                            Prometheus text exposition
 //	GET /v1/debug/trace                        instrumented pipeline run
 //	GET /v1/debug/stats                        latency/stage histogram join
+//	GET /v1/debug/events                       SSE firehose of all span events
 //
 // Errors on /v1 routes use a uniform JSON envelope {error, code, seed}.
 // The original flat routes (/healthz, /metrics, /debug/trace,
@@ -84,6 +86,11 @@ type Options struct {
 	// pipeline Runner (0 = GOMAXPROCS). Deterministic: any value yields
 	// byte-identical artifacts. Ignored when a custom Runner is supplied.
 	PipelineWorkers int
+	// EventBuffer bounds each SSE subscriber's event ring (the span event
+	// stream behind /v1/seeds/{seed}/events and /v1/debug/events). A slow
+	// consumer loses its oldest buffered events, never the publisher's time
+	// (0 = obs.DefaultEventBuffer).
+	EventBuffer int
 	// TraceMaxSpans head-samples the collecting tracer behind /v1/debug/trace:
 	// at most this many spans are retained per trace, keeping the response
 	// bounded under deep proxy→backend span trees (0 = DefaultTraceMaxSpans;
@@ -104,6 +111,7 @@ type Server struct {
 	loads   *flightGroup // one store restore per seed
 	metrics *Metrics
 	tracer  *obs.Tracer // metrics-only: feeds stage histograms, retains no spans
+	bus     *obs.Bus    // live span events for the SSE endpoints
 	mux     *http.ServeMux
 
 	persistMu  sync.Mutex
@@ -147,13 +155,18 @@ func New(opts Options) *Server {
 		render:     renderAll,
 	}
 	s.cache = newStudyCache(opts.CacheSize, s.metrics)
-	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger})
+	s.bus = obs.NewBus()
+	// The shared tracer covers render-time spans (experiment.<key>); its
+	// events are unkeyed (seed 0) and reach only the firehose. Pipeline runs
+	// get per-run tracers with the seed stamped on — see getStudy.
+	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger, Bus: s.bus})
 
 	mux := http.NewServeMux()
 	// Canonical /v1 surface: JSON error envelope.
 	mux.HandleFunc("GET /v1/seeds", s.handleSeeds)
 	mux.HandleFunc("GET /v1/seeds/{seed}/artifacts/{key}", s.handleArtifact(true))
 	mux.HandleFunc("GET /v1/seeds/{seed}/figures/{name}", s.handleFigure(true))
+	mux.HandleFunc("GET /v1/seeds/{seed}/events", s.handleSeedEvents)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -193,15 +206,29 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so the SSE endpoints can stream
+// through the recorder.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // ServeHTTP counts the request, tracks the in-flight gauge, and applies the
-// per-request deadline before dispatching to the route table.
+// per-request deadline before dispatching to the route table. The SSE event
+// streams are exempt from the deadline: they live exactly as long as the
+// watched run (seed streams) or the client's interest (the firehose).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
-	defer cancel()
+	ctx := r.Context()
+	if !isEventStreamPath(r.URL.Path) {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
 
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(rec, r.WithContext(ctx))
@@ -232,9 +259,13 @@ func (s *Server) getStudy(ctx context.Context, seed int64) (*study.Study, error)
 		defer s.metrics.pipelineInflight.Add(-1)
 		// The run is deliberately detached from the request context: a caller
 		// that times out must not cancel the pipeline, whose result still
-		// fills the cache. It keeps the server's tracer and logger, so even
-		// orphaned runs show up in the stage metrics and the log stream.
-		runCtx := obs.WithTracer(context.Background(), s.tracer)
+		// fills the cache. A per-run tracer feeds the shared stage registry
+		// like before and additionally stamps the seed on every live event,
+		// so SSE watchers of this seed see the run's stages as they happen.
+		runTracer := obs.NewTracer(obs.Options{
+			Stages: s.metrics.stages, Logger: s.opts.Logger, Bus: s.bus, Seed: seed,
+		})
+		runCtx := obs.WithTracer(context.Background(), runTracer)
 		runCtx = obs.WithLogger(runCtx, s.opts.Logger)
 		st, err := s.opts.Runner.Run(runCtx, seed)
 		if err != nil {
@@ -381,6 +412,11 @@ func (s *Server) handleArtifact(jsonErr bool) http.HandlerFunc {
 			return
 		}
 		start := time.Now()
+		if streamableArtifact(key) {
+			s.serveStreamedArtifact(r.Context(), w, jsonErr, seed, key)
+			s.metrics.ObserveLatency(key, time.Since(start))
+			return
+		}
 		b, err := s.artifactBytes(r.Context(), seed, key)
 		if err != nil {
 			failErr(w, jsonErr, seed, err)

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The chunked artifact path (cold render streamed to the client while teeing
+// into the memo) must be byte-identical to the buffered path, and the teed
+// copy must serve subsequent memo hits unchanged.
+func TestStreamedArtifactBytesIdentical(t *testing.T) {
+	st, err := realStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Runner: RunnerFunc(realRunner(t))})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for key, want := range map[string]string{
+		"export.csv": st.ExportCSV(),
+	} {
+		code, cold, hdr := get(t, ts, "/v1/seeds/1/artifacts/"+key)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", key, code)
+		}
+		if cold != want {
+			t.Errorf("%s: streamed cold render differs from materialised render", key)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+			t.Errorf("%s: content type %q", key, ct)
+		}
+		_, warm, _ := get(t, ts, "/v1/seeds/1/artifacts/"+key)
+		if warm != cold {
+			t.Errorf("%s: memo copy differs from streamed bytes", key)
+		}
+	}
+
+	// report.html renders through the same tee; assert cold == warm and both
+	// well-formed (the study-level byte-identity test covers the renderer).
+	code, cold, hdr := get(t, ts, "/v1/seeds/1/artifacts/report.html")
+	if code != http.StatusOK {
+		t.Fatalf("report.html: status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("report.html: content type %q", ct)
+	}
+	if !strings.HasPrefix(cold, "<!DOCTYPE html>") || !strings.HasSuffix(strings.TrimSpace(cold), "</html>") {
+		t.Error("report.html: streamed document truncated or malformed")
+	}
+	_, warm, _ := get(t, ts, "/v1/seeds/1/artifacts/report.html")
+	if warm != cold {
+		t.Error("report.html: memo copy differs from streamed bytes")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"html/template"
+	"io"
 	"sort"
 	"strings"
 )
@@ -13,6 +14,17 @@ import (
 // inline as SVG. The output has no external dependencies — it opens directly
 // in a browser.
 func (s *Study) HTMLReport(ctx context.Context) (string, error) {
+	var b strings.Builder
+	if err := s.WriteHTMLReport(ctx, &b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// WriteHTMLReport streams the report into w as the template executes — the
+// chunked form of HTMLReport the serving layer uses to bound per-request
+// memory. Bytes are identical to HTMLReport().
+func (s *Study) WriteHTMLReport(ctx context.Context, w io.Writer) error {
 	type section struct {
 		Title string
 		Body  string
@@ -53,11 +65,10 @@ func (s *Study) HTMLReport(ctx context.Context) (string, error) {
 	}
 
 	tmpl := template.Must(template.New("report").Parse(htmlReportTemplate))
-	var b strings.Builder
-	if err := tmpl.Execute(&b, data); err != nil {
-		return "", fmt.Errorf("study: html report: %w", err)
+	if err := tmpl.Execute(w, data); err != nil {
+		return fmt.Errorf("study: html report: %w", err)
 	}
-	return b.String(), nil
+	return nil
 }
 
 const htmlReportTemplate = `<!DOCTYPE html>

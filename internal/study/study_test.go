@@ -347,6 +347,35 @@ func TestExportCSV(t *testing.T) {
 	}
 }
 
+// The chunked writers behind the streaming artifact routes must produce
+// byte-identical output to their materialising counterparts — the golden
+// files and every cached copy depend on it.
+func TestWriteCSVMatchesExportCSV(t *testing.T) {
+	s := getStudy(t)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != s.ExportCSV() {
+		t.Error("WriteCSV bytes differ from ExportCSV")
+	}
+}
+
+func TestWriteHTMLReportMatchesHTMLReport(t *testing.T) {
+	s := getStudy(t)
+	want, err := s.HTMLReport(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.WriteHTMLReport(context.Background(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Error("WriteHTMLReport bytes differ from HTMLReport")
+	}
+}
+
 func TestThresholdSensitivity(t *testing.T) {
 	s := getStudy(t)
 	rows := s.ThresholdSensitivity()
