@@ -9,16 +9,21 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/schemaevo/schemaevo/internal/ingest"
 )
 
 // This file fans the SSE live-telemetry surface across the fleet.
 //
-//	GET /v1/seeds/{seed}/events   relayed to the seed's ring owner; on a
-//	                              mid-stream transport failure the proxy
-//	                              fails over to the ring successor and
-//	                              resumes via Last-Event-ID, so the watcher
-//	                              sees one coherent stream across shards
-//	GET /v1/debug/events          merged firehose of every live backend
+//	GET /v1/seeds/{seed}/events      relayed to the seed's ring owner; on a
+//	                                 mid-stream transport failure the proxy
+//	                                 fails over to the ring successor and
+//	                                 resumes via Last-Event-ID, so the
+//	                                 watcher sees one coherent stream
+//	                                 across shards
+//	GET /v1/histories/{id}/events    the same relay for an ingest run,
+//	                                 keyed by the history's content address
+//	GET /v1/debug/events             merged firehose of every live backend
 //
 // Every relayed event gets shard provenance injected into its JSON payload
 // (a leading "shard" field naming the backend URL), because a failover or a
@@ -28,7 +33,8 @@ import (
 // exempt from the proxy's end-to-end deadline.
 func isEventStreamPath(path string) bool {
 	return path == "/v1/debug/events" ||
-		(strings.HasPrefix(path, "/v1/seeds/") && strings.HasSuffix(path, "/events"))
+		(strings.HasPrefix(path, "/v1/seeds/") && strings.HasSuffix(path, "/events")) ||
+		(strings.HasPrefix(path, "/v1/histories/") && strings.HasSuffix(path, "/events"))
 }
 
 // sseFrame is one parsed Server-Sent-Events frame as relayed: the raw lines
@@ -129,18 +135,41 @@ func (p *Proxy) handleSeedEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("seed must be an integer, got %q", r.PathValue("seed")), 0)
 		return
 	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming", seed)
+	p.relayEventStream(w, r, seed, "seed", strconv.FormatInt(seed, 10))
+}
+
+// handleHistoryEvents is the same relay for an ingest run's stage stream,
+// keyed by the history's content address.
+func (p *Proxy) handleHistoryEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !ingest.ValidID(id) {
+		writeHistoryError(w, http.StatusBadRequest,
+			"history ids are 64 hex characters (the upload's content address)", id)
 		return
 	}
-	targets, owner := p.liveTargets(seed)
+	p.relayEventStream(w, r, ingest.Key(id), "history", id)
+}
+
+// relayEventStream relays one resource's live SSE stream from the ring
+// owner of key, failing over along the ring preference order mid-stream.
+func (p *Proxy) relayEventStream(w http.ResponseWriter, r *http.Request, key int64, resource, id string) {
+	seed := int64(0)
+	if resource == "seed" {
+		seed = key
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		keyedError(w, http.StatusInternalServerError, "response writer does not support streaming", resource, id, seed)
+		return
+	}
+	targets, owner := p.liveTargets(key)
 	if owner == "" {
-		writeError(w, http.StatusServiceUnavailable, "ring is empty — no backends configured", seed)
+		keyedError(w, http.StatusServiceUnavailable, "ring is empty — no backends configured", resource, id, seed)
 		return
 	}
 	if len(targets) == 0 {
-		writeError(w, http.StatusServiceUnavailable, "no live backend for seed — every shard is down", seed)
+		keyedError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no live backend for %s — every shard is down", resource), resource, id, seed)
 		return
 	}
 	if targets[0] != owner {
@@ -215,7 +244,7 @@ func (p *Proxy) handleSeedEvents(w http.ResponseWriter, r *http.Request) {
 		if lastErr == nil {
 			lastErr = fmt.Errorf("no backend answered")
 		}
-		writeError(w, http.StatusBadGateway, fmt.Sprintf("all shards failed: %v", lastErr), seed)
+		keyedError(w, http.StatusBadGateway, fmt.Sprintf("all shards failed: %v", lastErr), resource, id, seed)
 		return
 	}
 	// Committed but every shard died mid-run: tell the watcher the stream

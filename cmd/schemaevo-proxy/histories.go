@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/ingest"
+)
+
+// This file is the proxy's ingest surface: POST /v1/histories forwarded to
+// the content address's ring owner, and the fleet-wide history listing.
+//
+// Uploads are content-addressed, so the proxy can compute the routing key
+// itself: it normalizes the body exactly like a backend would
+// (ingest.Prepare) and routes to the owner of the resulting 64-bit key.
+// The same shard that will serve GET /v1/histories/{id} therefore runs the
+// ingest, and its LRU is warm for the follow-up reads. POSTs are never
+// hedged — a duplicate would run the analysis twice (dedup makes that
+// harmless but wasteful); transport errors fail over sequentially instead.
+
+// handleIngest forwards one history upload to the ring owner of its content
+// address.
+func (p *Proxy) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.opts.MaxUploadBytes))
+	if err != nil {
+		if _, ok := err.(*http.MaxBytesError); ok {
+			writeHistoryError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds the %d-byte limit", p.opts.MaxUploadBytes), "")
+			return
+		}
+		writeHistoryError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+
+	// Normalize locally to learn the content address — that hash is the ring
+	// key. A body the proxy cannot normalize (other than an unsupported
+	// media type, rejected here) is forwarded to the first live shard so the
+	// backend produces the authoritative error envelope.
+	var targets []string
+	var id string
+	up, err := ingest.Prepare(r.Header.Get("Content-Type"), body)
+	switch {
+	case err == nil:
+		id = up.ID
+		targets, _ = p.liveTargets(up.Key())
+	case errors.Is(err, ingest.ErrUnsupportedMedia):
+		writeHistoryError(w, http.StatusUnsupportedMediaType,
+			fmt.Sprintf("unsupported content type %q; supported: %s",
+				r.Header.Get("Content-Type"), strings.Join(ingest.SupportedMediaTypes(), ", ")), "")
+		return
+	default:
+		for _, m := range p.table.Ring().Members() {
+			if p.health.Up(m) {
+				targets = append(targets, m)
+				break
+			}
+		}
+	}
+	if len(targets) == 0 {
+		writeHistoryError(w, http.StatusServiceUnavailable, "no live backend", id)
+		return
+	}
+
+	var lastErr error
+	for i, backend := range targets {
+		if r.Context().Err() != nil {
+			return
+		}
+		if i > 0 {
+			p.metrics.failover(backend)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			backend+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			writeHistoryError(w, http.StatusInternalServerError, err.Error(), id)
+			return
+		}
+		copyRequestHeaders(req.Header, r.Header)
+		req.ContentLength = int64(len(body))
+		p.metrics.backendRequest(backend)
+		resp, err := p.client.Do(req)
+		if err != nil {
+			lastErr = err
+			p.metrics.backendError(backend)
+			if r.Context().Err() == nil {
+				p.health.MarkDown(backend, err)
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("X-Schemaevo-Backend", backend)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no backend answered")
+	}
+	writeHistoryError(w, http.StatusBadGateway, fmt.Sprintf("all shards failed: %v", lastErr), id)
+}
+
+// historiesBody mirrors schemaevod's unpaginated /v1/histories response.
+type historiesBody struct {
+	Cached []string `json:"cached"`
+	Stored []string `json:"stored"`
+}
+
+// handleHistories aggregates /v1/histories across the fleet: the union of
+// cached and stored history ids plus the per-shard view. With ?limit= or
+// ?cursor= the merged union is paginated proxy-side, using the same opaque
+// cursor scheme as the backends — the proxy always fans out unpaginated,
+// because per-shard pages cannot be merged.
+func (p *Proxy) handleHistories(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, paged, err := parseProxyPage(r)
+	if err != nil {
+		writeHistoryError(w, http.StatusBadRequest, err.Error(), "")
+		return
+	}
+	bodies := p.fanOut(r.Context(), "/v1/histories")
+	cached := map[string]bool{}
+	stored := map[string]bool{}
+	shards := map[string]historiesBody{}
+	for backend, raw := range bodies {
+		var b historiesBody
+		if err := json.Unmarshal(raw, &b); err != nil {
+			continue
+		}
+		shards[backend] = b
+		for _, id := range b.Cached {
+			cached[id] = true
+		}
+		for _, id := range b.Stored {
+			stored[id] = true
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !paged {
+		json.NewEncoder(w).Encode(map[string]any{
+			"cached": sortedIDs(cached),
+			"stored": sortedIDs(stored),
+			"shards": shards,
+		})
+		return
+	}
+	union := map[string]bool{}
+	for id := range cached {
+		union[id] = true
+	}
+	for id := range stored {
+		union[id] = true
+	}
+	all := sortedIDs(union)
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(all, cursor)
+		if start < len(all) && all[start] == cursor {
+			start++ // resume strictly after the cursor's item
+		}
+	}
+	end := start + limit
+	if end > len(all) {
+		end = len(all)
+	}
+	next := ""
+	if end < len(all) && end > start {
+		next = encodeProxyCursor(all[end-1])
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"histories":   all[start:end],
+		"next_cursor": next,
+	})
+}
+
+func sortedIDs(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// proxyCursorPrefix matches the backends' cursor payload version, so a
+// cursor minted by a shard resumes correctly at the proxy and vice versa.
+const proxyCursorPrefix = "v1:"
+
+func parseProxyPage(r *http.Request) (limit int, cursor string, paged bool, err error) {
+	q := r.URL.Query()
+	rawLimit, rawCursor := q.Get("limit"), q.Get("cursor")
+	if rawLimit == "" && rawCursor == "" {
+		return 0, "", false, nil
+	}
+	limit = 100
+	if rawLimit != "" {
+		limit, err = strconv.Atoi(rawLimit)
+		if err != nil || limit <= 0 {
+			return 0, "", false, fmt.Errorf("limit must be a positive integer, got %q", rawLimit)
+		}
+	}
+	if rawCursor != "" {
+		cursor, err = decodeProxyCursor(rawCursor)
+		if err != nil {
+			return 0, "", false, err
+		}
+	}
+	return limit, cursor, true, nil
+}
+
+func encodeProxyCursor(last string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(proxyCursorPrefix + last))
+}
+
+func decodeProxyCursor(raw string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(raw)
+	if err != nil || !strings.HasPrefix(string(b), proxyCursorPrefix) {
+		return "", fmt.Errorf("malformed cursor %q", raw)
+	}
+	return strings.TrimPrefix(string(b), proxyCursorPrefix), nil
+}

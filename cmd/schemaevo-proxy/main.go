@@ -11,17 +11,24 @@
 //	schemaevo-proxy -backends ... -health-interval 1s -addr :8080
 //
 // Endpoints (same /v1 surface shape as schemaevod; errors are JSON
-// {error, code, seed}):
+// {error, code, resource, id}, seed routes keeping the legacy seed field):
 //
-//	GET  /v1/seeds/{seed}/artifacts/{key}   routed + hedged to the seed's shard
-//	GET  /v1/seeds/{seed}/figures/{name}    routed + hedged to the seed's shard
-//	GET  /v1/seeds                          fleet-wide union + per-shard view
-//	GET  /v1/experiments                    forwarded to the first live shard
-//	GET  /v1/healthz                        shard-aware health + ring coverage
-//	GET  /v1/metrics                        proxy Prometheus exposition
-//	GET  /v1/debug/stats                    per-shard + merged latency/stage stats
-//	GET  /v1/debug/trace?seed=N             backend trace with proxy spans merged in
-//	POST /v1/admin/backends                 {"op":"add"|"remove","url":...}
+//	GET  /v1/seeds/{id}                       routed + hedged to the seed's shard
+//	GET  /v1/seeds/{seed}/artifacts/{key}     routed + hedged to the seed's shard
+//	GET  /v1/seeds/{seed}/figures/{name}      routed + hedged to the seed's shard
+//	GET  /v1/seeds                            fleet-wide union + per-shard view
+//	POST /v1/histories                        forwarded to the upload's content-
+//	                                          address owner (never hedged)
+//	GET  /v1/histories                        fleet-wide union + per-shard view
+//	GET  /v1/histories/{id}                   routed + hedged to the history's shard
+//	GET  /v1/histories/{id}/artifacts/{key}   routed + hedged to the history's shard
+//	GET  /v1/histories/{id}/events            SSE ingest relay with mid-stream failover
+//	GET  /v1/experiments                      forwarded to the first live shard
+//	GET  /v1/healthz                          shard-aware health + ring coverage
+//	GET  /v1/metrics                          proxy Prometheus exposition
+//	GET  /v1/debug/stats                      per-shard + merged latency/stage stats
+//	GET  /v1/debug/trace?seed=N               backend trace with proxy spans merged in
+//	POST /v1/admin/backends                   {"op":"add"|"remove","url":...}
 //
 // Responses from routed requests carry X-Schemaevo-Backend (which shard
 // answered) and X-Schemaevo-Hedged (present when the winning answer came
@@ -52,6 +59,7 @@ func main() {
 		hedgeDelay = flag.Duration("hedge-delay", 250*time.Millisecond, "wait this long on the owning shard before duplicating to its ring successor (0 disables hedging)")
 		healthIvl  = flag.Duration("health-interval", 2*time.Second, "cadence of the background shard health sweep (0 disables; request-path failures still mark shards down)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		maxUpload  = flag.Int64("max-upload-bytes", 0, "POST /v1/histories body bound at the proxy edge; larger uploads get 413 (0 = default 8 MiB)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		traceMax   = flag.Int("trace-max-spans", 0, "head-sampling bound on spans retained per /v1/debug/trace run (0 = default 4096, negative = unlimited)")
 		debug      = flag.Bool("debug", false, "log at debug level")
@@ -71,12 +79,13 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level)
 
 	proxy, err := newProxy(proxyOptions{
-		Backends:      list,
-		VNodes:        *vnodes,
-		HedgeDelay:    *hedgeDelay,
-		Timeout:       *timeout,
-		TraceMaxSpans: *traceMax,
-		Logger:        logger,
+		Backends:       list,
+		VNodes:         *vnodes,
+		HedgeDelay:     *hedgeDelay,
+		Timeout:        *timeout,
+		MaxUploadBytes: *maxUpload,
+		TraceMaxSpans:  *traceMax,
+		Logger:         logger,
 	})
 	if err != nil {
 		logger.Error("proxy init failed", "err", err)

@@ -15,7 +15,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/schemaevo/schemaevo/internal/ingest"
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/serve"
 	"github.com/schemaevo/schemaevo/internal/shard"
 )
 
@@ -40,6 +42,10 @@ type proxyOptions struct {
 	HedgeDelay time.Duration
 	// Timeout bounds one proxied request end to end.
 	Timeout time.Duration
+	// MaxUploadBytes bounds a POST /v1/histories body at the proxy edge, so
+	// oversized uploads are rejected before consuming backend bandwidth
+	// (0 = serve.DefaultMaxUploadBytes; backends enforce their own bound too).
+	MaxUploadBytes int64
 	// TraceMaxSpans head-samples the /v1/debug/trace collecting tracer.
 	TraceMaxSpans int
 	// Client performs backend requests (nil = a keep-alive transport sized
@@ -77,6 +83,9 @@ func newProxy(opts proxyOptions) (*Proxy, error) {
 	} else if opts.TraceMaxSpans < 0 {
 		opts.TraceMaxSpans = 0
 	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = serve.DefaultMaxUploadBytes
+	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        64,
@@ -99,9 +108,15 @@ func newProxy(opts proxyOptions) (*Proxy, error) {
 	p.tracer = obs.NewTracer(obs.Options{Stages: p.stages})
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/seeds/{id}", p.handleRouted)
 	mux.HandleFunc("GET /v1/seeds/{seed}/artifacts/{key}", p.handleRouted)
 	mux.HandleFunc("GET /v1/seeds/{seed}/figures/{name}", p.handleRouted)
 	mux.HandleFunc("GET /v1/seeds/{seed}/events", p.handleSeedEvents)
+	mux.HandleFunc("POST /v1/histories", p.handleIngest)
+	mux.HandleFunc("GET /v1/histories", p.handleHistories)
+	mux.HandleFunc("GET /v1/histories/{id}", p.handleHistoryRouted)
+	mux.HandleFunc("GET /v1/histories/{id}/artifacts/{key}", p.handleHistoryRouted)
+	mux.HandleFunc("GET /v1/histories/{id}/events", p.handleHistoryEvents)
 	mux.HandleFunc("GET /v1/debug/events", p.handleFirehose)
 	mux.HandleFunc("GET /v1/seeds", p.handleSeeds)
 	mux.HandleFunc("GET /v1/experiments", p.handleAnyBackend)
@@ -186,17 +201,44 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // errEnvelope mirrors schemaevod's uniform /v1 error body, so clients see
-// one error shape whether the proxy or a backend answered.
+// one error shape whether the proxy or a backend answered: {error, code,
+// resource, id}, with the legacy seed field kept on seed routes.
 type errEnvelope struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
-	Seed  int64  `json:"seed,omitempty"`
+	Error    string `json:"error"`
+	Code     int    `json:"code"`
+	Resource string `json:"resource,omitempty"`
+	ID       string `json:"id,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, code int, msg string, seed int64) {
+	env := errEnvelope{Error: msg, Code: code, Seed: seed}
+	if seed != 0 {
+		env.Resource = "seed"
+		env.ID = strconv.FormatInt(seed, 10)
+	}
+	writeEnvelope(w, env)
+}
+
+// writeHistoryError writes the envelope for a history-keyed failure.
+func writeHistoryError(w http.ResponseWriter, code int, msg, id string) {
+	writeEnvelope(w, errEnvelope{Error: msg, Code: code, Resource: "history", ID: id})
+}
+
+func writeEnvelope(w http.ResponseWriter, env errEnvelope) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errEnvelope{Error: msg, Code: code, Seed: seed})
+	w.WriteHeader(env.Code)
+	json.NewEncoder(w).Encode(env)
+}
+
+// keyedError dispatches a routing failure to the right envelope shape for
+// the resource kind.
+func keyedError(w http.ResponseWriter, code int, msg, resource, id string, seed int64) {
+	if resource == "history" {
+		writeHistoryError(w, code, msg, id)
+		return
+	}
+	writeError(w, code, msg, seed)
 }
 
 // liveTargets resolves a seed to its failover-ordered live backend list
@@ -219,29 +261,58 @@ func (p *Proxy) liveTargets(seed int64) (targets []string, owner string) {
 // hedging, relaying the winning backend's response verbatim plus the
 // X-Schemaevo-Backend / X-Schemaevo-Hedged provenance headers.
 func (p *Proxy) handleRouted(w http.ResponseWriter, r *http.Request) {
-	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+	raw := r.PathValue("seed")
+	if raw == "" {
+		raw = r.PathValue("id")
+	}
+	seed, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("seed must be an integer, got %q", r.PathValue("seed")), 0)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("seed must be an integer, got %q", raw), 0)
 		return
 	}
 	ctx := obs.WithTracer(r.Context(), p.tracer)
 	p.relayRouted(ctx, w, r, seed)
 }
 
-// relayRouted performs one routed fetch-and-relay under whatever tracer ctx
-// carries (the metrics-only tracer normally; a collecting one for
-// /v1/debug/trace).
-func (p *Proxy) relayRouted(ctx context.Context, w http.ResponseWriter, r *http.Request, seed int64) {
-	ctx, span := obs.Start(ctx, "proxy.route", obs.Int("seed", seed))
-	defer span.End()
+// handleHistoryRouted serves the history-keyed GET routes: the content
+// address's 64-bit truncation picks the ring owner, so a history's requests
+// land on the shard whose LRU already holds its result.
+func (p *Proxy) handleHistoryRouted(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !ingest.ValidID(id) {
+		writeHistoryError(w, http.StatusBadRequest,
+			"history ids are 64 hex characters (the upload's content address)", id)
+		return
+	}
+	ctx := obs.WithTracer(r.Context(), p.tracer)
+	p.relayKeyed(ctx, w, r, ingest.Key(id), "history", id)
+}
 
-	targets, owner := p.liveTargets(seed)
+// relayRouted is relayKeyed for the seed-keyed routes.
+func (p *Proxy) relayRouted(ctx context.Context, w http.ResponseWriter, r *http.Request, seed int64) {
+	p.relayKeyed(ctx, w, r, seed, "seed", strconv.FormatInt(seed, 10))
+}
+
+// relayKeyed performs one routed fetch-and-relay for a resource keyed into
+// the ring by key, under whatever tracer ctx carries (the metrics-only
+// tracer normally; a collecting one for /v1/debug/trace).
+func (p *Proxy) relayKeyed(ctx context.Context, w http.ResponseWriter, r *http.Request, key int64, resource, id string) {
+	ctx, span := obs.Start(ctx, "proxy.route",
+		obs.Int("seed", key), obs.String("resource", resource))
+	defer span.End()
+	seed := int64(0)
+	if resource == "seed" {
+		seed = key
+	}
+
+	targets, owner := p.liveTargets(key)
 	if owner == "" {
-		writeError(w, http.StatusServiceUnavailable, "ring is empty — no backends configured", seed)
+		keyedError(w, http.StatusServiceUnavailable, "ring is empty — no backends configured", resource, id, seed)
 		return
 	}
 	if len(targets) == 0 {
-		writeError(w, http.StatusServiceUnavailable, "no live backend for seed — every shard is down", seed)
+		keyedError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no live backend for %s — every shard is down", resource), resource, id, seed)
 		return
 	}
 	if targets[0] != owner {
@@ -253,7 +324,7 @@ func (p *Proxy) relayRouted(ctx context.Context, w http.ResponseWriter, r *http.
 	resp, backend, hedged, done, err := p.fetchHedged(ctx, r, targets)
 	if err != nil {
 		span.SetAttr(obs.String("error", err.Error()))
-		writeError(w, http.StatusBadGateway, fmt.Sprintf("all shards failed: %v", err), seed)
+		keyedError(w, http.StatusBadGateway, fmt.Sprintf("all shards failed: %v", err), resource, id, seed)
 		return
 	}
 	defer done()
@@ -485,8 +556,16 @@ type seedsBody struct {
 }
 
 // handleSeeds aggregates /v1/seeds across the fleet: the union of cached
-// and stored seeds plus the raw per-shard view.
+// and stored seeds plus the raw per-shard view. With ?limit= or ?cursor=
+// the merged union is paginated proxy-side (fan-out is always
+// unpaginated — per-shard pages cannot be merged), using the backends'
+// cursor scheme with numeric payloads.
 func (p *Proxy) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, paged, err := parseProxyPage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
 	bodies := p.fanOut(r.Context(), "/v1/seeds")
 	cached := map[int64]bool{}
 	stored := map[int64]bool{}
@@ -505,10 +584,32 @@ func (p *Proxy) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if !paged {
+		json.NewEncoder(w).Encode(map[string]any{
+			"cached": sortedKeys(cached),
+			"stored": sortedKeys(stored),
+			"shards": shards,
+		})
+		return
+	}
+	for s := range stored {
+		cached[s] = true
+	}
+	all := sortedKeys(cached)
+	start := 0
+	if after, err := strconv.ParseInt(cursor, 10, 64); cursor != "" && err == nil {
+		start = sort.Search(len(all), func(i int) bool { return all[i] > after })
+	}
+	end := start + limit
+	next := ""
+	if end >= len(all) {
+		end = len(all)
+	} else {
+		next = encodeProxyCursor(strconv.FormatInt(all[end-1], 10))
+	}
 	json.NewEncoder(w).Encode(map[string]any{
-		"cached": sortedKeys(cached),
-		"stored": sortedKeys(stored),
-		"shards": shards,
+		"seeds":       all[start:end],
+		"next_cursor": next,
 	})
 }
 

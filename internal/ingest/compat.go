@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/diff"
+	"github.com/schemaevo/schemaevo/internal/history"
+)
+
+// Per-version compatibility classification: the paper's attribute-change
+// categories (born/injected/deleted/ejected/type-change/pk-change) map onto
+// the schema-registry compatibility levels of weaviate's RFC 0011. A purely
+// additive version keeps every old reader working (backward compatible); a
+// purely subtractive one keeps every old writer working (forward
+// compatible); in-place rewrites — or mixing additions with removals —
+// guarantee neither and are breaking.
+
+// Level is a transition's compatibility classification, ordered by
+// severity.
+type Level int
+
+const (
+	// LevelFull: no attribute-level change (table-only or cosmetic edits).
+	LevelFull Level = iota
+	// LevelBackward: purely additive — attributes born with new tables or
+	// injected into existing ones. Readers of the old schema still work.
+	LevelBackward
+	// LevelForward: purely subtractive — attributes removed with their
+	// tables or ejected from surviving ones. Writers of the old schema
+	// still work.
+	LevelForward
+	// LevelBreaking: type or primary-key rewrites, or additions mixed with
+	// removals in one version — neither old readers nor old writers are
+	// safe.
+	LevelBreaking
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelBackward:
+		return "backward"
+	case LevelForward:
+		return "forward"
+	}
+	return "breaking"
+}
+
+// ClassifyDelta maps one transition's delta onto its compatibility level.
+func ClassifyDelta(d *diff.Delta) Level {
+	added := d.Born + d.Injected
+	removed := d.Deleted + d.Ejected
+	switch {
+	case d.TypeChange > 0 || d.PKChange > 0:
+		return LevelBreaking
+	case added > 0 && removed > 0:
+		return LevelBreaking
+	case added > 0:
+		return LevelBackward
+	case removed > 0:
+		return LevelForward
+	}
+	return LevelFull
+}
+
+// VersionCompat is one version's row in the compatibility report: the level
+// of the transition that produced it, plus the category counts behind the
+// verdict.
+type VersionCompat struct {
+	Version    int       `json:"version"` // the transition's destination version
+	When       time.Time `json:"when"`
+	Level      string    `json:"level"`
+	Born       int       `json:"born"`
+	Injected   int       `json:"injected"`
+	Deleted    int       `json:"deleted"`
+	Ejected    int       `json:"ejected"`
+	TypeChange int       `json:"type_change"`
+	PKChange   int       `json:"pk_change"`
+}
+
+// Report is the compatibility.json artifact: every transition classified,
+// plus the overall verdict (the most severe level anywhere in the history —
+// what a consumer pinned to V0 faces upgrading to the head).
+type Report struct {
+	ID       string          `json:"id"`
+	Project  string          `json:"project"`
+	Overall  string          `json:"overall"`
+	Versions []VersionCompat `json:"versions"`
+}
+
+// Classify builds the per-version compatibility report from an analyzed
+// history. A single-version history has no transitions and is trivially
+// fully compatible.
+func Classify(id string, a *history.Analysis) Report {
+	rep := Report{
+		ID:       id,
+		Project:  a.History.Project,
+		Overall:  LevelFull.String(),
+		Versions: make([]VersionCompat, 0, len(a.Transitions)),
+	}
+	worst := LevelFull
+	for _, tr := range a.Transitions {
+		lvl := ClassifyDelta(tr.Delta)
+		if lvl > worst {
+			worst = lvl
+		}
+		rep.Versions = append(rep.Versions, VersionCompat{
+			Version:    tr.ToID,
+			When:       tr.When.UTC(),
+			Level:      lvl.String(),
+			Born:       tr.Delta.Born,
+			Injected:   tr.Delta.Injected,
+			Deleted:    tr.Delta.Deleted,
+			Ejected:    tr.Delta.Ejected,
+			TypeChange: tr.Delta.TypeChange,
+			PKChange:   tr.Delta.PKChange,
+		})
+	}
+	rep.Overall = worst.String()
+	return rep
+}

@@ -1,0 +1,261 @@
+package ingest
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/schemaevo/schemaevo/internal/diff"
+)
+
+// Four versions exercising every compatibility level: v0 baseline, v1 adds a
+// column (backward), v2 drops one (forward), v3 rewrites a type (breaking).
+var testVersions = []string{
+	"CREATE TABLE t (a INT, b INT);\n",
+	"CREATE TABLE t (a INT, b INT, c INT);\n",
+	"CREATE TABLE t (a INT, c INT);\n",
+	"CREATE TABLE t (a BIGINT, c INT);\n",
+}
+
+func jsonBody(t *testing.T, project string, times []string) []byte {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"project":` + "\"" + project + "\"" + `,"versions":[`)
+	for i, sql := range testVersions {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{"sql":"` + strings.ReplaceAll(sql, "\n", `\n`) + `"`)
+		if times != nil {
+			b.WriteString(`,"when":"` + times[i] + `"`)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("]}")
+	return []byte(b.String())
+}
+
+func dumpBody(times []string) []byte {
+	var b strings.Builder
+	for i, sql := range testVersions {
+		b.WriteString(versionSeparator)
+		if times != nil {
+			b.WriteString(" " + times[i])
+		}
+		b.WriteString("\n")
+		b.WriteString(sql)
+	}
+	return []byte(b.String())
+}
+
+func TestPrepareDeterministic(t *testing.T) {
+	body := jsonBody(t, "upload", nil)
+	u1, err := Prepare(MediaJSON, body)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	u2, err := Prepare("application/json; charset=utf-8", body)
+	if err != nil {
+		t.Fatalf("prepare with charset param: %v", err)
+	}
+	if u1.ID != u2.ID {
+		t.Errorf("same body, different ids: %s vs %s", u1.ID, u2.ID)
+	}
+	if !bytes.Equal(u1.Normalized, u2.Normalized) {
+		t.Error("same body, different normalized forms")
+	}
+	if !ValidID(u1.ID) {
+		t.Errorf("id %q is not a valid identity", u1.ID)
+	}
+	if Key(u1.ID) == 0 {
+		t.Error("key derivation returned 0")
+	}
+}
+
+func TestPrepareFormatConvergence(t *testing.T) {
+	// The same logical history uploaded as JSON and as an annotated dump must
+	// share one content address: identity hangs off the normalized history,
+	// not the wire format.
+	times := []string{
+		"2014-01-01T00:00:00Z", "2014-02-01T00:00:00Z",
+		"2014-03-01T00:00:00Z", "2014-04-01T00:00:00Z",
+	}
+	fromJSON, err := Prepare(MediaJSON, jsonBody(t, "upload", times))
+	if err != nil {
+		t.Fatalf("prepare json: %v", err)
+	}
+	fromDump, err := Prepare(MediaSQL, dumpBody(times))
+	if err != nil {
+		t.Fatalf("prepare dump: %v", err)
+	}
+	if fromJSON.ID != fromDump.ID {
+		t.Errorf("json id %s != dump id %s", fromJSON.ID, fromDump.ID)
+	}
+}
+
+func TestPrepareTar(t *testing.T) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for i, sql := range testVersions {
+		name := "myproj/v" + string(rune('0'+i)) + ".sql"
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(sql)), Typeflag: tar.TypeReg,
+			ModTime: time.Date(2014, time.Month(i+1), 1, 0, 0, 0, 0, time.UTC),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write([]byte(sql)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Close()
+	up, err := Prepare(MediaTar, buf.Bytes())
+	if err != nil {
+		t.Fatalf("prepare tar: %v", err)
+	}
+	if up.History.Project != "myproj" {
+		t.Errorf("project %q, want myproj (from the leading archive dir)", up.History.Project)
+	}
+	if len(up.History.Versions) != len(testVersions) {
+		t.Errorf("%d versions decoded, want %d", len(up.History.Versions), len(testVersions))
+	}
+	if got := up.History.Versions[1].When; !got.Equal(time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("version 1 timestamp %v, want the tar mod time", got)
+	}
+}
+
+func TestPrepareSyntheticTimestamps(t *testing.T) {
+	up, err := Prepare(MediaJSON, jsonBody(t, "upload", nil))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	for i, v := range up.History.Versions {
+		want := syntheticBase.Add(time.Duration(i) * 24 * time.Hour)
+		if !v.When.Equal(want) {
+			t.Errorf("version %d at %v, want synthetic %v", i, v.When, want)
+		}
+	}
+	if up.History.ProjectCommits != len(testVersions) {
+		t.Errorf("project commits %d, want %d", up.History.ProjectCommits, len(testVersions))
+	}
+}
+
+func TestPrepareRejectsNonMonotonicTimes(t *testing.T) {
+	times := []string{
+		"2014-04-01T00:00:00Z", "2014-02-01T00:00:00Z",
+		"2014-03-01T00:00:00Z", "2014-04-01T00:00:00Z",
+	}
+	if _, err := Prepare(MediaJSON, jsonBody(t, "upload", times)); err == nil {
+		t.Fatal("out-of-order timestamps accepted")
+	}
+}
+
+func TestPrepareUnsupportedMedia(t *testing.T) {
+	_, err := Prepare("application/octet-stream", []byte("whatever"))
+	if err == nil || !strings.Contains(err.Error(), "unsupported content type") {
+		t.Fatalf("err = %v, want ErrUnsupportedMedia", err)
+	}
+}
+
+func TestClassifyDelta(t *testing.T) {
+	cases := []struct {
+		name string
+		d    diff.Delta
+		want Level
+	}{
+		{"no change", diff.Delta{}, LevelFull},
+		{"injected only", diff.Delta{Injected: 2}, LevelBackward},
+		{"born only", diff.Delta{Born: 3}, LevelBackward},
+		{"ejected only", diff.Delta{Ejected: 1}, LevelForward},
+		{"deleted only", diff.Delta{Deleted: 4}, LevelForward},
+		{"mixed add+remove", diff.Delta{Injected: 1, Ejected: 1}, LevelBreaking},
+		{"type change", diff.Delta{TypeChange: 1}, LevelBreaking},
+		{"pk change", diff.Delta{PKChange: 1}, LevelBreaking},
+		{"type change with adds", diff.Delta{Injected: 5, TypeChange: 1}, LevelBreaking},
+	}
+	for _, c := range cases {
+		if got := ClassifyDelta(&c.d); got != c.want {
+			t.Errorf("%s: level %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	up, err := Prepare(MediaJSON, jsonBody(t, "upload", nil))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	res, err := Run(context.Background(), up)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, key := range ArtifactKeys() {
+		if len(res.Artifacts[key]) == 0 {
+			t.Errorf("artifact %s is empty", key)
+		}
+	}
+	if !bytes.Equal(res.Artifacts[ArtifactHistory], up.Normalized) {
+		t.Error("history.json is not the normalized upload")
+	}
+	if !strings.HasPrefix(string(res.Artifacts[ArtifactHeartbeat]), "transition,when,expansion,maintenance,activity\n") {
+		t.Errorf("heartbeat.csv header: %.80s", res.Artifacts[ArtifactHeartbeat])
+	}
+
+	rep := res.Compatibility
+	if rep.Overall != "breaking" {
+		t.Errorf("overall %q, want breaking (v3 rewrites a type)", rep.Overall)
+	}
+	if len(rep.Versions) != 3 {
+		t.Fatalf("%d transitions classified, want 3", len(rep.Versions))
+	}
+	wantLevels := []string{"backward", "forward", "breaking"}
+	for i, vc := range rep.Versions {
+		if vc.Level != wantLevels[i] {
+			t.Errorf("transition to v%d: level %q, want %q", vc.Version, vc.Level, wantLevels[i])
+		}
+	}
+	if res.Profile.Compatibility != "breaking" || res.Profile.Versions != 4 {
+		t.Errorf("profile = %+v", res.Profile)
+	}
+
+	// Determinism: a second run of the same upload renders identical bytes.
+	res2, err := Run(context.Background(), up)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	for _, key := range ArtifactKeys() {
+		if !bytes.Equal(res.Artifacts[key], res2.Artifacts[key]) {
+			t.Errorf("artifact %s differs between identical runs", key)
+		}
+	}
+	// The upload's canonical history must keep every version: Run filters a
+	// copy, not the original.
+	if len(up.History.Versions) != len(testVersions) {
+		t.Errorf("run mutated the upload: %d versions left", len(up.History.Versions))
+	}
+}
+
+func TestRunNoUsableVersions(t *testing.T) {
+	up, err := Prepare(MediaSQL, []byte("-- just a comment, no DDL\n"))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if _, err := Run(context.Background(), up); err != ErrNoUsableVersions {
+		t.Fatalf("err = %v, want ErrNoUsableVersions", err)
+	}
+}
+
+func TestValidID(t *testing.T) {
+	good := strings.Repeat("0123456789abcdef", 4)
+	if !ValidID(good) {
+		t.Error("valid id rejected")
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64), good + "0"} {
+		if ValidID(bad) {
+			t.Errorf("invalid id %q accepted", bad)
+		}
+	}
+}

@@ -5,40 +5,43 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/schemaevo/schemaevo/internal/ingest"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
-// studyCache is a bounded LRU keyed by seed. Each entry carries up to two
-// layers: the completed *study.Study (immutable once built — every Run*
-// driver only reads, so one cached study can back any number of concurrent
+// resourceCache is a bounded LRU keyed by int64 — the seed for studies, the
+// truncated content address for ingested histories. Each entry carries up to
+// two layers: the completed live value V (immutable once built — every
+// reader only reads, so one cached value can back any number of concurrent
 // renders) and the artifact memo — rendered bytes per artifact key, so a
-// cache hit never re-renders report.html or export.csv. Entries restored
-// from the persistent store hold only the memo (study == nil); the study
+// cache hit never re-renders report.html or profile.json. Entries restored
+// from the persistent store hold only the memo (no live value); the value
 // layer is filled in if a later request needs a live pipeline result. The
 // cache is guarded by one mutex — critical sections are pointer moves and
 // map lookups, never pipeline work or rendering.
-type studyCache struct {
+type resourceCache[V any] struct {
 	mu      sync.Mutex
 	cap     int
 	order   *list.List              // front = most recently used
-	entries map[int64]*list.Element // seed → element whose Value is *cacheEntry
+	entries map[int64]*list.Element // key → element whose Value is *cacheEntry[V]
 	metrics *Metrics
 }
 
-type cacheEntry struct {
-	seed      int64
-	study     *study.Study      // nil for snapshot-only entries
+type cacheEntry[V any] struct {
+	key       int64
+	val       V
+	hasVal    bool              // false for snapshot-only entries
 	artifacts map[string][]byte // rendered artifact memo, keyed like store snapshots
 	fromStore bool              // artifacts came from a full persisted snapshot
 }
 
-// newStudyCache returns an LRU holding at most capacity entries. Capacity
-// is clamped to at least 1.
-func newStudyCache(capacity int, m *Metrics) *studyCache {
+// newResourceCache returns an LRU holding at most capacity entries.
+// Capacity is clamped to at least 1.
+func newResourceCache[V any](capacity int, m *Metrics) *resourceCache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &studyCache{
+	return &resourceCache[V]{
 		cap:     capacity,
 		order:   list.New(),
 		entries: map[int64]*list.Element{},
@@ -46,44 +49,57 @@ func newStudyCache(capacity int, m *Metrics) *studyCache {
 	}
 }
 
-// Get returns the cached study for seed, refreshing its recency. Snapshot-
-// only entries (no live study) report a miss — callers needing a *study.Study
-// must run the pipeline.
-func (c *studyCache) Get(seed int64) (*study.Study, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[seed]
-	if !ok || el.Value.(*cacheEntry).study == nil {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).study, true
+// newStudyCache is the seed-keyed instantiation serving *study.Study values.
+func newStudyCache(capacity int, m *Metrics) *resourceCache[*study.Study] {
+	return newResourceCache[*study.Study](capacity, m)
 }
 
-// Put inserts (or refreshes) a study, evicting the least recently used
-// entry beyond capacity. An existing snapshot-only entry is upgraded in
-// place — its artifact memo survives.
-func (c *studyCache) Put(seed int64, s *study.Study) {
+// newHistoryCache is the history-keyed instantiation serving ingest results.
+func newHistoryCache(capacity int, m *Metrics) *resourceCache[*ingest.Result] {
+	return newResourceCache[*ingest.Result](capacity, m)
+}
+
+// Get returns the cached live value for key, refreshing its recency.
+// Snapshot-only entries (no live value) report a miss — callers needing the
+// live value must run the pipeline.
+func (c *resourceCache[V]) Get(key int64) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[seed]; ok {
-		el.Value.(*cacheEntry).study = s
+	var zero V
+	el, ok := c.entries[key]
+	if !ok || !el.Value.(*cacheEntry[V]).hasVal {
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry[V]).val, true
+}
+
+// Put inserts (or refreshes) a live value, evicting the least recently used
+// entry beyond capacity. An existing snapshot-only entry is upgraded in
+// place — its artifact memo survives.
+func (c *resourceCache[V]) Put(key int64, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry[V])
+		e.val = v
+		e.hasVal = true
 		c.order.MoveToFront(el)
 		return
 	}
-	c.insertLocked(&cacheEntry{seed: seed, study: s})
+	c.insertLocked(&cacheEntry[V]{key: key, val: v, hasVal: true})
 }
 
-// GetArtifact returns the memoized bytes for (seed, key), refreshing the
+// GetArtifact returns the memoized bytes for (key, artifact), refreshing the
 // entry's recency.
-func (c *studyCache) GetArtifact(seed int64, key string) ([]byte, bool) {
+func (c *resourceCache[V]) GetArtifact(key int64, artifact string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[seed]
+	el, ok := c.entries[key]
 	if !ok {
 		return nil, false
 	}
-	b, ok := el.Value.(*cacheEntry).artifacts[key]
+	b, ok := el.Value.(*cacheEntry[V]).artifacts[artifact]
 	if !ok {
 		return nil, false
 	}
@@ -91,33 +107,33 @@ func (c *studyCache) GetArtifact(seed int64, key string) ([]byte, bool) {
 	return b, true
 }
 
-// PutArtifact memoizes one rendered artifact on an existing entry. A seed
+// PutArtifact memoizes one rendered artifact on an existing entry. A key
 // evicted since its render is dropped silently — the memo never resurrects
 // entries past the LRU bound.
-func (c *studyCache) PutArtifact(seed int64, key string, b []byte) {
+func (c *resourceCache[V]) PutArtifact(key int64, artifact string, b []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[seed]
+	el, ok := c.entries[key]
 	if !ok {
 		return
 	}
-	e := el.Value.(*cacheEntry)
+	e := el.Value.(*cacheEntry[V])
 	if e.artifacts == nil {
 		e.artifacts = map[string][]byte{}
 	}
-	e.artifacts[key] = b
+	e.artifacts[artifact] = b
 }
 
 // MergeArtifacts memoizes a batch of rendered artifacts on an existing
 // entry without overwriting keys already present.
-func (c *studyCache) MergeArtifacts(seed int64, arts map[string][]byte) {
+func (c *resourceCache[V]) MergeArtifacts(key int64, arts map[string][]byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[seed]
+	el, ok := c.entries[key]
 	if !ok {
 		return
 	}
-	e := el.Value.(*cacheEntry)
+	e := el.Value.(*cacheEntry[V])
 	if e.artifacts == nil {
 		e.artifacts = make(map[string][]byte, len(arts))
 	}
@@ -128,15 +144,37 @@ func (c *studyCache) MergeArtifacts(seed int64, arts map[string][]byte) {
 	}
 }
 
-// InstallSnapshot inserts a snapshot-only entry for a seed restored from
-// the persistent store: all artifacts, no live study. It counts toward the
-// LRU bound like any pipeline result. If the seed is already cached the
-// snapshot's artifacts merge into it.
-func (c *studyCache) InstallSnapshot(seed int64, arts map[string][]byte) {
+// Artifacts returns a copy of the entry's artifact memo map, refreshing
+// recency. ok requires at least one memoized artifact — a value-only entry
+// whose artifacts were never rendered reports false.
+func (c *resourceCache[V]) Artifacts(key int64) (map[string][]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[seed]; ok {
-		e := el.Value.(*cacheEntry)
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry[V])
+	if len(e.artifacts) == 0 {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	out := make(map[string][]byte, len(e.artifacts))
+	for k, v := range e.artifacts {
+		out[k] = v
+	}
+	return out, true
+}
+
+// InstallSnapshot inserts a snapshot-only entry for a key restored from
+// the persistent store: all artifacts, no live value. It counts toward the
+// LRU bound like any pipeline result. If the key is already cached the
+// snapshot's artifacts merge into it.
+func (c *resourceCache[V]) InstallSnapshot(key int64, arts map[string][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry[V])
 		if e.artifacts == nil {
 			e.artifacts = make(map[string][]byte, len(arts))
 		}
@@ -153,50 +191,54 @@ func (c *studyCache) InstallSnapshot(seed int64, arts map[string][]byte) {
 	for k, v := range arts {
 		memo[k] = v
 	}
-	c.insertLocked(&cacheEntry{seed: seed, artifacts: memo, fromStore: true})
+	c.insertLocked(&cacheEntry[V]{key: key, artifacts: memo, fromStore: true})
 }
 
 // insertLocked pushes a fresh entry and enforces the capacity bound.
 // Caller holds c.mu.
-func (c *studyCache) insertLocked(e *cacheEntry) {
-	c.entries[e.seed] = c.order.PushFront(e)
+func (c *resourceCache[V]) insertLocked(e *cacheEntry[V]) {
+	c.entries[e.key] = c.order.PushFront(e)
+	// The entry gauge is kept by increments, not recomputed from this
+	// cache's length: the seed and history caches share one Metrics, and the
+	// gauge reports their combined population.
+	if c.metrics != nil {
+		c.metrics.cacheEntries.Add(1)
+	}
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).seed)
+		delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
 		if c.metrics != nil {
 			c.metrics.cacheEvicts.Add(1)
+			c.metrics.cacheEntries.Add(-1)
 		}
-	}
-	if c.metrics != nil {
-		c.metrics.cacheEntries.Store(int64(c.order.Len()))
 	}
 }
 
-// Has reports whether seed is present at all — as a live study, a snapshot
+// Has reports whether key is present at all — as a live value, a snapshot
 // restore, or both. It does not refresh recency.
-func (c *studyCache) Has(seed int64) bool {
+func (c *resourceCache[V]) Has(key int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[seed]
+	_, ok := c.entries[key]
 	return ok
 }
 
-// MissingStoredFigure reports whether seed's entry is a store-restored
+// MissingStoredFigure reports whether key's entry is a store-restored
 // snapshot that carries figures but not the named one — the case where the
 // figure name is simply unknown and a pipeline run would not help.
-func (c *studyCache) MissingStoredFigure(seed int64, key string) bool {
+func (c *resourceCache[V]) MissingStoredFigure(key int64, artifact string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[seed]
+	el, ok := c.entries[key]
 	if !ok {
 		return false
 	}
-	e := el.Value.(*cacheEntry)
-	if !e.fromStore || e.study != nil {
+	e := el.Value.(*cacheEntry[V])
+	if !e.fromStore || e.hasVal {
 		return false
 	}
-	if _, ok := e.artifacts[key]; ok {
+	if _, ok := e.artifacts[artifact]; ok {
 		return false
 	}
 	for k := range e.artifacts {
@@ -208,19 +250,19 @@ func (c *studyCache) MissingStoredFigure(seed int64, key string) bool {
 }
 
 // Len reports the current number of cached entries.
-func (c *studyCache) Len() int {
+func (c *resourceCache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
-// Seeds returns the cached seeds from most to least recently used.
-func (c *studyCache) Seeds() []int64 {
+// Seeds returns the cached keys from most to least recently used.
+func (c *resourceCache[V]) Seeds() []int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]int64, 0, c.order.Len())
 	for el := c.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*cacheEntry).seed)
+		out = append(out, el.Value.(*cacheEntry[V]).key)
 	}
 	return out
 }

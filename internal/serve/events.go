@@ -36,13 +36,15 @@ var keepaliveInterval = 15 * time.Second
 // are exempt from the per-request deadline.
 func isEventStreamPath(path string) bool {
 	return path == "/v1/debug/events" ||
-		(strings.HasPrefix(path, "/v1/seeds/") && strings.HasSuffix(path, "/events"))
+		(strings.HasPrefix(path, "/v1/seeds/") && strings.HasSuffix(path, "/events")) ||
+		(strings.HasPrefix(path, "/v1/histories/") && strings.HasSuffix(path, "/events"))
 }
 
 // stageEvent is the SSE `stage` payload. Field order is fixed by the
 // struct, so one stage tree always serializes byte-identically.
 type stageEvent struct {
-	Seed      int64          `json:"seed"`
+	Seed      int64          `json:"seed"` // the run's int64 key; a truncated content address for histories
+	History   string         `json:"history,omitempty"`
 	Seq       int64          `json:"seq"`
 	Span      string         `json:"span"`
 	ID        int64          `json:"id"`
@@ -56,6 +58,7 @@ type stageEvent struct {
 // resultEvent is the terminal SSE payload of a seed stream.
 type resultEvent struct {
 	Seed      int64   `json:"seed"`
+	History   string  `json:"history,omitempty"`
 	Status    string  `json:"status"` // "ok" | "error"
 	Error     string  `json:"error,omitempty"`
 	Events    int64   `json:"events"`
@@ -96,6 +99,7 @@ type sseWriter struct {
 	fl      http.Flusher
 	metrics *Metrics
 	sub     *obs.Subscriber
+	history string // full history identity stamped on frames of a history stream
 	sent    int64
 	synced  int64 // dropped count already pushed into the metrics
 }
@@ -119,7 +123,9 @@ func (sw *sseWriter) stage(ev obs.Event, after int64) {
 	if ev.Seq <= after && ev.Seq > 0 {
 		return
 	}
-	data, err := json.Marshal(stagePayload(ev))
+	payload := stagePayload(ev)
+	payload.History = sw.history
+	data, err := json.Marshal(payload)
 	if err != nil {
 		return
 	}
@@ -134,6 +140,7 @@ func (sw *sseWriter) stage(ev obs.Event, after int64) {
 func (sw *sseWriter) result(seed int64, runErr error, elapsed time.Duration) {
 	res := resultEvent{
 		Seed:      seed,
+		History:   sw.history,
 		Status:    "ok",
 		Events:    sw.sent,
 		Dropped:   sw.sub.Dropped(),

@@ -43,6 +43,9 @@ type Metrics struct {
 	scrubRuns        atomic.Int64 // integrity scrubs completed
 	scrubBlobs       atomic.Int64 // blobs checked by the scrubber
 	scrubDamaged     atomic.Int64 // snapshots the scrubber found damaged (and removed)
+	ingestAccepted   atomic.Int64 // history uploads that decoded and content-addressed cleanly
+	ingestRejected   atomic.Int64 // history uploads refused (size, media type, malformed body)
+	ingestDedup      atomic.Int64 // accepted uploads answered without a fresh ingest run (memo, store, or flight join)
 	eventSubscribers atomic.Int64 // live SSE event streams currently attached
 	eventsSent       atomic.Int64 // SSE stage events written to clients
 	eventsDropped    atomic.Int64 // events lost to full subscriber rings (slow consumers)
@@ -153,6 +156,8 @@ type Snapshot struct {
 	GCRuns, GCEvicted, GCOrphanBlobs        int64
 	GCTmpFiles                              int64
 	ScrubRuns, ScrubBlobs, ScrubDamaged     int64
+	IngestAccepted, IngestRejected          int64
+	IngestDedupHits                         int64
 	EventSubscribers, EventsSent            int64
 	EventsDropped                           int64
 }
@@ -185,6 +190,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		ScrubRuns:        m.scrubRuns.Load(),
 		ScrubBlobs:       m.scrubBlobs.Load(),
 		ScrubDamaged:     m.scrubDamaged.Load(),
+		IngestAccepted:   m.ingestAccepted.Load(),
+		IngestRejected:   m.ingestRejected.Load(),
+		IngestDedupHits:  m.ingestDedup.Load(),
 		EventSubscribers: m.eventSubscribers.Load(),
 		EventsSent:       m.eventsSent.Load(),
 		EventsDropped:    m.eventsDropped.Load(),
@@ -297,6 +305,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		count("schemaevo_store_scrub_blobs_checked_total", "Blobs size/checksum-verified by the scrubber.", s.ScrubBlobs),
 		count("schemaevo_store_scrub_damaged_total", "Snapshots the scrubber found damaged and removed.", s.ScrubDamaged),
 		count("schemaevo_trace_dropped_spans_total", "Spans discarded by trace head sampling, process-wide.", obs.DroppedSpansTotal()),
+		count("schemaevod_ingest_accepted_total", "History uploads that decoded and content-addressed cleanly.", s.IngestAccepted),
+		count("schemaevod_ingest_rejected_total", "History uploads refused for size, media type or malformed body.", s.IngestRejected),
+		count("schemaevod_ingest_dedup_hits_total", "Accepted uploads answered without a fresh ingest run (memo, store or flight join).", s.IngestDedupHits),
 		gauge("schemaevod_event_subscribers", "Live SSE span-event streams currently attached.", s.EventSubscribers),
 		count("schemaevod_events_sent_total", "SSE stage events written to clients.", s.EventsSent),
 		count("schemaevod_events_dropped_total", "Span events lost to full subscriber rings (slow consumers).", s.EventsDropped),

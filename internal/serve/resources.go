@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file is the unified /v1 resource model: seeds and histories are two
+// instances of one resource shape —
+//
+//	POST /v1/{plural}                       create/ingest (histories only)
+//	GET  /v1/{plural}                       list, optionally paginated
+//	GET  /v1/{plural}/{id}                  one resource's descriptor
+//	GET  /v1/{plural}/{id}/artifacts/{key}  one rendered artifact
+//	GET  /v1/{plural}/{id}/events           SSE progress of the resource's run
+//
+// — mounted by one router helper, sharing one JSON error envelope
+// {error, code, resource, id} (seed-keyed routes additionally keep the
+// legacy `seed` field populated so pre-redesign clients don't break) and
+// one opaque-cursor pagination scheme.
+
+// resourceRoutes names the handlers of one resource family. Nil handlers
+// are not mounted.
+type resourceRoutes struct {
+	plural   string // URL segment: "seeds", "histories"
+	create   http.HandlerFunc
+	list     http.HandlerFunc
+	get      http.HandlerFunc
+	artifact http.HandlerFunc
+	events   http.HandlerFunc
+}
+
+// mountResource registers one resource family's routes on mux.
+func mountResource(mux *http.ServeMux, rt resourceRoutes) {
+	base := "/v1/" + rt.plural
+	if rt.create != nil {
+		mux.HandleFunc("POST "+base, rt.create)
+	}
+	if rt.list != nil {
+		mux.HandleFunc("GET "+base, rt.list)
+	}
+	if rt.get != nil {
+		mux.HandleFunc("GET "+base+"/{id}", rt.get)
+	}
+	if rt.artifact != nil {
+		mux.HandleFunc("GET "+base+"/{id}/artifacts/{key}", rt.artifact)
+	}
+	if rt.events != nil {
+		mux.HandleFunc("GET "+base+"/{id}/events", rt.events)
+	}
+}
+
+// errEnvelope is the uniform /v1 error body. Resource and ID name the
+// addressed resource ("seed"/"history" plus its identifier); Seed remains
+// populated on seed-keyed routes for pre-redesign clients.
+type errEnvelope struct {
+	Error    string `json:"error"`
+	Code     int    `json:"code"`
+	Resource string `json:"resource,omitempty"`
+	ID       string `json:"id,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// respondResourceError writes the /v1 envelope for an arbitrary resource.
+func respondResourceError(w http.ResponseWriter, code int, msg, resource, id string) {
+	writeEnvelope(w, errEnvelope{Error: msg, Code: code, Resource: resource, ID: id})
+}
+
+// respondHistoryError writes the envelope for a history-keyed route.
+func respondHistoryError(w http.ResponseWriter, code int, msg, id string) {
+	respondResourceError(w, code, msg, "history", id)
+}
+
+func writeEnvelope(w http.ResponseWriter, env errEnvelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(env.Code)
+	json.NewEncoder(w).Encode(env)
+}
+
+// Pagination: lists accept ?limit=N plus an opaque ?cursor= token and
+// answer with a next_cursor field while more items remain. A request with
+// neither parameter keeps the full-list behavior. Cursors encode the last
+// item of the previous page; the next page resumes strictly after it, so a
+// cursor stays valid across inserts and restarts.
+
+// defaultPageLimit applies when ?cursor= is sent without ?limit=.
+const defaultPageLimit = 100
+
+// pageRequest is a parsed pagination parameter pair.
+type pageRequest struct {
+	limit  int
+	cursor string // decoded cursor payload ("" = from the start)
+	paged  bool   // whether pagination was requested at all
+}
+
+// cursorPrefix versions the cursor token format.
+const cursorPrefix = "v1:"
+
+// parsePage reads ?limit= and ?cursor=. Absent both, pagination is off.
+func parsePage(r *http.Request) (pageRequest, error) {
+	q := r.URL.Query()
+	rawLimit, rawCursor := q.Get("limit"), q.Get("cursor")
+	if rawLimit == "" && rawCursor == "" {
+		return pageRequest{}, nil
+	}
+	pr := pageRequest{limit: defaultPageLimit, paged: true}
+	if rawLimit != "" {
+		n, err := strconv.Atoi(rawLimit)
+		if err != nil || n <= 0 {
+			return pageRequest{}, fmt.Errorf("limit must be a positive integer, got %q", rawLimit)
+		}
+		pr.limit = n
+	}
+	if rawCursor != "" {
+		payload, err := decodeCursor(rawCursor)
+		if err != nil {
+			return pageRequest{}, err
+		}
+		pr.cursor = payload
+	}
+	return pr, nil
+}
+
+// encodeCursor renders the opaque token that resumes after item.
+func encodeCursor(item string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + item))
+}
+
+// decodeCursor recovers the resume-after payload from a token.
+func decodeCursor(tok string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil || !strings.HasPrefix(string(raw), cursorPrefix) {
+		return "", errors.New("malformed cursor; use the next_cursor of a previous response")
+	}
+	return strings.TrimPrefix(string(raw), cursorPrefix), nil
+}
+
+// pageStrings slices one page out of ascending-sorted items, resuming
+// strictly after the cursor payload. It returns the page and the
+// next_cursor token ("" when the listing is exhausted).
+func pageStrings(items []string, pr pageRequest) ([]string, string) {
+	start := 0
+	if pr.cursor != "" {
+		for start < len(items) && items[start] <= pr.cursor {
+			start++
+		}
+	}
+	end := start + pr.limit
+	if end >= len(items) {
+		return items[start:], ""
+	}
+	return items[start:end], encodeCursor(items[end-1])
+}
+
+// pageSeeds is pageStrings over ascending int64 seeds, with numeric cursor
+// payloads.
+func pageSeeds(seeds []int64, pr pageRequest) ([]int64, string) {
+	start := 0
+	if pr.cursor != "" {
+		after, err := strconv.ParseInt(pr.cursor, 10, 64)
+		if err == nil {
+			for start < len(seeds) && seeds[start] <= after {
+				start++
+			}
+		}
+	}
+	end := start + pr.limit
+	if end >= len(seeds) {
+		return seeds[start:], ""
+	}
+	return seeds[start:end], encodeCursor(strconv.FormatInt(seeds[end-1], 10))
+}

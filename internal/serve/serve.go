@@ -9,21 +9,26 @@
 //
 // # API versioning
 //
-// The canonical surface lives under /v1:
+// The canonical surface lives under /v1, a unified resource model with two
+// resource collections — the built-in corpus seeds and user-ingested DDL
+// histories — sharing one route shape:
 //
-//	GET /v1/seeds                              cached + stored seeds
-//	GET /v1/seeds/{seed}/artifacts/{key}       one whole-study artifact
-//	GET /v1/seeds/{seed}/figures/{name}        one SVG figure
-//	GET /v1/seeds/{seed}/events                SSE live stage progress of one run
-//	GET /v1/experiments                        experiment key list
-//	GET /v1/healthz                            readiness + cache digest + shard identity
-//	GET /v1/metrics                            Prometheus text exposition
-//	GET /v1/debug/trace                        instrumented pipeline run
-//	GET /v1/debug/stats                        latency/stage histogram join
-//	GET /v1/debug/events                       SSE firehose of all span events
+//	POST /v1/histories                          ingest a DDL history upload
+//	GET  /v1/{seeds|histories}                  list (?limit=&cursor= paginates)
+//	GET  /v1/{seeds|histories}/{id}             one resource's summary
+//	GET  /v1/{seeds|histories}/{id}/artifacts/{key}  one rendered artifact
+//	GET  /v1/{seeds|histories}/{id}/events      SSE live stage progress
+//	GET  /v1/seeds/{id}/figures/{name}          one SVG figure (seeds only)
+//	GET  /v1/experiments                        experiment key list
+//	GET  /v1/healthz                            readiness + cache digest + shard identity
+//	GET  /v1/metrics                            Prometheus text exposition
+//	GET  /v1/debug/trace                        instrumented pipeline run
+//	GET  /v1/debug/stats                        latency/stage histogram join
+//	GET  /v1/debug/events                       SSE firehose of all span events
 //
-// Errors on /v1 routes use a uniform JSON envelope {error, code, seed}.
-// The original flat routes (/healthz, /metrics, /debug/trace,
+// Errors on /v1 routes use a uniform JSON envelope {error, code, resource,
+// id}; seed routes additionally keep the pre-redesign seed field. The
+// original flat routes (/healthz, /metrics, /debug/trace,
 // /v1/study/{seed}/...) remain as deprecated aliases: same behaviour and
 // plain-text errors, plus a Deprecation header and a hit counter
 // (schemaevod_legacy_requests_total).
@@ -38,11 +43,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/schemaevo/schemaevo/internal/ingest"
 	"github.com/schemaevo/schemaevo/internal/obs"
 	"github.com/schemaevo/schemaevo/internal/store"
 	"github.com/schemaevo/schemaevo/internal/study"
@@ -91,6 +98,15 @@ type Options struct {
 	// consumer loses its oldest buffered events, never the publisher's time
 	// (0 = obs.DefaultEventBuffer).
 	EventBuffer int
+	// HistoryStore persists ingested-history results, keyed by the 64-bit
+	// truncation of the history's content address (nil = memory only). It
+	// must be a separate namespace from Store — the daemon opens it under
+	// <store-dir>/histories — because seed numbers and truncated hashes
+	// share the int64 key space.
+	HistoryStore store.Store
+	// MaxUploadBytes bounds a POST /v1/histories request body; beyond it the
+	// upload is rejected with 413 (default 8 MiB, negative = that default).
+	MaxUploadBytes int64
 	// TraceMaxSpans head-samples the collecting tracer behind /v1/debug/trace:
 	// at most this many spans are retained per trace, keeping the response
 	// bounded under deep proxy→backend span trees (0 = DefaultTraceMaxSpans;
@@ -106,17 +122,29 @@ type Options struct {
 // http.Handler.
 type Server struct {
 	opts    Options
-	cache   *studyCache
-	flight  *flightGroup // one pipeline run per seed
-	loads   *flightGroup // one store restore per seed
+	cache   *resourceCache[*study.Study] // seed-keyed studies
+	flight  *flightGroup                 // one pipeline run per seed
+	loads   *flightGroup                 // one store restore per seed
 	metrics *Metrics
 	tracer  *obs.Tracer // metrics-only: feeds stage histograms, retains no spans
 	bus     *obs.Bus    // live span events for the SSE endpoints
 	mux     *http.ServeMux
 
-	persistMu  sync.Mutex
-	persisting map[int64]bool
-	persistWG  sync.WaitGroup
+	// The ingested-history namespace mirrors the seed machinery 1:1, keyed
+	// by the 64-bit truncation of the history's content address: its own
+	// LRU, ingest singleflight, restore singleflight, and id registry (the
+	// truncated key → full hex identity map behind listings and snapshot
+	// verification).
+	histories    *resourceCache[*ingest.Result]
+	ingestFlight *flightGroup
+	historyLoads *flightGroup
+	idMu         sync.Mutex
+	historyIDs   map[int64]string
+
+	persistMu      sync.Mutex
+	persisting     map[int64]bool
+	persistingHist map[int64]bool
+	persistWG      sync.WaitGroup
 
 	// render produces a study's complete artifact set for the write-behind.
 	// It is renderAll in production; tests substitute a stub so persistence
@@ -146,15 +174,23 @@ func New(opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = obs.NopLogger()
 	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = DefaultMaxUploadBytes
+	}
 	s := &Server{
-		opts:       opts,
-		metrics:    NewMetrics(),
-		flight:     newFlightGroup(),
-		loads:      newFlightGroup(),
-		persisting: map[int64]bool{},
-		render:     renderAll,
+		opts:           opts,
+		metrics:        NewMetrics(),
+		flight:         newFlightGroup(),
+		loads:          newFlightGroup(),
+		ingestFlight:   newFlightGroup(),
+		historyLoads:   newFlightGroup(),
+		historyIDs:     map[int64]string{},
+		persisting:     map[int64]bool{},
+		persistingHist: map[int64]bool{},
+		render:         renderAll,
 	}
 	s.cache = newStudyCache(opts.CacheSize, s.metrics)
+	s.histories = newHistoryCache(opts.CacheSize, s.metrics)
 	s.bus = obs.NewBus()
 	// The shared tracer covers render-time spans (experiment.<key>); its
 	// events are unkeyed (seed 0) and reach only the firehose. Pipeline runs
@@ -162,11 +198,24 @@ func New(opts Options) *Server {
 	s.tracer = obs.NewTracer(obs.Options{Stages: s.metrics.stages, Logger: opts.Logger, Bus: s.bus})
 
 	mux := http.NewServeMux()
-	// Canonical /v1 surface: JSON error envelope.
-	mux.HandleFunc("GET /v1/seeds", s.handleSeeds)
-	mux.HandleFunc("GET /v1/seeds/{seed}/artifacts/{key}", s.handleArtifact(true))
-	mux.HandleFunc("GET /v1/seeds/{seed}/figures/{name}", s.handleFigure(true))
-	mux.HandleFunc("GET /v1/seeds/{seed}/events", s.handleSeedEvents)
+	// Canonical /v1 surface: two instances of the unified resource model,
+	// sharing the JSON error envelope.
+	mountResource(mux, resourceRoutes{
+		plural:   "seeds",
+		list:     s.handleSeeds,
+		get:      s.handleSeedResource,
+		artifact: s.handleArtifact(true),
+		events:   s.handleSeedEvents,
+	})
+	mountResource(mux, resourceRoutes{
+		plural:   "histories",
+		create:   s.handleIngest,
+		list:     s.handleHistories,
+		get:      s.handleHistoryResource,
+		artifact: s.handleHistoryArtifact,
+		events:   s.handleHistoryEvents,
+	})
+	mux.HandleFunc("GET /v1/seeds/{id}/figures/{name}", s.handleFigure(true))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -354,32 +403,34 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// parseSeed reads the {seed} path value.
+// parseSeed reads the seed from the path: {id} on the unified resource
+// routes, {seed} on the legacy aliases.
 func parseSeed(r *http.Request) (int64, error) {
-	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+	raw := r.PathValue("id")
+	if raw == "" {
+		raw = r.PathValue("seed")
+	}
+	seed, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("seed must be an integer, got %q", r.PathValue("seed"))
+		return 0, fmt.Errorf("seed must be an integer, got %q", raw)
 	}
 	return seed, nil
 }
 
-// errEnvelope is the uniform /v1 error body.
-type errEnvelope struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
-	Seed  int64  `json:"seed,omitempty"`
-}
-
 // respondError writes one error either as the /v1 JSON envelope or in the
-// legacy plain-text form, depending on the route generation.
+// legacy plain-text form, depending on the route generation. A non-zero
+// seed stamps the resource-model fields alongside the legacy seed field.
 func respondError(w http.ResponseWriter, jsonErr bool, code int, msg string, seed int64) {
 	if !jsonErr {
 		http.Error(w, msg, code)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errEnvelope{Error: msg, Code: code, Seed: seed})
+	env := errEnvelope{Error: msg, Code: code, Seed: seed}
+	if seed != 0 {
+		env.Resource = "seed"
+		env.ID = strconv.FormatInt(seed, 10)
+	}
+	writeEnvelope(w, env)
 }
 
 // failErr maps a resolution error to the right status for either route
@@ -464,17 +515,71 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSeeds reports which seeds are warm (cached, most recent first) and
-// which are durable in the store.
+// which are durable in the store. With ?limit= or ?cursor= the response
+// switches to one paginated ascending list of known seeds (cached ∪ stored)
+// plus a next_cursor.
 func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"cached": s.cache.Seeds()}
+	pr, err := parsePage(r)
+	if err != nil {
+		respondError(w, true, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	var stored []int64
 	if s.opts.Store != nil {
-		stored, err := s.opts.Store.List(r.Context())
-		if err == nil {
+		stored, _ = s.opts.Store.List(r.Context())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !pr.paged {
+		resp := map[string]any{"cached": s.cache.Seeds()}
+		if s.opts.Store != nil {
 			resp["stored"] = stored
+		}
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	known := map[int64]bool{}
+	for _, seed := range s.cache.Seeds() {
+		known[seed] = true
+	}
+	for _, seed := range stored {
+		known[seed] = true
+	}
+	all := make([]int64, 0, len(known))
+	for seed := range known {
+		all = append(all, seed)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	page, next := pageSeeds(all, pr)
+	json.NewEncoder(w).Encode(map[string]any{"seeds": page, "next_cursor": next})
+}
+
+// handleSeedResource describes one seed in the unified resource model:
+// identity, warmth, durability.
+func (s *Server) handleSeedResource(w http.ResponseWriter, r *http.Request) {
+	seed, err := parseSeed(r)
+	if err != nil {
+		respondError(w, true, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	stored := false
+	if s.opts.Store != nil {
+		if seeds, err := s.opts.Store.List(r.Context()); err == nil {
+			for _, st := range seeds {
+				if st == seed {
+					stored = true
+					break
+				}
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	json.NewEncoder(w).Encode(map[string]any{
+		"resource": "seed",
+		"id":       strconv.FormatInt(seed, 10),
+		"seed":     seed,
+		"cached":   s.cache.Has(seed),
+		"stored":   stored,
+	})
 }
 
 // handleHealth reports readiness plus a cache digest and the shard-identity
@@ -496,6 +601,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":           status,
 		"cached_seeds":     s.cache.Seeds(),
+		"cached_histories": s.histories.Len(),
 		"inflight":         s.metrics.inflight.Load(),
 		"snapshot_count":   0,
 		"store_path":       "",
@@ -508,6 +614,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 		if d, ok := s.opts.Store.(interface{ Dir() string }); ok {
 			body["store_path"] = d.Dir()
+		}
+	}
+	if s.opts.HistoryStore != nil {
+		if stored, err := s.opts.HistoryStore.List(r.Context()); err == nil {
+			body["stored_histories"] = len(stored)
 		}
 	}
 	w.WriteHeader(code)

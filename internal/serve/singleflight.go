@@ -53,6 +53,20 @@ func (g *flightGroup) Inflight(key int64) bool {
 	return ok
 }
 
+// Wait returns a channel that closes when the currently in-flight run for
+// key settles (its result already published to the caches), or nil when no
+// run is in flight. Unlike Do it never starts a run — the probe the
+// history-events stream uses to join an ingest without being able to
+// trigger one.
+func (g *flightGroup) Wait(key int64) <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f.done
+	}
+	return nil
+}
+
 // DoChan is the non-blocking variant: the result is delivered on the
 // returned channel, letting the caller race it against a context deadline
 // while the run keeps going (and still populates the cache) after the

@@ -75,6 +75,9 @@ type diskEntry struct {
 	SavedAt   time.Time          `json:"saved_at"`
 	Summary   blobRef            `json:"summary"`
 	Artifacts map[string]blobRef `json:"artifacts"`
+	// ID carries Snapshot.ID for string-identified namespaces (ingested
+	// histories). Optional, so format-2 indexes without it stay valid.
+	ID string `json:"id,omitempty"`
 }
 
 // diskIndex is the serialized index file.
@@ -227,7 +230,7 @@ func (d *Disk) Get(ctx context.Context, seed int64) (*Snapshot, error) {
 		arts[name] = b
 	}
 	span.SetAttr(obs.Int("artifacts", int64(len(arts))))
-	return &Snapshot{Seed: seed, SavedAt: e.SavedAt, Summary: sum, Artifacts: arts}, nil
+	return &Snapshot{Seed: seed, SavedAt: e.SavedAt, Summary: sum, Artifacts: arts, ID: e.ID}, nil
 }
 
 // readBlob reads one content-addressed blob and verifies size + checksum.
@@ -281,7 +284,7 @@ func (d *Disk) Put(ctx context.Context, seed int64, snap *Snapshot) error {
 	defer d.mu.Unlock()
 	d.entries[seed] = &diskEntry{
 		Seed: seed, Version: SnapshotVersion, SavedAt: savedAt,
-		Summary: sumRef, Artifacts: refs,
+		Summary: sumRef, Artifacts: refs, ID: snap.ID,
 	}
 	return d.writeIndexLocked()
 }
@@ -403,6 +406,21 @@ func (d *Disk) liveBlobsLocked() map[string]bool {
 		}
 	}
 	return live
+}
+
+// ListIDs returns the stored string identities (entries with a non-empty
+// id) in ascending order.
+func (d *Disk) ListIDs(context.Context) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, e := range d.entries {
+		if e.ID != "" {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // List returns the stored seeds in ascending order.

@@ -31,6 +31,12 @@ type Snapshot struct {
 	SavedAt   time.Time
 	Summary   study.Summary
 	Artifacts map[string][]byte
+
+	// ID is an optional string identity for snapshots whose natural key is
+	// not the int64 seed — ingested histories store their content address
+	// (hex SHA-256) here, keyed by its 64-bit truncation. Restores verify it
+	// and IDLister recovers the full identities after a restart.
+	ID string
 }
 
 // Store persists study snapshots keyed by seed. Get returns ErrNotFound for
@@ -42,6 +48,14 @@ type Store interface {
 	Put(ctx context.Context, seed int64, snap *Snapshot) error
 	Delete(ctx context.Context, seed int64) error
 	List(ctx context.Context) ([]int64, error)
+}
+
+// IDLister is the optional Store extension for namespaces whose snapshots
+// carry string identities (Snapshot.ID): ListIDs returns every stored
+// non-empty identity in ascending order. The Disk and Mem backends
+// implement it.
+type IDLister interface {
+	ListIDs(ctx context.Context) ([]string, error)
 }
 
 // ErrNotFound reports a seed with no stored snapshot.
@@ -110,6 +124,21 @@ func (m *Mem) Delete(_ context.Context, seed int64) error {
 	defer m.mu.Unlock()
 	delete(m.snaps, seed)
 	return nil
+}
+
+// ListIDs returns the stored string identities (snapshots with a non-empty
+// Snapshot.ID) in ascending order.
+func (m *Mem) ListIDs(_ context.Context) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, snap := range m.snaps {
+		if snap.ID != "" {
+			out = append(out, snap.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 func (m *Mem) List(_ context.Context) ([]int64, error) {
