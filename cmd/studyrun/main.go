@@ -1,11 +1,12 @@
 // Command studyrun executes the full reproduction and prints every table
 // and figure of the paper's evaluation plus the extension experiments
-// (E01–E26 of DESIGN.md).
+// (E01–E27 of DESIGN.md).
 //
 // Usage:
 //
 //	studyrun                      # everything, to stdout
 //	studyrun -seed 7              # a different synthetic corpus
+//	studyrun -dialect postgres    # render the corpus in another SQL dialect
 //	studyrun -only fig4,fig11     # selected experiments
 //	studyrun -out results/        # one file per experiment
 //	studyrun -trace run.json      # also write a Chrome trace of the pipeline
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
 	"github.com/schemaevo/schemaevo/internal/study"
 )
 
@@ -50,8 +52,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracing  = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (chrome://tracing, Perfetto)")
 		verbose  = fs.Bool("v", false, "print the per-stage timing tree and debug log lines to stderr")
 		workers  = fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS); any value yields byte-identical artifacts")
+		dialect  = fs.String("dialect", "", "SQL dialect the corpus histories are rendered in (mysql, postgres, sqlite; default mysql)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, ok := sqlparse.DialectByName(*dialect); !ok {
+		fmt.Fprintf(stderr, "studyrun: unknown dialect %q (one of %s)\n",
+			*dialect, strings.Join(sqlparse.DialectNames(), ", "))
 		return 2
 	}
 
@@ -133,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	st, err := study.NewWithOptions(ctx, *seed, study.Options{Workers: *workers})
+	st, err := study.NewWithOptions(ctx, *seed, study.Options{Workers: *workers, Dialect: *dialect})
 	if err != nil {
 		fmt.Fprintln(stderr, "studyrun:", err)
 		return 1

@@ -12,7 +12,7 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := study.Experiments()
-	if len(exps) != 21 {
+	if len(exps) != 22 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}

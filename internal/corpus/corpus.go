@@ -37,6 +37,12 @@ type Config struct {
 	// rand seed is drawn sequentially from the master stream before the
 	// fan-out, and every build writes only its own roster slot.
 	Workers int
+	// Dialect selects the SQL dialect the histories are rendered in (one
+	// of sqlparse.DialectNames). Empty means MySQL, byte-identical to the
+	// corpora generated before the knob existed. The logical evolution is
+	// dialect-independent: the same seed spends the same activity budgets
+	// on the same schema, only the DDL text differs.
+	Dialect string
 }
 
 // DefaultCounts reproduces the paper's population: 327 cloned repositories,
@@ -123,7 +129,7 @@ func generate(ctx context.Context, cfg Config) []*Project {
 	err := pool.Map(ctx, pool.Workers(cfg.Workers), len(roster), func(i int) error {
 		r := rand.New(rand.NewSource(seeds[i]))
 		spec := Plan(roster[i].Intended, r)
-		out[i] = Build(roster[i].Name, spec, r, baseYear)
+		out[i] = BuildDialect(roster[i].Name, spec, r, baseYear, cfg.Dialect)
 		return nil
 	})
 	if err != nil {
@@ -155,8 +161,16 @@ func taxonSlug(t core.Taxon) string {
 const dayHours = 24
 
 // Build materialises a spec into a schema history: an initial schema plus
-// one rendered DDL version per planned commit.
+// one rendered DDL version per planned commit, in the MySQL dialect.
 func Build(name string, spec Spec, r *rand.Rand, baseYear int) *Project {
+	return BuildDialect(name, spec, r, baseYear, "")
+}
+
+// BuildDialect is Build with the rendered DDL dialect selectable; the
+// empty string (and "mysql") reproduce Build byte for byte. The random
+// stream is consumed identically for every dialect, so the same seed
+// evolves the same logical schema in all of them.
+func BuildDialect(name string, spec Spec, r *rand.Rand, baseYear int, dialect string) *Project {
 	sim := newSimulator(r)
 	// V0 schema.
 	for i := 0; i < spec.TablesStart; i++ {
@@ -186,12 +200,12 @@ func Build(name string, spec Spec, r *rand.Rand, baseYear int) *Project {
 	}
 
 	weights := weightsFor(spec.Taxon)
-	hist := &history.History{Project: name, Path: "schema.sql"}
+	hist := &history.History{Project: name, Path: "schema.sql", Dialect: dialectLabel(dialect)}
 	hist.Versions = make([]history.Version, 0, spec.Commits)
 	revision := 0
 	noise := r.Intn(2) == 0
 	hist.Versions = append(hist.Versions, history.Version{
-		ID: 0, When: v0, SQL: Render(sim.schema, name, revision, noise),
+		ID: 0, When: v0, SQL: RenderDialect(sim.schema, name, revision, noise, dialect),
 	})
 	for i := 0; i < transitions; i++ {
 		revision++
@@ -203,7 +217,7 @@ func Build(name string, spec Spec, r *rand.Rand, baseYear int) *Project {
 		hist.Versions = append(hist.Versions, history.Version{
 			ID:   i + 1,
 			When: v0.Add(time.Duration(offsets[i] * dayHours * float64(time.Hour))),
-			SQL:  Render(sim.schema, name, revision, noise),
+			SQL:  RenderDialect(sim.schema, name, revision, noise, dialect),
 		})
 	}
 

@@ -1,0 +1,117 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/schemaevo/schemaevo/internal/core"
+	"github.com/schemaevo/schemaevo/internal/history"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+)
+
+func smallCounts() map[core.Taxon]int {
+	return map[core.Taxon]int{
+		core.HistoryLess:       1,
+		core.Frozen:            1,
+		core.AlmostFrozen:      1,
+		core.FocusedShotFrozen: 1,
+		core.Moderate:          1,
+		core.FocusedShotLow:    1,
+		core.Active:            2,
+	}
+}
+
+// Every dialect's rendered history must parse back in its own dialect with
+// zero errors, and the logical evolution must match the MySQL build of the
+// same seed: same table counts per version, same version count.
+func TestDialectRenderParsesBack(t *testing.T) {
+	base := Generate(Config{Seed: 11, Counts: smallCounts()})
+	for _, name := range sqlparse.DialectNames() {
+		if name == "mysql" {
+			continue
+		}
+		d, _ := sqlparse.DialectByName(name)
+		projects := Generate(Config{Seed: 11, Counts: smallCounts(), Dialect: name})
+		if len(projects) != len(base) {
+			t.Fatalf("%s: %d projects, want %d", name, len(projects), len(base))
+		}
+		for i, p := range projects {
+			if p.Hist.Dialect != name {
+				t.Fatalf("%s/%s: history dialect = %q", name, p.Name, p.Hist.Dialect)
+			}
+			if len(p.Hist.Versions) != len(base[i].Hist.Versions) {
+				t.Fatalf("%s/%s: %d versions, mysql build has %d",
+					name, p.Name, len(p.Hist.Versions), len(base[i].Hist.Versions))
+			}
+			for vi, v := range p.Hist.Versions {
+				res := sqlparse.ParseDialect(v.SQL, d)
+				if len(res.Errors) > 0 {
+					t.Fatalf("%s/%s v%d: parse errors %v\n%s", name, p.Name, vi, res.Errors, v.SQL)
+				}
+				want := sqlparse.Parse(base[i].Hist.Versions[vi].SQL).Schema
+				if res.Schema.NumTables() != want.NumTables() {
+					t.Errorf("%s/%s v%d: %d tables, mysql build has %d",
+						name, p.Name, vi, res.Schema.NumTables(), want.NumTables())
+				}
+			}
+		}
+	}
+}
+
+// The corpus must stay byte-deterministic per dialect, and the rendered text
+// must be detected as the dialect it was rendered in.
+func TestDialectRenderDeterministicAndDetectable(t *testing.T) {
+	r1 := rand.New(rand.NewSource(3))
+	sim := newSimulator(r1)
+	sim.addTable(5)
+	sim.addTable(4)
+	sim.addTable(3)
+	for _, name := range sqlparse.DialectNames() {
+		a := RenderDialect(sim.schema, "proj", 7, true, name)
+		b := RenderDialect(sim.schema, "proj", 7, true, name)
+		if a != b {
+			t.Fatalf("%s: render not deterministic", name)
+		}
+		want, _ := sqlparse.DialectByName(name)
+		if got := sqlparse.Detect(a); got != want {
+			t.Errorf("%s: rendered dump detected as %s\n%s", name, got.Name(), a)
+		}
+	}
+}
+
+// The MySQL path must not notice the knob: Dialect "" and "mysql" produce
+// byte-identical histories with an empty dialect label.
+func TestDialectKnobMySQLIdentity(t *testing.T) {
+	plain := Generate(Config{Seed: 5, Counts: smallCounts()})
+	knobbed := Generate(Config{Seed: 5, Counts: smallCounts(), Dialect: "mysql"})
+	for i := range plain {
+		if knobbed[i].Hist.Dialect != "" {
+			t.Fatalf("%s: mysql label = %q, want empty", knobbed[i].Name, knobbed[i].Hist.Dialect)
+		}
+		for vi := range plain[i].Hist.Versions {
+			if plain[i].Hist.Versions[vi].SQL != knobbed[i].Hist.Versions[vi].SQL {
+				t.Fatalf("%s v%d: Dialect \"mysql\" changed the rendered bytes", plain[i].Name, vi)
+			}
+		}
+	}
+}
+
+// A dialect corpus must analyze cleanly end to end (history.Analyze consults
+// the history's dialect for parsing).
+func TestDialectHistoryAnalyzes(t *testing.T) {
+	for _, name := range []string{"postgres", "sqlite"} {
+		projects := Generate(Config{Seed: 9, Counts: smallCounts(), Dialect: name})
+		for _, p := range projects {
+			if len(p.Hist.Versions) == 0 {
+				continue
+			}
+			a, err := history.Analyze(p.Hist)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p.Name, err)
+			}
+			if a.ParseErrors != 0 {
+				t.Errorf("%s/%s: %d parse errors", name, p.Name, a.ParseErrors)
+			}
+		}
+	}
+}

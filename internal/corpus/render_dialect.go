@@ -1,0 +1,331 @@
+package corpus
+
+import (
+	"strings"
+
+	"github.com/schemaevo/schemaevo/internal/schema"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
+)
+
+// This file renders the simulated schema into Postgres (pg_dump style) and
+// SQLite (sqlite_master style) DDL. The simulator's logical types are
+// MySQL-canonical; each renderer respells them in its vendor's idiom — the
+// inverse of the parser's dialect type ladder — so a corpus built in any
+// dialect parses back to the same logical evolution. Two deliberate
+// collapses mirror real migrations: Postgres has no DATETIME (both DATETIME
+// and TIMESTAMP render as timestamp variants) and folds TINYINT(1) to
+// boolean.
+
+// dialectLabel canonicalizes a corpus dialect knob into the history label:
+// empty for MySQL (the default, keeping pre-knob histories identical) and
+// the canonical dialect name otherwise.
+func dialectLabel(dialect string) string {
+	if d, ok := sqlparse.DialectByName(dialect); ok && d != sqlparse.MySQL {
+		return d.Name()
+	}
+	return ""
+}
+
+// RenderDialect renders the schema as a DDL dump in the given dialect;
+// empty (or "mysql", or an unknown name) is Render itself. Like Render it
+// is a pure function of its inputs — the corpus stays byte-deterministic
+// for every dialect.
+func RenderDialect(s *schema.Schema, project string, revision int, noise bool, dialect string) string {
+	d, ok := sqlparse.DialectByName(dialect)
+	if !ok {
+		d = sqlparse.MySQL
+	}
+	switch d {
+	case sqlparse.Postgres:
+		return renderPostgres(s, project, revision, noise)
+	case sqlparse.SQLite:
+		return renderSQLite(s, project, revision, noise)
+	default:
+		return Render(s, project, revision, noise)
+	}
+}
+
+// pgType respells a MySQL-canonical simulator type in pg_dump's idiom.
+// Returns the spelling without args and whether the args are kept (integer
+// display widths are a MySQL-ism; precision args are portable).
+func pgType(dt schema.DataType, autoInc bool) (string, bool) {
+	switch dt.Name {
+	case "int":
+		if autoInc {
+			return "serial", false
+		}
+		return "integer", false
+	case "bigint":
+		if autoInc {
+			return "bigserial", false
+		}
+		return "bigint", false
+	case "smallint":
+		return "smallint", false
+	case "tinyint":
+		return "boolean", false
+	case "mediumint":
+		return "integer", false
+	case "varchar":
+		return "character varying", true
+	case "datetime":
+		return "timestamp without time zone", false
+	case "timestamp":
+		return "timestamp with time zone", false
+	case "decimal":
+		return "numeric", true
+	case "double":
+		return "double precision", false
+	case "float":
+		return "real", false
+	case "char":
+		return "character", true
+	case "blob":
+		return "bytea", false
+	default:
+		return dt.Name, true
+	}
+}
+
+// writeQuotedListWith appends names joined with the given quote byte;
+// quote 0 joins with a bare comma (unquoted identifiers).
+func writeQuotedListWith(b *strings.Builder, names []string, quote byte) {
+	for i, n := range names {
+		if i > 0 {
+			if quote != 0 {
+				b.WriteByte(quote)
+			}
+			b.WriteByte(',')
+			if quote != 0 {
+				b.WriteByte(quote)
+			}
+		}
+		b.WriteString(n)
+	}
+}
+
+func writeArgs(b *strings.Builder, args []string) {
+	if len(args) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a)
+	}
+	b.WriteByte(')')
+}
+
+// renderPostgres emits a pg_dump-style dump: SET preamble, schema-qualified
+// unquoted CREATE TABLEs, constraints as trailing ALTER TABLE ONLY
+// statements, and (as noise) a COPY ... FROM stdin data block — the idioms
+// the Postgres dialect parser must handle.
+func renderPostgres(s *schema.Schema, project string, revision int, noise bool) string {
+	var b strings.Builder
+	size := len(project) + 160
+	for _, t := range s.Tables {
+		size += 3*len(t.Name) + 160 + 72*len(t.Columns) + 128*len(t.ForeignKeys)
+	}
+	b.Grow(size)
+
+	b.WriteString("--\n-- PostgreSQL database dump (")
+	b.WriteString(project)
+	b.WriteString(", revision ")
+	writeInt(&b, revision)
+	b.WriteString(")\n--\n\nSET statement_timeout = 0;\nSET client_encoding = 'UTF8';\nSET search_path = public, pg_catalog;\n\n")
+
+	for _, t := range s.Tables {
+		b.WriteString("CREATE TABLE public.")
+		b.WriteString(t.Name)
+		b.WriteString(" (\n")
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			b.WriteString("    ")
+			b.WriteString(c.Name)
+			b.WriteByte(' ')
+			name, keepArgs := pgType(c.Type, c.AutoInc)
+			b.WriteString(name)
+			if keepArgs {
+				writeArgs(&b, c.Type.Args)
+			}
+			if !c.Nullable {
+				b.WriteString(" NOT NULL")
+			}
+		}
+		b.WriteString("\n);\n\n")
+	}
+	for _, t := range s.Tables {
+		if len(t.PrimaryKey) > 0 {
+			b.WriteString("ALTER TABLE ONLY public.")
+			b.WriteString(t.Name)
+			b.WriteString("\n    ADD CONSTRAINT ")
+			b.WriteString(t.Name)
+			b.WriteString("_pkey PRIMARY KEY (")
+			writeQuotedListWith(&b, t.PrimaryKey, 0)
+			b.WriteString(");\n\n")
+		}
+		for _, fk := range t.ForeignKeys {
+			b.WriteString("ALTER TABLE ONLY public.")
+			b.WriteString(t.Name)
+			b.WriteString("\n    ADD CONSTRAINT ")
+			if fk.Name != "" {
+				b.WriteString(fk.Name)
+			} else {
+				b.WriteString(t.Name)
+				b.WriteString("_fkey")
+			}
+			b.WriteString(" FOREIGN KEY (")
+			writeQuotedListWith(&b, fk.Columns, 0)
+			b.WriteString(") REFERENCES public.")
+			b.WriteString(fk.RefTable)
+			b.WriteByte('(')
+			writeQuotedListWith(&b, fk.RefColumns, 0)
+			b.WriteByte(')')
+			if fk.OnDelete != "" {
+				b.WriteString(" ON DELETE ")
+				b.WriteString(upperWord(fk.OnDelete))
+			}
+			if fk.OnUpdate != "" {
+				b.WriteString(" ON UPDATE ")
+				b.WriteString(upperWord(fk.OnUpdate))
+			}
+			b.WriteString(";\n\n")
+		}
+	}
+	if noise && len(s.Tables) > 0 {
+		t := s.Tables[0]
+		b.WriteString("COPY public.")
+		b.WriteString(t.Name)
+		b.WriteString(" (")
+		b.WriteString(t.Columns[0].Name)
+		b.WriteString(") FROM stdin;\n1\n\\.\n\n")
+	}
+	b.WriteString("--\n-- PostgreSQL database dump complete\n--\n")
+	return b.String()
+}
+
+// sqliteType respells a MySQL-canonical simulator type in SQLite's idiom.
+// Integer-family display widths drop (SQLite affinity ignores them); the
+// family names themselves are kept distinct so type changes stay visible.
+func sqliteType(dt schema.DataType) (string, bool) {
+	switch dt.Name {
+	case "int":
+		return "INTEGER", false
+	case "bigint":
+		return "BIGINT", false
+	case "smallint":
+		return "SMALLINT", false
+	case "tinyint":
+		return "TINYINT", false
+	case "mediumint":
+		return "MEDIUMINT", false
+	case "varchar":
+		return "VARCHAR", true
+	case "text":
+		return "TEXT", false
+	case "datetime":
+		return "DATETIME", false
+	case "timestamp":
+		return "TIMESTAMP", false
+	case "decimal":
+		return "NUMERIC", true
+	case "double":
+		return "REAL", false
+	case "float":
+		return "FLOAT", false
+	case "char":
+		return "CHARACTER", true
+	case "blob":
+		return "BLOB", false
+	default:
+		return strings.ToUpper(dt.Name), true
+	}
+}
+
+// renderSQLite emits a `sqlite3 .dump`-style script: PRAGMA preamble,
+// BEGIN/COMMIT, double-quoted identifiers, affinity type names and
+// INTEGER PRIMARY KEY AUTOINCREMENT for the auto-increment single-column
+// primary key.
+func renderSQLite(s *schema.Schema, project string, revision int, noise bool) string {
+	var b strings.Builder
+	size := len(project) + 120
+	for _, t := range s.Tables {
+		size += 2*len(t.Name) + 120 + 80*len(t.Columns) + 112*len(t.ForeignKeys)
+	}
+	b.Grow(size)
+
+	b.WriteString("-- ")
+	b.WriteString(project)
+	b.WriteString(" database schema (sqlite)\n-- dump revision ")
+	writeInt(&b, revision)
+	b.WriteString("\nPRAGMA foreign_keys=OFF;\nBEGIN TRANSACTION;\n")
+
+	for _, t := range s.Tables {
+		// The auto-increment column absorbs a single-column PK inline
+		// (AUTOINCREMENT is only legal on INTEGER PRIMARY KEY).
+		inlinePK := ""
+		if len(t.PrimaryKey) == 1 {
+			if c := t.Column(t.PrimaryKey[0]); c != nil && c.AutoInc && c.Type.Name == "int" {
+				inlinePK = c.Name
+			}
+		}
+		b.WriteString("CREATE TABLE \"")
+		b.WriteString(t.Name)
+		b.WriteString("\" (\n")
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			b.WriteString("  \"")
+			b.WriteString(c.Name)
+			b.WriteString("\" ")
+			name, keepArgs := sqliteType(c.Type)
+			b.WriteString(name)
+			if keepArgs {
+				writeArgs(&b, c.Type.Args)
+			}
+			if !c.Nullable {
+				b.WriteString(" NOT NULL")
+			}
+			if c.Name == inlinePK {
+				b.WriteString(" PRIMARY KEY AUTOINCREMENT")
+			}
+		}
+		if len(t.PrimaryKey) > 0 && inlinePK == "" {
+			b.WriteString(",\n  PRIMARY KEY (\"")
+			writeQuotedListWith(&b, t.PrimaryKey, '"')
+			b.WriteString("\")")
+		}
+		for _, fk := range t.ForeignKeys {
+			b.WriteString(",\n  FOREIGN KEY (\"")
+			writeQuotedListWith(&b, fk.Columns, '"')
+			b.WriteString("\") REFERENCES \"")
+			b.WriteString(fk.RefTable)
+			b.WriteString("\" (\"")
+			writeQuotedListWith(&b, fk.RefColumns, '"')
+			b.WriteString("\")")
+			if fk.OnDelete != "" {
+				b.WriteString(" ON DELETE ")
+				b.WriteString(upperWord(fk.OnDelete))
+			}
+			if fk.OnUpdate != "" {
+				b.WriteString(" ON UPDATE ")
+				b.WriteString(upperWord(fk.OnUpdate))
+			}
+		}
+		b.WriteString("\n);\n")
+	}
+	if noise && len(s.Tables) > 0 {
+		b.WriteString("INSERT INTO \"")
+		b.WriteString(s.Tables[0].Name)
+		b.WriteString("\" VALUES(1);\n")
+	}
+	b.WriteString("PRAGMA user_version=")
+	writeInt(&b, revision)
+	b.WriteString(";\nCOMMIT;\n")
+	return b.String()
+}

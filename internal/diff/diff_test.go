@@ -273,3 +273,61 @@ func TestActivityMatchesChangeRows(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A dialect's type spelling alone must never classify as a breaking type
+// change: the same logical schema written in MySQL, pg_dump and SQLite
+// spellings has to diff to zero maintenance (the measure.classify input).
+func TestCrossDialectTypeSpellingNoChange(t *testing.T) {
+	mysql := sqlparse.ParseDialect(`CREATE TABLE t (
+	  a INT NOT NULL,
+	  b SMALLINT,
+	  c BIGINT,
+	  d DECIMAL(10,2),
+	  e BOOLEAN,
+	  f CHAR(36),
+	  g VARCHAR(255)
+	);`, sqlparse.MySQL).Schema
+	pg := sqlparse.ParseDialect(`CREATE TABLE t (
+	  a integer NOT NULL,
+	  b int2,
+	  c int8,
+	  d numeric(10,2),
+	  e bool,
+	  f character(36),
+	  g character varying(255)
+	);`, sqlparse.Postgres).Schema
+	lite := sqlparse.ParseDialect(`CREATE TABLE "t" (
+	  "a" INTEGER NOT NULL,
+	  "b" INT2,
+	  "c" INT8,
+	  "d" NUMERIC(10,2),
+	  "e" BOOL,
+	  "f" CHARACTER(36),
+	  "g" VARCHAR(255)
+	);`, sqlparse.SQLite).Schema
+
+	for _, pair := range []struct {
+		name     string
+		from, to *schema.Schema
+	}{
+		{"mysql→pg", mysql, pg},
+		{"mysql→sqlite", mysql, lite},
+		{"pg→sqlite", pg, lite},
+	} {
+		d := Compute(pair.from, pair.to)
+		if d.TypeChange != 0 {
+			t.Errorf("%s: TypeChange = %d, want 0 (changes: %+v)", pair.name, d.TypeChange, d.Changes)
+		}
+		if d.Activity() != 0 {
+			t.Errorf("%s: activity = %d, want 0", pair.name, d.Activity())
+		}
+	}
+
+	// Sanity: a genuine type change across dialect spellings still counts —
+	// synonym folding must not erase real maintenance.
+	pg2 := sqlparse.ParseDialect(`CREATE TABLE t (a bigint NOT NULL);`, sqlparse.Postgres).Schema
+	my2 := sqlparse.ParseDialect(`CREATE TABLE t (a INT NOT NULL);`, sqlparse.MySQL).Schema
+	if d := Compute(my2, pg2); d.TypeChange != 1 {
+		t.Errorf("int→bigint across dialects: TypeChange = %d, want 1", d.TypeChange)
+	}
+}

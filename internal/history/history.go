@@ -43,12 +43,26 @@ type History struct {
 	Path     string
 	Versions []Version
 
+	// Dialect names the SQL dialect the versions are written in (one of
+	// sqlparse.DialectNames). Empty means MySQL — the study's default and
+	// the meaning of every history recorded before this field existed.
+	Dialect string
+
 	// ProjectCommits is the total number of commits in the whole project
 	// (the denominator of the DDL-commit-share measure).
 	ProjectCommits int
 	// ProjectStart / ProjectEnd delimit the Project Update Period (PUP).
 	ProjectStart time.Time
 	ProjectEnd   time.Time
+}
+
+// dialect resolves the history's dialect, falling back to MySQL for empty
+// or unknown names (tolerance: analysis should degrade, not fail).
+func (h *History) dialect() *sqlparse.Dialect {
+	if d, ok := sqlparse.DialectByName(h.Dialect); ok {
+		return d
+	}
+	return sqlparse.MySQL
 }
 
 // FromRepo extracts the history of the DDL file at path from a repository,
@@ -117,8 +131,9 @@ func fromCommit(repo *gitstore.Repo, project, path string, head gitstore.Hash) (
 func (h *History) Filter() int {
 	kept := h.Versions[:0]
 	dropped := 0
+	d := h.dialect()
 	for _, v := range h.Versions {
-		if len(v.SQL) == 0 || !sqlparse.Parse(v.SQL).HasCreateTable() {
+		if len(v.SQL) == 0 || !sqlparse.ParseDialect(v.SQL, d).HasCreateTable() {
 			dropped++
 			continue
 		}
@@ -162,6 +177,7 @@ func (h *History) Prefix(n int) *History {
 	out := &History{
 		Project:        h.Project,
 		Path:           h.Path,
+		Dialect:        h.Dialect,
 		ProjectCommits: h.ProjectCommits,
 		ProjectStart:   h.ProjectStart,
 		ProjectEnd:     h.ProjectEnd,
@@ -180,6 +196,7 @@ func (h *History) Squash(window time.Duration) *History {
 	out := &History{
 		Project:        h.Project,
 		Path:           h.Path,
+		Dialect:        h.Dialect,
 		ProjectCommits: h.ProjectCommits,
 		ProjectStart:   h.ProjectStart,
 		ProjectEnd:     h.ProjectEnd,
@@ -247,9 +264,10 @@ func AnalyzeContext(ctx context.Context, h *History) (*Analysis, error) {
 	a.Schemas = make([]*schema.Schema, 0, len(h.Versions))
 	_, parseSpan := obs.Start(ctx, "sqlparse.parse")
 	var sqlBytes int64
+	d := h.dialect()
 	for _, v := range h.Versions {
 		sqlBytes += int64(len(v.SQL))
-		res := sqlparse.Parse(v.SQL)
+		res := sqlparse.ParseDialect(v.SQL, d)
 		a.ParseErrors += len(res.Errors)
 		a.Schemas = append(a.Schemas, res.Schema)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"mime"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -43,10 +44,7 @@ func SupportedMediaTypes() []string {
 // and derives its content address. The returned Upload is what Run executes
 // and what the proxy routes by.
 func Prepare(contentType string, body []byte) (*Upload, error) {
-	media := contentType
-	if mt, _, err := mime.ParseMediaType(contentType); err == nil {
-		media = mt
-	}
+	media := mediaTypeOf(contentType)
 	var (
 		h   *history.History
 		err error
@@ -71,12 +69,29 @@ func Prepare(contentType string, body []byte) (*Upload, error) {
 	return finish(h)
 }
 
+// mediaTypeOf extracts the media type from a Content-Type header. Headers
+// that mime.ParseMediaType rejects (a trailing semicolon, an empty or
+// malformed parameter — "application/json;" is what several HTTP clients
+// send) must not fail the whole upload: fall back to the text before the
+// parameter section, normalized the way ParseMediaType would have.
+func mediaTypeOf(contentType string) string {
+	if mt, _, err := mime.ParseMediaType(contentType); err == nil {
+		return mt
+	}
+	media := contentType
+	if i := strings.IndexByte(media, ';'); i >= 0 {
+		media = media[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(media))
+}
+
 // jsonUpload is the application/json request document. Exactly one of
 // Versions (inline history) or Repo (local git repository reference,
 // resolved through internal/gitstore) must be set.
 type jsonUpload struct {
 	Project        string        `json:"project"`
 	Path           string        `json:"path"`
+	Dialect        string        `json:"dialect"`
 	ProjectCommits int           `json:"project_commits"`
 	ProjectStart   time.Time     `json:"project_start"`
 	ProjectEnd     time.Time     `json:"project_end"`
@@ -104,13 +119,20 @@ func decodeJSON(body []byte) (*history.History, error) {
 	case doc.Repo != "" && len(doc.Versions) > 0:
 		return nil, errors.New("ingest: json upload sets both repo and versions; choose one")
 	case doc.Repo != "":
-		return historyFromRepo(doc)
+		h, err := historyFromRepo(doc)
+		if err != nil {
+			return nil, err
+		}
+		// Dialect (optional) overrides auto-detection; validated in finish.
+		h.Dialect = doc.Dialect
+		return h, nil
 	case len(doc.Versions) == 0:
 		return nil, errors.New("ingest: json upload has no versions (and no repo reference)")
 	}
 	h := &history.History{
 		Project:        doc.Project,
 		Path:           doc.Path,
+		Dialect:        doc.Dialect,
 		ProjectCommits: doc.ProjectCommits,
 		ProjectStart:   doc.ProjectStart,
 		ProjectEnd:     doc.ProjectEnd,
@@ -144,6 +166,9 @@ func historyFromRepo(doc jsonUpload) (*history.History, error) {
 // decodeTar reads an archive of SQL dumps: every regular *.sql entry is one
 // version, ordered by entry name (so v001.sql … v010.sql upload in the
 // obvious order); entry mod times become version timestamps when present.
+// Hidden entries are skipped: macOS archives carry AppleDouble resource
+// forks ("._schema.sql") whose binary payload would otherwise become a
+// phantom version and corrupt the content address.
 func decodeTar(body []byte) (*history.History, error) {
 	type entry struct {
 		name string
@@ -160,7 +185,8 @@ func decodeTar(body []byte) (*history.History, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ingest: read tar: %w", err)
 		}
-		if hdr.Typeflag != tar.TypeReg || !strings.HasSuffix(hdr.Name, ".sql") {
+		base := path.Base(hdr.Name)
+		if hdr.Typeflag != tar.TypeReg || !strings.HasSuffix(base, ".sql") || strings.HasPrefix(base, ".") {
 			continue
 		}
 		if len(entries) >= MaxVersions {

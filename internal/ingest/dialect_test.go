@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A tar with macOS AppleDouble resource forks and other hidden entries must
+// decode the same history — and therefore the same content address — as the
+// clean archive. The fork payload is binary garbage with a ".sql" suffix;
+// before the basename filter it became a phantom version.
+func TestPrepareTarSkipsAppleDouble(t *testing.T) {
+	write := func(tw *tar.Writer, name string, data []byte) {
+		t.Helper()
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(data)), Typeflag: tar.TypeReg,
+			ModTime: time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appleDouble := append([]byte{0x00, 0x05, 0x16, 0x07, 0x00, 0x02, 0x00, 0x00}, []byte("Mac OS X        ")...)
+
+	var clean, dirty bytes.Buffer
+	cw, dw := tar.NewWriter(&clean), tar.NewWriter(&dirty)
+	for i, sql := range testVersions {
+		name := "myproj/v" + string(rune('0'+i)) + ".sql"
+		write(cw, name, []byte(sql))
+		write(dw, "myproj/._v"+string(rune('0'+i))+".sql", appleDouble)
+		write(dw, name, []byte(sql))
+	}
+	write(dw, "myproj/.hidden.sql", []byte("CREATE TABLE junk (a int);"))
+	cw.Close()
+	dw.Close()
+
+	cu, err := Prepare(MediaTar, clean.Bytes())
+	if err != nil {
+		t.Fatalf("prepare clean tar: %v", err)
+	}
+	du, err := Prepare(MediaTar, dirty.Bytes())
+	if err != nil {
+		t.Fatalf("prepare tar with AppleDouble forks: %v", err)
+	}
+	if len(du.History.Versions) != len(testVersions) {
+		t.Fatalf("%d versions decoded, want %d (forks must be skipped)", len(du.History.Versions), len(testVersions))
+	}
+	if cu.ID != du.ID {
+		t.Errorf("AppleDouble forks changed the content address: %s vs %s", cu.ID, du.ID)
+	}
+}
+
+// Content-Type headers that mime.ParseMediaType rejects must still route to
+// the right decoder when the media type itself is readable.
+func TestPrepareMalformedContentType(t *testing.T) {
+	body := jsonBody(t, "upload", nil)
+	want, err := Prepare(MediaJSON, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name        string
+		contentType string
+		ok          bool
+	}{
+		{"trailing semicolon", "application/json;", true},
+		{"empty parameter", "application/json; ;", true},
+		{"bare parameter name", "application/json; charset", true},
+		{"upper case with junk", "Application/JSON;;;", true},
+		{"spaces around", "  application/json ; ", true},
+		{"well formed", "application/json; charset=utf-8", true},
+		{"unsupported after fallback", "text/html;", false},
+		{"garbage", ";;;", false},
+	}
+	for _, c := range cases {
+		u, err := Prepare(c.contentType, body)
+		if c.ok {
+			if err != nil {
+				t.Errorf("%s: Prepare(%q) failed: %v", c.name, c.contentType, err)
+				continue
+			}
+			if u.ID != want.ID {
+				t.Errorf("%s: id diverged from clean header", c.name)
+			}
+		} else if err == nil {
+			t.Errorf("%s: Prepare(%q) accepted an unsupported type", c.name, c.contentType)
+		}
+	}
+}
+
+const pgDumpUpload = `--
+-- PostgreSQL database dump
+--
+SET statement_timeout = 0;
+SET search_path = public, pg_catalog;
+
+CREATE TABLE public.projects (
+    id integer NOT NULL,
+    slug character varying(64)
+);
+
+ALTER TABLE ONLY public.projects
+    ADD CONSTRAINT projects_pkey PRIMARY KEY (id);
+`
+
+// An upload with no dialect label is auto-detected; the label lands in the
+// canonical history, the profile, and (via the normalized form) the content
+// address — deterministically.
+func TestPrepareDetectsDialect(t *testing.T) {
+	mysql, err := Prepare(MediaSQL, dumpBody(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mysql.History.Dialect != "mysql" {
+		t.Errorf("plain dump dialect = %q, want mysql", mysql.History.Dialect)
+	}
+
+	pg1, err := Prepare(MediaSQL, []byte(pgDumpUpload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg1.History.Dialect != "postgres" {
+		t.Errorf("pg dump dialect = %q, want postgres", pg1.History.Dialect)
+	}
+	pg2, err := Prepare(MediaSQL, []byte(pgDumpUpload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg1.ID != pg2.ID {
+		t.Errorf("detection made the content address non-deterministic: %s vs %s", pg1.ID, pg2.ID)
+	}
+	if !strings.Contains(string(pg1.Normalized), `"dialect": "postgres"`) {
+		t.Error("normalized history does not record the dialect")
+	}
+
+	res, err := Run(context.Background(), pg1)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Profile.Dialect != "postgres" {
+		t.Errorf("profile dialect = %q, want postgres", res.Profile.Dialect)
+	}
+	if res.Profile.ParseErrors != 0 {
+		t.Errorf("pg upload parsed with %d errors", res.Profile.ParseErrors)
+	}
+}
+
+// An explicit dialect label overrides detection and is validated; the label
+// changes the identity (it is part of the normalized form).
+func TestPrepareExplicitDialect(t *testing.T) {
+	body := func(dialect string) []byte {
+		return []byte(`{"project":"p","dialect":"` + dialect + `","versions":[{"sql":"CREATE TABLE t (a int);"}]}`)
+	}
+	u, err := Prepare(MediaJSON, body("PostgreSQL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.History.Dialect != "postgres" {
+		t.Errorf("dialect = %q, want canonical postgres", u.History.Dialect)
+	}
+	auto, err := Prepare(MediaJSON, []byte(`{"project":"p","versions":[{"sql":"CREATE TABLE t (a int);"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.History.Dialect != "mysql" {
+		t.Errorf("auto dialect = %q, want mysql", auto.History.Dialect)
+	}
+	if auto.ID == u.ID {
+		t.Error("mysql- and postgres-labelled histories share an identity")
+	}
+	if _, err := Prepare(MediaJSON, body("oracle")); err == nil {
+		t.Error("unknown dialect accepted")
+	}
+}

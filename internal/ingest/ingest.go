@@ -34,6 +34,7 @@ import (
 	"github.com/schemaevo/schemaevo/internal/core"
 	"github.com/schemaevo/schemaevo/internal/history"
 	"github.com/schemaevo/schemaevo/internal/obs"
+	"github.com/schemaevo/schemaevo/internal/sqlparse"
 )
 
 // Artifact keys of an ingested history, the namespace shared by the serving
@@ -122,7 +123,8 @@ func Key(id string) int64 {
 
 // normalizeFormat versions the canonical byte form. Bumping it changes every
 // history's identity, so it only moves when the normalization rules do.
-const normalizeFormat = 1
+// Format 2 added the dialect field (auto-detected when not supplied).
+const normalizeFormat = 2
 
 // normalizedHistory is the canonical serialized form. Field order is fixed
 // by the struct and map-free, so encoding/json emits deterministic bytes.
@@ -130,6 +132,7 @@ type normalizedHistory struct {
 	Format         int                 `json:"format"`
 	Project        string              `json:"project"`
 	Path           string              `json:"path,omitempty"`
+	Dialect        string              `json:"dialect"`
 	ProjectCommits int                 `json:"project_commits"`
 	ProjectStart   time.Time           `json:"project_start"`
 	ProjectEnd     time.Time           `json:"project_end"`
@@ -189,15 +192,48 @@ func canonicalize(h *history.History) error {
 	return nil
 }
 
+// resolveDialect pins the history's dialect to a canonical name: a
+// client-supplied label is validated, an absent one is auto-detected from
+// the DDL text. Detection is deterministic, so the dialect (and with it the
+// content address) is a pure function of the upload.
+func resolveDialect(h *history.History) error {
+	if h.Dialect != "" {
+		d, ok := sqlparse.DialectByName(h.Dialect)
+		if !ok {
+			return fmt.Errorf("ingest: unknown dialect %q; one of %s",
+				h.Dialect, strings.Join(sqlparse.DialectNames(), ", "))
+		}
+		h.Dialect = d.Name()
+		return nil
+	}
+	// Detection reads a bounded prefix; feed it versions until that window
+	// is full so a trivial first version cannot mask a later, clearly
+	// dialect-marked dump.
+	var b strings.Builder
+	for _, v := range h.Versions {
+		if b.Len() >= 64<<10 {
+			break
+		}
+		b.WriteString(v.SQL)
+		b.WriteByte('\n')
+	}
+	h.Dialect = sqlparse.Detect(b.String()).Name()
+	return nil
+}
+
 // finish canonicalizes a decoded history and derives its content address.
 func finish(h *history.History) (*Upload, error) {
 	if err := canonicalize(h); err != nil {
+		return nil, err
+	}
+	if err := resolveDialect(h); err != nil {
 		return nil, err
 	}
 	n := normalizedHistory{
 		Format:         normalizeFormat,
 		Project:        h.Project,
 		Path:           h.Path,
+		Dialect:        h.Dialect,
 		ProjectCommits: h.ProjectCommits,
 		ProjectStart:   h.ProjectStart,
 		ProjectEnd:     h.ProjectEnd,
@@ -220,6 +256,7 @@ func finish(h *history.History) (*Upload, error) {
 type Profile struct {
 	ID              string        `json:"id"`
 	Project         string        `json:"project"`
+	Dialect         string        `json:"dialect"`
 	Versions        int           `json:"versions"`
 	DroppedVersions int           `json:"dropped_versions"`
 	ParseErrors     int           `json:"parse_errors"`
@@ -276,6 +313,7 @@ func Run(ctx context.Context, u *Upload) (*Result, error) {
 	profile := Profile{
 		ID:              u.ID,
 		Project:         h.Project,
+		Dialect:         h.Dialect,
 		Versions:        len(h.Versions),
 		DroppedVersions: dropped,
 		ParseErrors:     a.ParseErrors,

@@ -492,11 +492,37 @@ func (d DataType) String() string {
 	return b.String()
 }
 
+// typeSynonyms maps type-name spellings that denote the same logical type
+// to one canonical name. Only unambiguous synonyms belong here: spellings
+// whose meaning is vendor-independent (INTEGER is int everywhere). Vendor-
+// dependent spellings (REAL is a 4-byte float in PostgreSQL but an alias of
+// DOUBLE in MySQL) are resolved earlier, by the parser's per-dialect type
+// ladder, and must not appear in this map.
+var typeSynonyms = map[string]string{
+	"integer": "int", "int4": "int", "int2": "smallint", "int8": "bigint",
+	"serial": "int", "bigserial": "bigint", "smallserial": "smallint",
+	"numeric": "decimal", "bool": "boolean", "character": "char",
+}
+
+// CanonicalTypeName resolves a lower-case type name to its canonical
+// spelling, so `INT` vs `INTEGER` (or `numeric` vs `decimal`) never reads
+// as a type change when histories mix dialect spellings.
+func CanonicalTypeName(name string) string {
+	if c, ok := typeSynonyms[name]; ok {
+		return c
+	}
+	return name
+}
+
 // Equal reports whether two data types are identical at the logical level.
 // Comparison is on canonical form, so `INT(11)` equals `int(11)` but differs
-// from `int(10)` and from `bigint(11)`.
+// from `int(10)` and from `bigint(11)`; unambiguous cross-dialect synonyms
+// (`INTEGER` vs `INT`) compare equal via CanonicalTypeName.
 func (d DataType) Equal(o DataType) bool {
-	if d.Name != o.Name || d.Unsigned != o.Unsigned || d.Zerofill != o.Zerofill {
+	if d.Name != o.Name && CanonicalTypeName(d.Name) != CanonicalTypeName(o.Name) {
+		return false
+	}
+	if d.Unsigned != o.Unsigned || d.Zerofill != o.Zerofill {
 		return false
 	}
 	if len(d.Args) != len(o.Args) {

@@ -332,14 +332,25 @@ func (s *Server) handleHistoryResource(w http.ResponseWriter, r *http.Request) {
 			"unknown history; POST the history to /v1/histories first", id)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	desc := map[string]any{
 		"resource":  "history",
 		"id":        id,
 		"cached":    cached,
 		"stored":    stored,
 		"artifacts": ingest.ArtifactKeys(),
-	})
+	}
+	// Surface the history's SQL dialect (detected or client-supplied at
+	// ingest) from the rendered profile when it is in the memo.
+	if b, ok := s.histories.GetArtifact(key, ingest.ArtifactProfile); ok {
+		var p struct {
+			Dialect string `json:"dialect"`
+		}
+		if json.Unmarshal(b, &p) == nil && p.Dialect != "" {
+			desc["dialect"] = p.Dialect
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(desc)
 }
 
 // handleHistories lists known histories: cached (most recent first) and

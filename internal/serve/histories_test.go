@@ -149,12 +149,16 @@ func TestIngestEndpoint(t *testing.T) {
 			Resource string `json:"resource"`
 			ID       string `json:"id"`
 			Cached   bool   `json:"cached"`
+			Dialect  string `json:"dialect"`
 		}
 		if err := json.Unmarshal([]byte(raw), &desc); err != nil {
 			t.Fatal(err)
 		}
 		if desc.Resource != "history" || desc.ID != first.ID || !desc.Cached {
 			t.Errorf("descriptor = %+v", desc)
+		}
+		if desc.Dialect != "mysql" {
+			t.Errorf("descriptor dialect = %q, want mysql (auto-detected at ingest)", desc.Dialect)
 		}
 	})
 

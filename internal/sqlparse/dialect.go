@@ -1,0 +1,197 @@
+package sqlparse
+
+import "strings"
+
+// Dialect bundles the vendor-specific rules the lexer and parser consult:
+// comment forms, quoting and identifier rules, the canonical type ladder,
+// and dump-idiom handling (MySQL conditional directives, PostgreSQL COPY
+// data blocks). The three instances — MySQL, Postgres, SQLite — are the
+// only values; the struct is opaque so new rules can be added without
+// touching callers.
+//
+// Parse and ParseMode remain the MySQL-dialect entry points (the paper's
+// chosen vendor, and the historical behaviour of this package); dialect-
+// aware callers use ParseDialect / ParseModeDialect.
+type Dialect struct {
+	name string
+
+	// doubleQuoteIdent: "x" is a quoted identifier (PostgreSQL, SQLite)
+	// rather than a string literal (MySQL's default sql_mode).
+	doubleQuoteIdent bool
+	// hashComment: '#' starts a line comment (MySQL only; in other
+	// dialects '#' is an ordinary punctuation byte).
+	hashComment bool
+	// conditionalDirectives: /*!40101 ... */ executes its body (MySQL);
+	// elsewhere the whole block is a plain comment.
+	conditionalDirectives bool
+	// copyFromStdin: COPY tbl (...) FROM stdin; is followed by raw data
+	// lines terminated by a lone `\.` (pg_dump data sections).
+	copyFromStdin bool
+	// types maps dialect type spellings to their canonical lower-case
+	// names, applied after multi-word resolution in parseDataType. A nil
+	// map is the identity (MySQL: its spellings are already canonical).
+	types map[string]string
+}
+
+// Name returns the dialect's canonical lower-case name.
+func (d *Dialect) Name() string { return d.name }
+
+// canonType maps a parsed type name through the dialect's type ladder.
+func (d *Dialect) canonType(name string) string {
+	if d.types == nil {
+		return name
+	}
+	if c, ok := d.types[name]; ok {
+		return c
+	}
+	return name
+}
+
+// MySQL is the study's default dialect: the paper's chosen vendor and the
+// behaviour of plain Parse. Its type spellings are the canonical ones.
+var MySQL = &Dialect{
+	name:                  "mysql",
+	hashComment:           true,
+	conditionalDirectives: true,
+}
+
+// Postgres parses pg_dump-style DDL: schema-qualified names, double-quoted
+// identifiers, the SERIAL family, `character varying`, ALTER TABLE ONLY
+// constraint statements, ::type casts and COPY ... FROM stdin data blocks.
+var Postgres = &Dialect{
+	name:             "postgres",
+	doubleQuoteIdent: true,
+	copyFromStdin:    true,
+	types: map[string]string{
+		"integer": "int", "int4": "int", "int2": "smallint", "int8": "bigint",
+		"serial4": "int", "serial8": "bigint",
+		"numeric": "decimal", "bool": "boolean",
+		"real": "float", "float4": "float", "float8": "double",
+		"timestamptz": "timestamp", "timetz": "time",
+		"bytea": "blob",
+	},
+}
+
+// SQLite parses sqlite_master-style DDL: double-quoted identifiers,
+// type-affinity type names, AUTOINCREMENT, PRAGMA preambles and the
+// table-rebuild idiom (CREATE new / INSERT SELECT / DROP old / RENAME).
+// The ladder maps only true synonyms; affinity classes are NOT collapsed
+// (tinyint → bigint must stay visible as a type change).
+var SQLite = &Dialect{
+	name:             "sqlite",
+	doubleQuoteIdent: true,
+	types: map[string]string{
+		"integer": "int", "int2": "smallint", "int8": "bigint",
+		"numeric": "decimal", "bool": "boolean",
+		"real": "double", "clob": "text",
+	},
+}
+
+// dialects lists every dialect in stable (alphabetical) order.
+var dialects = []*Dialect{MySQL, Postgres, SQLite}
+
+// Dialects returns all dialects in stable order.
+func Dialects() []*Dialect { return append([]*Dialect(nil), dialects...) }
+
+// DialectNames returns the canonical dialect names in stable order.
+func DialectNames() []string {
+	out := make([]string, len(dialects))
+	for i, d := range dialects {
+		out[i] = d.name
+	}
+	return out
+}
+
+// DialectByName resolves a dialect name (case-insensitive, common aliases
+// accepted). The empty string resolves to MySQL — the default everywhere a
+// dialect is optional, so histories recorded before the dialect field
+// existed keep their meaning.
+func DialectByName(name string) (*Dialect, bool) {
+	switch strings.ToLower(name) {
+	case "", "mysql", "mariadb":
+		return MySQL, true
+	case "postgres", "postgresql", "pg":
+		return Postgres, true
+	case "sqlite", "sqlite3":
+		return SQLite, true
+	}
+	return nil, false
+}
+
+// detection markers, scored case-insensitively. Marker weights are small
+// integers; ties (including the no-marker case) resolve to MySQL, keeping
+// detection deterministic for any input.
+var (
+	postgresMarkers = []struct {
+		s string
+		w int
+	}{
+		{"postgresql database dump", 4},
+		{"pg_catalog", 3},
+		{"search_path", 3},
+		{"alter table only", 3},
+		{"from stdin", 3},
+		{"character varying", 2},
+		{" bigserial", 2},
+		{" serial", 1},
+		{"::", 1},
+		{"create table public.", 2},
+		{"with time zone", 1},
+	}
+	sqliteMarkers = []struct {
+		s string
+		w int
+	}{
+		{"sqlite_sequence", 4},
+		{"sqlite_master", 4},
+		{"pragma", 3},
+		{"autoincrement", 3},
+		{"without rowid", 3},
+		{"begin transaction", 1},
+	}
+	mysqlMarkers = []struct {
+		s string
+		w int
+	}{
+		{"engine=", 3},
+		{"/*!", 3},
+		{"auto_increment", 3},
+		{"`", 2},
+		{"unsigned", 1},
+		{"charset", 1},
+	}
+)
+
+// Detect sniffs the dialect of a DDL text from preamble, quoting and type
+// idioms. It is deterministic (pure function of the input) and defaults to
+// MySQL when no dialect's markers dominate — the safe choice for the bare
+// `CREATE TABLE t (...)` files all three vendors share. Only a bounded
+// prefix is examined, so detection stays cheap on multi-megabyte dumps.
+func Detect(src string) *Dialect {
+	const window = 64 << 10
+	if len(src) > window {
+		src = src[:window]
+	}
+	lower := strings.ToLower(src)
+	score := func(markers []struct {
+		s string
+		w int
+	}) int {
+		n := 0
+		for _, m := range markers {
+			if strings.Contains(lower, m.s) {
+				n += m.w
+			}
+		}
+		return n
+	}
+	pg, lite, my := score(postgresMarkers), score(sqliteMarkers), score(mysqlMarkers)
+	switch {
+	case pg > my && pg >= lite:
+		return Postgres
+	case lite > my && lite > pg:
+		return SQLite
+	default:
+		return MySQL
+	}
+}

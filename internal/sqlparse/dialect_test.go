@@ -1,0 +1,190 @@
+package sqlparse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDialectByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Dialect
+		ok   bool
+	}{
+		{"", MySQL, true},
+		{"mysql", MySQL, true},
+		{"MySQL", MySQL, true},
+		{"mariadb", MySQL, true},
+		{"postgres", Postgres, true},
+		{"PostgreSQL", Postgres, true},
+		{"pg", Postgres, true},
+		{"sqlite", SQLite, true},
+		{"sqlite3", SQLite, true},
+		{"oracle", nil, false},
+		{"my sql", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := DialectByName(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("DialectByName(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if names := DialectNames(); len(names) != 3 || names[0] != "mysql" || names[1] != "postgres" || names[2] != "sqlite" {
+		t.Errorf("DialectNames() = %v", names)
+	}
+}
+
+// Double quotes flip meaning across dialects: a string literal in MySQL, an
+// identifier in Postgres and SQLite.
+func TestDialectDoubleQuoteRules(t *testing.T) {
+	src := `CREATE TABLE t (a int DEFAULT "x");`
+	my := ParseDialect(src, MySQL).Schema.Table("t")
+	if my == nil || my.Column("a") == nil || my.Column("a").Default != `"x"` {
+		t.Errorf("mysql: double-quoted default not read as string: %+v", my)
+	}
+
+	src = `CREATE TABLE "order" ("group" int);`
+	for _, d := range []*Dialect{Postgres, SQLite} {
+		res := ParseDialect(src, d)
+		tb := res.Schema.Table("order")
+		if tb == nil || tb.Column("group") == nil {
+			t.Errorf("%s: quoted-identifier table lost: %v", d.Name(), res.Schema.TableNames())
+		}
+	}
+}
+
+// '#' is a comment only in MySQL; elsewhere it is ordinary punctuation, so
+// a '#'-led line reads as a (skipped) statement rather than vanishing.
+func TestDialectHashComment(t *testing.T) {
+	src := "# just a comment\n"
+	if n := ParseDialect(src, MySQL).Statements; n != 0 {
+		t.Errorf("mysql: statements = %d, want 0 ('#' line is a comment)", n)
+	}
+	if n := ParseDialect(src, Postgres).Statements; n != 1 {
+		t.Errorf("postgres: statements = %d, want 1 ('#' is not a comment)", n)
+	}
+}
+
+// /*! ... */ bodies execute in MySQL only; other dialects read a comment.
+func TestDialectConditionalDirectives(t *testing.T) {
+	src := "/*!40101 CREATE TABLE t (a int) */;"
+	if n := ParseDialect(src, MySQL).Schema.NumTables(); n != 1 {
+		t.Errorf("mysql: tables = %d, want 1 (directive body executes)", n)
+	}
+	if n := ParseDialect(src, SQLite).Schema.NumTables(); n != 0 {
+		t.Errorf("sqlite: tables = %d, want 0 (directive is a plain comment)", n)
+	}
+}
+
+func TestDialectTypeLadder(t *testing.T) {
+	cases := []struct {
+		d    *Dialect
+		sql  string
+		want string
+	}{
+		{Postgres, "a integer", "int"},
+		{Postgres, "a int4", "int"},
+		{Postgres, "a int8", "bigint"},
+		{Postgres, "a numeric(10,2)", "decimal"},
+		{Postgres, "a bool", "boolean"},
+		{Postgres, "a real", "float"},
+		{Postgres, "a float8", "double"},
+		{Postgres, "a bytea", "blob"},
+		{Postgres, "a integer[]", "int[]"},
+		{SQLite, "a INTEGER", "int"},
+		{SQLite, "a REAL", "double"},
+		{SQLite, "a CLOB", "text"},
+		{SQLite, "a NUMERIC", "decimal"},
+		{SQLite, "a INT2", "smallint"},
+		// MySQL's ladder is the identity: spellings pass through untouched,
+		// keeping plain Parse byte-compatible with its historical output.
+		{MySQL, "a integer", "integer"},
+		{MySQL, "a real", "real"},
+	}
+	for _, c := range cases {
+		res := ParseDialect("CREATE TABLE t ("+c.sql+");", c.d)
+		tb := res.Schema.Table("t")
+		if tb == nil || tb.Column("a") == nil {
+			t.Errorf("%s: %q did not parse", c.d.Name(), c.sql)
+			continue
+		}
+		if got := tb.Column("a").Type.Name; got != c.want {
+			t.Errorf("%s: %q → %q, want %q", c.d.Name(), c.sql, got, c.want)
+		}
+	}
+}
+
+// COPY ... FROM stdin data must be skipped at the line level: rows may
+// contain semicolons and SQL-looking text.
+func TestPostgresCopySkip(t *testing.T) {
+	src := "CREATE TABLE a (x int);\n" +
+		"COPY a (x) FROM stdin;\n" +
+		"1;DROP TABLE a;\t2\n" +
+		"\\.\n" +
+		"CREATE TABLE b (y int);\n"
+	res := ParseDialect(src, Postgres)
+	if len(res.Errors) > 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Schema.Table("a") == nil {
+		t.Error("table a dropped — COPY data was executed as SQL")
+	}
+	if res.Schema.Table("b") == nil {
+		t.Error("table b lost — parsing did not resume after the COPY block")
+	}
+	// COPY ... TO (no stdin) has no data block; nothing must be skipped.
+	src = "COPY a TO '/tmp/out.csv';\nCREATE TABLE c (z int);"
+	if ParseDialect(src, Postgres).Schema.Table("c") == nil {
+		t.Error("COPY TO swallowed the following statement")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	read := func(name string) string {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cases := []struct {
+		name string
+		src  string
+		want *Dialect
+	}{
+		{"pg fixture", read("pg_dump_tracker.sql"), Postgres},
+		{"sqlite fixture", read("sqlite_tracker.sql"), SQLite},
+		{"mysqldump fixture", read("mysqldump_blog.sql"), MySQL},
+		{"handwritten mysql", read("handwritten_shop.sql"), MySQL},
+		{"bare create", "CREATE TABLE t (a INT);", MySQL},
+		{"empty", "", MySQL},
+		{"pg preamble", "SET search_path = public, pg_catalog;\nCREATE TABLE public.t (a integer);", Postgres},
+		{"sqlite pragma", "PRAGMA foreign_keys=OFF;\nCREATE TABLE t (a INTEGER PRIMARY KEY AUTOINCREMENT);", SQLite},
+		{"mysql engine", "CREATE TABLE `t` (a INT) ENGINE=InnoDB;", MySQL},
+	}
+	for _, c := range cases {
+		if got := Detect(c.src); got != c.want {
+			t.Errorf("%s: Detect → %s, want %s", c.name, got.Name(), c.want.Name())
+		}
+	}
+}
+
+// The corpus renderers' output must round-trip through detection: what we
+// emit as dialect X must be detected as dialect X. (The corpus-side test
+// lives in internal/corpus; this covers the fixtures from the parse side.)
+func TestDetectStableOnPrefix(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "pg_dump_tracker.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection reads a bounded prefix; a dump much larger than the window
+	// must still detect from its preamble.
+	big := string(data)
+	for len(big) < 200<<10 {
+		big += "INSERT INTO public.issues VALUES (1);\n"
+	}
+	if got := Detect(big); got != Postgres {
+		t.Errorf("large dump → %s, want postgres", got.Name())
+	}
+}

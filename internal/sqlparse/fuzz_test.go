@@ -31,6 +31,14 @@ func FuzzParse(f *testing.F) {
 		"CREATE TABLE \x00\xff (a INT);",
 		"ALTER TABLE ONLY p ADD CONSTRAINT k PRIMARY KEY (id);",
 		strings.Repeat("CREATE TABLE t (a INT);", 50),
+		// Dialect-specific idioms: pg COPY data (with and without the `\.`
+		// terminator), quoted identifiers, SQLite affinity names and rebuild.
+		"COPY public.t (a, b) FROM stdin;\n1\t2\n\\.\nALTER TABLE t ADD c int;",
+		"COPY t (a) FROM stdin;\nunterminated data",
+		`CREATE TABLE "t" ("group" integer, "x" character varying(10));`,
+		"PRAGMA foreign_keys=OFF;\nCREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT) WITHOUT ROWID;",
+		`CREATE TABLE t2 (a INT8); DROP TABLE t; ALTER TABLE t2 RENAME TO t;`,
+		"CREATE TEMP TABLE s (a bool, b numeric(4,1), c real);",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -39,20 +47,27 @@ func FuzzParse(f *testing.F) {
 		if len(src) > 1<<16 {
 			return // bound work per input
 		}
-		res := Parse(src)
-		if res == nil || res.Schema == nil {
-			t.Fatal("nil result pieces")
+		// Every invariant must hold under every dialect's rules.
+		for _, d := range Dialects() {
+			res := ParseDialect(src, d)
+			if res == nil || res.Schema == nil {
+				t.Fatal("nil result pieces")
+			}
+			if res.CreateTables > res.Statements {
+				t.Fatalf("%s: CreateTables %d > Statements %d", d.Name(), res.CreateTables, res.Statements)
+			}
+			if res.Schema.NumColumns() < 0 || res.Schema.NumTables() < 0 {
+				t.Fatal("negative counts")
+			}
+			// Strict mode must never find more tables than tolerant mode.
+			strict := ParseModeDialect(src, Strict, d)
+			if strict.CreateTables > res.CreateTables {
+				t.Fatalf("%s: strict found %d tables, tolerant %d", d.Name(), strict.CreateTables, res.CreateTables)
+			}
 		}
-		if res.CreateTables > res.Statements {
-			t.Fatalf("CreateTables %d > Statements %d", res.CreateTables, res.Statements)
-		}
-		if res.Schema.NumColumns() < 0 || res.Schema.NumTables() < 0 {
-			t.Fatal("negative counts")
-		}
-		// Strict mode must never find more tables than tolerant mode.
-		strict := ParseMode(src, Strict)
-		if strict.CreateTables > res.CreateTables {
-			t.Fatalf("strict found %d tables, tolerant %d", strict.CreateTables, res.CreateTables)
+		// Detection is total and deterministic on arbitrary bytes.
+		if d1, d2 := Detect(src), Detect(src); d1 != d2 {
+			t.Fatalf("Detect not deterministic: %s vs %s", d1.Name(), d2.Name())
 		}
 	})
 }
@@ -68,14 +83,16 @@ func FuzzLexer(f *testing.F) {
 		if len(src) > 1<<16 {
 			return
 		}
-		l := NewLexer(src)
-		for i := 0; ; i++ {
-			tok := l.Next()
-			if tok.Kind == TokEOF {
-				break
-			}
-			if i > len(src)+16 {
-				t.Fatalf("lexer not consuming input: %d tokens from %d bytes", i, len(src))
+		for _, d := range Dialects() {
+			l := NewLexerDialect(src, d)
+			for i := 0; ; i++ {
+				tok := l.Next()
+				if tok.Kind == TokEOF {
+					break
+				}
+				if i > len(src)+16 {
+					t.Fatalf("%s: lexer not consuming input: %d tokens from %d bytes", d.Name(), i, len(src))
+				}
 			}
 		}
 	})

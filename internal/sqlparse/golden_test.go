@@ -12,11 +12,16 @@ import (
 
 func loadGolden(t *testing.T, name string) *Result {
 	t.Helper()
+	return loadGoldenDialect(t, name, MySQL)
+}
+
+func loadGoldenDialect(t *testing.T, name string, d *Dialect) *Result {
+	t.Helper()
 	data, err := os.ReadFile(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Parse(string(data))
+	res := ParseDialect(string(data), d)
 	if len(res.Errors) > 0 {
 		t.Fatalf("%s: parse errors: %v", name, res.Errors)
 	}
@@ -130,7 +135,7 @@ func TestGoldenIdempotentExtraction(t *testing.T) {
 }
 
 func TestGoldenPostgresDump(t *testing.T) {
-	res := loadGolden(t, "pg_dump_tracker.sql")
+	res := loadGoldenDialect(t, "pg_dump_tracker.sql", Postgres)
 	// CREATE SEQUENCE is skipped silently; two tables remain.
 	if res.Schema.NumTables() != 2 {
 		t.Fatalf("tables = %d (%v)", res.Schema.NumTables(), res.Schema.TableNames())
@@ -139,11 +144,14 @@ func TestGoldenPostgresDump(t *testing.T) {
 	if issues == nil {
 		t.Fatal("issues missing (schema-qualified name)")
 	}
-	if len(issues.Columns) != 9 {
-		t.Fatalf("issues columns = %d, want 9", len(issues.Columns))
+	if len(issues.Columns) != 10 {
+		t.Fatalf("issues columns = %d, want 10", len(issues.Columns))
 	}
 	if got := issues.Column("id").Type.Name; got != "bigint" {
 		t.Errorf("bigserial → %q, want bigint", got)
+	}
+	if got := issues.Column("project_id").Type.Name; got != "int" {
+		t.Errorf("integer → %q, want int (dialect type ladder)", got)
 	}
 	if got := issues.Column("title").Type; got.Name != "varchar" || got.Args[0] != "255" {
 		t.Errorf("character varying → %+v", got)
@@ -154,8 +162,13 @@ func TestGoldenPostgresDump(t *testing.T) {
 	if got := issues.Column("opened_at").Type.Name; got != "timestamp" {
 		t.Errorf("timestamptz → %q", got)
 	}
-	if got := issues.Column("weight").Type; got.Name != "numeric" || len(got.Args) != 2 {
-		t.Errorf("numeric(6,2) → %+v", got)
+	if got := issues.Column("weight").Type; got.Name != "decimal" || len(got.Args) != 2 {
+		t.Errorf("numeric(6,2) → %+v, want decimal(6,2)", got)
+	}
+	// The ALTER after the COPY data block proves the parser skipped the raw
+	// data lines (one row embeds `; DROP TABLE`) and resumed at `\.`.
+	if issues.Column("assignee") == nil {
+		t.Error("ADD COLUMN after COPY block lost — COPY data not skipped cleanly")
 	}
 	// ALTER TABLE ONLY ... ADD CONSTRAINT PRIMARY KEY applied.
 	if !issues.HasPKColumn("id") {
@@ -165,11 +178,76 @@ func TestGoldenPostgresDump(t *testing.T) {
 		t.Errorf("issues FKs = %+v", issues.ForeignKeys)
 	}
 	projects := res.Schema.Table("projects")
+	if len(projects.Columns) != 4 {
+		t.Fatalf("projects columns = %d, want 4 (%v)", len(projects.Columns), projects.Columns)
+	}
 	if got := projects.Column("id").Type.Name; got != "int" {
 		t.Errorf("serial → %q, want int", got)
 	}
+	if got := projects.Column("group"); got == nil {
+		t.Error(`double-quoted identifier "group" lost`)
+	} else if got.Type.Name != "varchar" {
+		t.Errorf(`"group" type = %q`, got.Type.Name)
+	}
 	if !projects.HasPKColumn("id") {
 		t.Error("projects PK missing")
+	}
+}
+
+func TestGoldenSQLiteDump(t *testing.T) {
+	res := loadGoldenDialect(t, "sqlite_tracker.sql", SQLite)
+	if res.Schema.NumTables() != 3 {
+		t.Fatalf("tables = %d (%v)", res.Schema.NumTables(), res.Schema.TableNames())
+	}
+
+	projects := res.Schema.Table("projects")
+	if projects == nil {
+		t.Fatal("projects missing")
+	}
+	if len(projects.Columns) != 4 {
+		t.Fatalf("projects columns = %d, want 4", len(projects.Columns))
+	}
+	id := projects.Column("id")
+	if id.Type.Name != "int" || !id.AutoInc {
+		t.Errorf("INTEGER AUTOINCREMENT → %+v", id)
+	}
+	if !projects.HasPKColumn("id") {
+		t.Error("inline PRIMARY KEY lost")
+	}
+	if projects.Column("group") == nil {
+		t.Error(`double-quoted identifier "group" lost`)
+	}
+
+	// The rebuild idiom must net out: issues is the rebuilt table, with the
+	// dropped columns gone and the NUMERIC→DECIMAL respelling invisible.
+	issues := res.Schema.Table("issues")
+	if issues == nil {
+		t.Fatal("issues missing after table rebuild")
+	}
+	if len(issues.Columns) != 5 {
+		t.Fatalf("rebuilt issues columns = %d, want 5 (%v)", len(issues.Columns), issues.Columns)
+	}
+	for _, gone := range []string{"body", "score", "open"} {
+		if issues.Column(gone) != nil {
+			t.Errorf("column %s should have been dropped by the rebuild", gone)
+		}
+	}
+	if got := issues.Column("weight").Type.Name; got != "decimal" {
+		t.Errorf("weight → %q, want decimal", got)
+	}
+	if !issues.HasPKColumn("id") {
+		t.Error("rebuilt issues PK lost")
+	}
+
+	tags := res.Schema.Table("tags")
+	if len(tags.PrimaryKey) != 2 {
+		t.Errorf("tags composite PK = %v", tags.PrimaryKey)
+	}
+	if got := tags.Column("issue_id").Type.Name; got != "bigint" {
+		t.Errorf("INT8 → %q, want bigint", got)
+	}
+	if got := tags.Column("label").Type.Name; got != "text" {
+		t.Errorf("label → %q", got)
 	}
 }
 

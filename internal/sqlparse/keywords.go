@@ -25,6 +25,7 @@ const (
 	kwCOLUMN
 	kwCOMMENT
 	kwCONSTRAINT
+	kwCOPY
 	kwCREATE
 	kwDEFAULT
 	kwDELETE
@@ -63,6 +64,7 @@ const (
 	kwSPATIAL
 	kwSTORED
 	kwTABLE
+	kwTEMP
 	kwTEMPORARY
 	kwTIME
 	kwTO
@@ -133,6 +135,10 @@ func keywordOf(s string) keyword {
 		}
 	case 4:
 		switch s[0] | 0x20 {
+		case 'c':
+			if foldEq(s, "copy") {
+				return kwCOPY
+			}
 		case 'd':
 			if foldEq(s, "desc") {
 				return kwDESC
@@ -154,6 +160,8 @@ func keywordOf(s string) keyword {
 		case 't':
 			if foldEq(s, "time") {
 				return kwTIME
+			} else if foldEq(s, "temp") {
+				return kwTEMP
 			}
 		case 'w':
 			if foldEq(s, "with") {

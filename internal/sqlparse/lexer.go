@@ -1,8 +1,11 @@
 // Package sqlparse implements a tolerant lexer and parser for the subset of
 // SQL DDL that the study measures: CREATE TABLE, DROP TABLE and ALTER TABLE
-// statements in the MySQL dialect (the paper's chosen vendor), with enough
-// slack to skim over the rest of a real-world dump file (INSERTs, SETs,
-// comments, vendor directives) without failing.
+// statements, with enough slack to skim over the rest of a real-world dump
+// file (INSERTs, SETs, comments, vendor directives) without failing.
+// Vendor rules live behind the Dialect type — MySQL (the paper's chosen
+// vendor, and the default of Parse/ParseMode), Postgres (pg_dump style) and
+// SQLite (sqlite_master style); ParseDialect selects one explicitly and
+// Detect sniffs one from dump text.
 //
 // Tolerance is the defining requirement: FOSS .sql files are messy, and the
 // study must extract the logical schema from every version it can, skipping
@@ -11,6 +14,7 @@ package sqlparse
 
 import (
 	"fmt"
+	"strings"
 	"unicode"
 )
 
@@ -111,21 +115,32 @@ func (t Token) IsPunct(r byte) bool {
 	return t.Kind == TokPunct && len(t.Text) == 1 && t.Text[0] == r
 }
 
-// Lexer tokenizes SQL text. It understands the MySQL comment forms
-// (`-- `, `#`, `/* */` including the conditional `/*! ... */` directives,
-// whose body is surfaced as ordinary tokens since MySQL executes it),
-// single- and double-quoted strings with backslash escapes, and backtick
-// identifiers.
+// Lexer tokenizes SQL text. It understands the SQL comment forms
+// (`-- `, `/* */`, and in the MySQL dialect `#` plus the conditional
+// `/*! ... */` directives, whose body is surfaced as ordinary tokens since
+// MySQL executes it), single-quoted strings with backslash escapes, and
+// quoted identifiers (backticks, brackets, and — outside MySQL — double
+// quotes; in MySQL a double-quoted token is a string literal).
 type Lexer struct {
 	src  string
 	pos  int
 	line int
 	col  int
+	d    *Dialect
 }
 
-// NewLexer returns a lexer over src.
+// NewLexer returns a MySQL-dialect lexer over src.
 func NewLexer(src string) *Lexer {
-	return &Lexer{src: src, line: 1, col: 1}
+	return &Lexer{src: src, line: 1, col: 1, d: MySQL}
+}
+
+// NewLexerDialect returns a lexer over src with the given dialect's comment
+// and quoting rules. A nil dialect means MySQL.
+func NewLexerDialect(src string, d *Dialect) *Lexer {
+	if d == nil {
+		d = MySQL
+	}
+	return &Lexer{src: src, line: 1, col: 1, d: d}
 }
 
 func (l *Lexer) peek() byte {
@@ -184,7 +199,7 @@ func (l *Lexer) Next() Token {
 	c := l.peek()
 
 	// Comments.
-	if c == '#' {
+	if c == '#' && l.d.hashComment {
 		return l.lexLineComment(startLine, startCol)
 	}
 	if c == '-' && l.peekAt(1) == '-' {
@@ -195,8 +210,9 @@ func (l *Lexer) Next() Token {
 	if c == '/' && l.peekAt(1) == '*' {
 		// Conditional directives /*!40101 ... */ execute their body in
 		// MySQL; surface the body as regular tokens by skipping only the
-		// opening marker and version number.
-		if l.peekAt(2) == '!' {
+		// opening marker and version number. Other dialects read the whole
+		// block as one comment.
+		if l.peekAt(2) == '!' && l.d.conditionalDirectives {
 			l.advance() // /
 			l.advance() // *
 			l.advance() // !
@@ -207,20 +223,24 @@ func (l *Lexer) Next() Token {
 		}
 		return l.lexBlockComment(startLine, startCol)
 	}
-	if c == '*' && l.peekAt(1) == '/' {
+	if c == '*' && l.peekAt(1) == '/' && l.d.conditionalDirectives {
 		// Closing marker of a conditional directive: swallow silently.
 		l.advance()
 		l.advance()
 		return l.Next()
 	}
 
-	// Strings.
-	if c == '\'' || c == '"' {
+	// Strings. Outside MySQL a double-quoted token is an identifier (the
+	// SQL standard), handled below.
+	if c == '\'' || (c == '"' && !l.d.doubleQuoteIdent) {
 		return l.lexString(c, startLine, startCol)
 	}
 	// Quoted identifiers.
 	if c == '`' {
 		return l.lexQuotedIdent('`', '`', startLine, startCol)
+	}
+	if c == '"' {
+		return l.lexQuotedIdent('"', '"', startLine, startCol)
 	}
 	if c == '[' {
 		return l.lexQuotedIdent('[', ']', startLine, startCol)
@@ -333,6 +353,27 @@ func (l *Lexer) lexQuotedIdent(open, close byte, line, col int) Token {
 	// are stripped by Ident), so classify the inner text for parity.
 	tok.kw = keywordOf(tok.Ident())
 	return tok
+}
+
+// skipCopyData consumes raw lines up to and including the lone `\.`
+// terminator of a PostgreSQL COPY ... FROM stdin data block. COPY data is
+// not SQL (tab-separated values, backslash escapes), so the parser must
+// jump over it at the line level rather than tokenize it. An unterminated
+// block consumes to EOF (tolerance, like unterminated comments).
+func (l *Lexer) skipCopyData() {
+	for l.pos < len(l.src) {
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		line := l.src[start:l.pos]
+		if l.pos < len(l.src) {
+			l.advance() // newline
+		}
+		if strings.TrimSpace(line) == `\.` {
+			return
+		}
+	}
 }
 
 // Tokens lexes the whole input, excluding comments, primarily for tests.

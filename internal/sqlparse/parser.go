@@ -35,12 +35,26 @@ const (
 	Strict
 )
 
-// Parse parses src in Tolerant mode.
+// Parse parses src in Tolerant mode under the MySQL dialect.
 func Parse(src string) *Result { return ParseMode(src, Tolerant) }
 
-// ParseMode parses src with the given failure mode.
+// ParseMode parses src with the given failure mode under the MySQL dialect.
 func ParseMode(src string, mode Mode) *Result {
-	p := &parser{lex: NewLexer(src), mode: mode}
+	return ParseModeDialect(src, mode, MySQL)
+}
+
+// ParseDialect parses src in Tolerant mode under the given dialect.
+func ParseDialect(src string, d *Dialect) *Result {
+	return ParseModeDialect(src, Tolerant, d)
+}
+
+// ParseModeDialect parses src with the given failure mode and dialect rules.
+// A nil dialect means MySQL.
+func ParseModeDialect(src string, mode Mode, d *Dialect) *Result {
+	if d == nil {
+		d = MySQL
+	}
+	p := &parser{lex: NewLexerDialect(src, d), mode: mode, d: d}
 	p.next()
 	res := &Result{Schema: schema.New()}
 	for p.tok.Kind != TokEOF {
@@ -56,6 +70,8 @@ func ParseMode(src string, mode Mode) *Result {
 			p.parseDrop(res)
 		case p.tok.kw == kwALTER:
 			p.parseAlter(res)
+		case p.tok.kw == kwCOPY && p.d.copyFromStdin:
+			p.parseCopy()
 		default:
 			// INSERT, SET, USE, LOCK, DELIMITER, etc.: skip statement.
 			p.skipStatement()
@@ -71,9 +87,41 @@ type parser struct {
 	lex  *Lexer
 	tok  Token
 	mode Mode
+	d    *Dialect
 	// constraintName carries a pending CONSTRAINT <name> prefix to the
 	// element it qualifies.
 	constraintName string
+}
+
+// parseCopy skips a PostgreSQL COPY statement. When the statement ends in
+// FROM stdin, the lines after the ';' are raw data terminated by a lone
+// `\.`; they must be skipped at the line level, not tokenized as SQL.
+func (p *parser) parseCopy() {
+	fromStdin := false
+	sawFrom := false
+	depth := 0
+	for p.tok.Kind != TokEOF {
+		switch {
+		case p.tok.IsPunct('('):
+			depth++
+		case p.tok.IsPunct(')'):
+			if depth > 0 {
+				depth--
+			}
+		case p.tok.IsPunct(';') && depth == 0:
+			if fromStdin {
+				p.lex.skipCopyData()
+			}
+			p.next()
+			return
+		case p.tok.Kind == TokIdent:
+			if sawFrom && p.tok.Is("stdin") {
+				fromStdin = true
+			}
+			sawFrom = p.tok.Is("from")
+		}
+		p.next()
+	}
 }
 
 // takeConstraintName consumes the pending constraint name.
@@ -153,8 +201,8 @@ func (p *parser) qualifiedName() (string, bool) {
 
 func (p *parser) parseCreate(res *Result) {
 	p.next() // CREATE
-	// Swallow modifiers: TEMPORARY, OR REPLACE.
-	for p.tok.kw == kwTEMPORARY || p.tok.kw == kwOR || p.tok.kw == kwREPLACE {
+	// Swallow modifiers: TEMPORARY/TEMP, OR REPLACE.
+	for p.tok.kw == kwTEMPORARY || p.tok.kw == kwTEMP || p.tok.kw == kwOR || p.tok.kw == kwREPLACE {
 		p.next()
 	}
 	if p.tok.kw != kwTABLE {
@@ -355,6 +403,10 @@ func (p *parser) parseDataType() (schema.DataType, bool) {
 	case "smallserial":
 		dt.Name = "smallint"
 	}
+	// Dialect type ladder: canonicalize vendor spellings (integer → int,
+	// numeric → decimal, ...) so a dialect's spelling never reads as a
+	// different logical type. MySQL's ladder is the identity.
+	dt.Name = p.d.canonType(dt.Name)
 	if p.tok.IsPunct('(') {
 		p.next()
 		depth := 0

@@ -27,6 +27,7 @@ CREATE TABLE public.issues (
 CREATE TABLE public.projects (
     id serial,
     slug character varying(100) NOT NULL,
+    "group" character varying(64),
     created timestamp with time zone DEFAULT CURRENT_TIMESTAMP
 );
 
@@ -47,6 +48,18 @@ ALTER TABLE ONLY public.issues
     ADD CONSTRAINT fk_issues_project FOREIGN KEY (project_id) REFERENCES public.projects(id) ON DELETE CASCADE;
 
 CREATE INDEX idx_issues_project ON public.issues USING btree (project_id);
+
+--
+-- Data for Name: projects; Type: TABLE DATA; Schema: public
+--
+
+COPY public.projects (id, slug, "group", created) FROM stdin;
+1	tracker	tools; DROP TABLE public.issues	2014-05-01 00:00:00+00
+2	website	\N	2014-06-01 00:00:00+00
+\.
+
+ALTER TABLE ONLY public.issues
+    ADD COLUMN assignee character varying(100);
 
 --
 -- PostgreSQL database dump complete

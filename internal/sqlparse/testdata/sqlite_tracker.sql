@@ -1,0 +1,52 @@
+-- SQLite flavoured dump, in the style of `sqlite3 tracker.db .dump` plus
+-- a migration script: PRAGMA preamble, double-quoted identifiers, affinity
+-- type names, AUTOINCREMENT, WITHOUT ROWID, and the table-rebuild idiom
+-- SQLite uses in place of unsupported ALTER forms.
+PRAGMA foreign_keys=OFF;
+BEGIN TRANSACTION;
+
+CREATE TABLE IF NOT EXISTS "projects" (
+  "id" INTEGER NOT NULL PRIMARY KEY AUTOINCREMENT,
+  "slug" VARCHAR(100) NOT NULL,
+  "group" TEXT,
+  "created" DATETIME DEFAULT CURRENT_TIMESTAMP
+);
+
+CREATE TABLE "issues" (
+  "id" INTEGER PRIMARY KEY AUTOINCREMENT,
+  "project_id" INT NOT NULL REFERENCES "projects"("id") ON DELETE CASCADE,
+  "title" VARCHAR(255) NOT NULL,
+  "body" CLOB,
+  "weight" NUMERIC(6,2) DEFAULT 0,
+  "score" REAL,
+  "open" BOOL DEFAULT 1,
+  "opened_at" TIMESTAMP
+);
+
+CREATE TABLE "tags" (
+  "issue_id" INT8 NOT NULL,
+  "label" TEXT NOT NULL,
+  PRIMARY KEY ("issue_id", "label")
+) WITHOUT ROWID;
+
+CREATE INDEX "idx_issues_project" ON "issues" ("project_id");
+
+INSERT INTO "projects" VALUES(1,'tracker','tools','2014-05-01 00:00:00');
+INSERT INTO "issues" VALUES(1,1,'Fix parser','body; with a semicolon',0,0.5,1,'2014-05-02 00:00:00');
+
+-- Table rebuild: SQLite cannot DROP COLUMN (historically), so migrations
+-- recreate the table and swap it in. The net schema must read through.
+CREATE TABLE "issues_new" (
+  "id" INTEGER PRIMARY KEY AUTOINCREMENT,
+  "project_id" INT NOT NULL,
+  "title" VARCHAR(255) NOT NULL,
+  "weight" DECIMAL(6,2) DEFAULT 0,
+  "opened_at" TIMESTAMP
+);
+INSERT INTO "issues_new" ("id","project_id","title","weight","opened_at")
+  SELECT "id","project_id","title","weight","opened_at" FROM "issues";
+DROP TABLE "issues";
+ALTER TABLE "issues_new" RENAME TO "issues";
+
+PRAGMA user_version=3;
+COMMIT;

@@ -51,6 +51,7 @@ var experimentTable = []Experiment{
 	{"forecast", (*Study).RunForecast},
 	{"tempo", (*Study).RunTempo},
 	{"shapes", (*Study).RunShapes},
+	{"dialects", (*Study).RunDialects},
 }
 
 // Experiments returns the full driver table in presentation order. The

@@ -53,6 +53,12 @@ type Options struct {
 	// randomness sequentially and reassemble results in fixed project
 	// order.
 	Workers int
+	// Dialect selects the SQL dialect the corpus histories are rendered
+	// (and re-parsed) in; see corpus.Config.Dialect. Empty means MySQL and
+	// reproduces the historical byte-identical artifacts. The logical
+	// evolution is dialect-independent, so headline statistics agree
+	// across dialects up to type-spelling granularity.
+	Dialect string
 }
 
 // New runs the full pipeline deterministically from seed.
@@ -89,7 +95,7 @@ func NewWithOptions(ctx context.Context, seed int64, opts Options) (*Study, erro
 	// funnel needs only the roster names, not the built histories.
 	corpusCh := make(chan []*corpus.Project, 1)
 	go func() {
-		corpusCh <- corpus.GenerateContext(ctx, corpus.Config{Seed: seed, Workers: opts.Workers})
+		corpusCh <- corpus.GenerateContext(ctx, corpus.Config{Seed: seed, Workers: opts.Workers, Dialect: opts.Dialect})
 	}()
 
 	// Split the roster into study-set and rigid names for the funnel.

@@ -239,7 +239,7 @@ func TestDurations(t *testing.T) {
 func TestEverythingRenders(t *testing.T) {
 	s := getStudy(t)
 	outputs := s.Everything(context.Background())
-	if len(outputs) != 21 {
+	if len(outputs) != 22 {
 		t.Fatalf("Everything() = %d sections", len(outputs))
 	}
 	wantFragments := []string{
